@@ -1,0 +1,101 @@
+"""Ablation — attacker capability sweep: how much context does ROP leak?
+
+Section V-E reports that 30-90 % of the calls in reproduced attack traces
+carried abnormal caller context.  Our attack generators expose that as
+``context_fidelity`` (probability a chained call lands on its compatible
+gadget).  This ablation sweeps fidelity from 0 (pure injected shellcode) to
+1 (an attacker who somehow sources *every* call from its legitimate
+wrapper) and measures the CMarkov detection margin on stealth code-reuse
+chains whose call *names and order are perfectly normal*.
+
+Shapes checked:
+
+1. detection margin (threshold − chain score) shrinks monotonically-ish as
+   fidelity grows — context is exactly what the detector keys on;
+2. the chain is still flagged through the paper's 30-90 % band
+   (fidelity ≤ 0.7).
+"""
+
+import numpy as np
+from common import BENCH_CONFIG, print_block, shape_line
+
+from repro.attacks import code_reuse_from_normal
+from repro.core import CMarkovDetector, threshold_for_fp_budget
+from repro.eval import prepare_program, render_table
+from repro.program import CallKind, layout_program
+
+FIDELITIES = (0.0, 0.3, 0.5, 0.7, 1.0)
+CHAINS_PER_POINT = 12
+
+
+def test_ablation_context_fidelity(benchmark):
+    def run():
+        data = prepare_program("gzip", BENCH_CONFIG)
+        image = layout_program(data.program)
+        ctx_segments = data.segment_set(
+            CallKind.SYSCALL, True, BENCH_CONFIG.segment_length
+        )
+        bare_segments = data.segment_set(
+            CallKind.SYSCALL, False, BENCH_CONFIG.segment_length
+        )
+        detector = CMarkovDetector(
+            data.program,
+            kind=CallKind.SYSCALL,
+            config=BENCH_CONFIG.detector_config(),
+        )
+        train_part, holdout = ctx_segments.split([0.8, 0.2], seed=1)
+        detector.fit(train_part)
+        threshold = threshold_for_fp_budget(
+            detector.score(holdout.segments()), 0.02
+        )
+
+        # Hosts: frequent normal segments, so names/order are impeccable.
+        hosts = [
+            segment
+            for segment, _count in sorted(
+                bare_segments.counts.items(), key=lambda kv: -kv[1]
+            )[:CHAINS_PER_POINT]
+        ]
+        sweep = []
+        for fidelity in FIDELITIES:
+            scores = []
+            for index, host in enumerate(hosts):
+                events = code_reuse_from_normal(
+                    host, image, seed=100 + index, context_fidelity=fidelity
+                )
+                segment = tuple(e.symbol(True) for e in events)
+                scores.append(float(detector.score([segment])[0]))
+            scores = np.array(scores)
+            sweep.append(
+                {
+                    "fidelity": fidelity,
+                    "mean_margin": float(threshold - scores.mean()),
+                    "detection_rate": float(np.mean(scores < threshold)),
+                }
+            )
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"{p['fidelity']:.1f}", f"{p['mean_margin']:.2f}",
+         f"{p['detection_rate']:.0%}"]
+        for p in sweep
+    ]
+    body = render_table(
+        ["attacker context fidelity", "mean detection margin", "chains flagged"],
+        rows,
+        title=f"{CHAINS_PER_POINT} stealth code-reuse chains per point (gzip)",
+    )
+    margins = [p["mean_margin"] for p in sweep]
+    in_band = [p for p in sweep if p["fidelity"] <= 0.7]
+    body += "\n" + shape_line(
+        "detection margin shrinks as the attacker gains context control",
+        margins[0] > margins[-1],
+    )
+    body += "\n" + shape_line(
+        "full detection through the paper's 30-90% abnormal-context band",
+        all(p["detection_rate"] == 1.0 for p in in_band),
+    )
+    print_block("Ablation — attacker context-fidelity sweep", body)
+    assert margins[0] > margins[-1]
+    assert all(p["detection_rate"] >= 0.9 for p in in_band)

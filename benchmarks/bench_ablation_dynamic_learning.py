@@ -1,0 +1,123 @@
+"""Ablation — what does the dynamic training phase add to static init?
+
+Section IV: "Program behaviors that are not covered by our static program
+analysis (e.g., function pointer, recursions and loops) will be learned
+from program traces by our CMarkov HMM model."  The synthetic nginx and
+bash programs have function-pointer dispatch tables whose targets static
+analysis deliberately cannot see, so they isolate exactly this claim.
+
+Measured on nginx (libcall model):
+
+* mean log-likelihood of held-out normal segments that traverse the
+  dispatch table, before vs after Baum-Welch training;
+* the same for dispatch-free segments (static analysis already covers
+  those, so training should matter much less);
+* detection accuracy (AUC vs Abnormal-S) of the static-only vs trained
+  model.
+
+Shapes checked:
+
+1. training adds far more likelihood to dispatch-path segments than to
+   dispatch-free ones (the gain is concentrated on the static blind spot);
+2. the trained model's AUC ≥ the static-only model's;
+3. even the static-only model is already a usable detector (AUC > 0.8) —
+   static initialization alone carries most of the structure.
+"""
+
+import numpy as np
+from common import BENCH_CONFIG, print_block, shape_line
+
+from repro.attacks import abnormal_s_segments
+from repro.core import CMarkovDetector, auc_score
+from repro.eval import prepare_program, render_table
+from repro.hmm import log_likelihood
+from repro.program import CallKind
+
+
+def test_ablation_dynamic_learning(benchmark):
+    def run():
+        data = prepare_program("nginx", BENCH_CONFIG)
+        segments = data.segment_set(
+            CallKind.LIBCALL, True, BENCH_CONFIG.segment_length
+        )
+        train_part, test_part = segments.split([0.8, 0.2], seed=6)
+        test_segments = test_part.segments()
+        dispatch = [
+            s for s in test_segments if any("handler" in sym for sym in s)
+        ][:400]
+        plain = [
+            s for s in test_segments if not any("handler" in sym for sym in s)
+        ][:400]
+        abnormal = abnormal_s_segments(
+            test_segments,
+            segments.alphabet(),
+            BENCH_CONFIG.n_abnormal,
+            seed=13,
+            exclude=segments,
+        )
+
+        detector = CMarkovDetector(
+            data.program,
+            kind=CallKind.LIBCALL,
+            config=BENCH_CONFIG.detector_config(),
+        )
+        static_model = detector.build_initial_model(train_part)
+
+        def mean_ll(model, batch):
+            return float(
+                np.mean(log_likelihood(model, model.encode(batch)))
+                / BENCH_CONFIG.segment_length
+            )
+
+        static = {
+            "dispatch": mean_ll(static_model, dispatch),
+            "plain": mean_ll(static_model, plain),
+            "auc": auc_score(
+                log_likelihood(static_model, static_model.encode(test_segments)),
+                log_likelihood(static_model, static_model.encode(abnormal)),
+            ),
+        }
+        detector.fit(train_part)
+        trained = {
+            "dispatch": float(np.mean(detector.score(dispatch))),
+            "plain": float(np.mean(detector.score(plain))),
+            "auc": auc_score(
+                detector.score(test_segments), detector.score(abnormal)
+            ),
+        }
+        return static, trained, len(dispatch), len(plain)
+
+    static, trained, n_dispatch, n_plain = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = [
+        ["static-only", f"{static['dispatch']:.3f}", f"{static['plain']:.3f}",
+         f"{static['auc']:.4f}"],
+        ["after training", f"{trained['dispatch']:.3f}", f"{trained['plain']:.3f}",
+         f"{trained['auc']:.4f}"],
+    ]
+    body = render_table(
+        ["Model", f"ll/sym, dispatch paths (n={n_dispatch})",
+         f"ll/sym, plain paths (n={n_plain})", "AUC vs Abnormal-S"],
+        rows,
+        title="nginx libcall model; dispatch table is statically invisible",
+    )
+    dispatch_gain = trained["dispatch"] - static["dispatch"]
+    plain_gain = trained["plain"] - static["plain"]
+    body += "\n" + shape_line(
+        "training's likelihood gain concentrates on the static blind spot "
+        f"(dispatch +{dispatch_gain:.3f}/sym vs plain +{plain_gain:.3f}/sym)",
+        dispatch_gain > plain_gain + 0.05,
+    )
+    body += "\n" + shape_line(
+        f"training never hurts accuracy (AUC {static['auc']:.4f} -> "
+        f"{trained['auc']:.4f})",
+        trained["auc"] >= static["auc"] - 0.01,
+    )
+    body += "\n" + shape_line(
+        "static initialization alone is already a usable detector",
+        static["auc"] > 0.8,
+    )
+    print_block("Ablation — dynamic learning over the static blind spot", body)
+    assert dispatch_gain > plain_gain
+    assert trained["auc"] > 0.9

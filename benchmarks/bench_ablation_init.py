@@ -1,0 +1,88 @@
+"""Ablation — what does static initialization actually buy?
+
+The paper attributes CMarkov's accuracy to "an informed set of initial HMM
+probability values ... and a more optimized number of hidden states"
+(Section I) and uses state reduction to make models "converge in reasonable
+timeframes".  This ablation isolates the initialization variable: identical
+alphabets, identical training data, identical EM budget — only the starting
+parameters differ (static vs random).
+
+Shapes checked:
+
+1. the statically-initialized model starts at a far higher held-out
+   likelihood (it is useful *before any training*);
+2. after the same EM budget it still scores at least as well;
+3. it reaches its best held-out value in no more iterations than random.
+"""
+
+import numpy as np
+from common import BENCH_CONFIG, print_block, shape_line
+
+from repro.analysis import analyze_program
+from repro.eval import prepare_program, render_table
+from repro.hmm import TrainingConfig, log_likelihood, random_model, train
+from repro.program import CallKind
+from repro.reduction import initialize_hmm
+
+
+def test_ablation_static_vs_random_init(benchmark):
+    def run():
+        data = prepare_program("gzip", BENCH_CONFIG)
+        segments = data.segment_set(CallKind.LIBCALL, True, BENCH_CONFIG.segment_length)
+        train_part, holdout = segments.split([0.8, 0.2], seed=BENCH_CONFIG.seed)
+        train_segments = train_part.segments()[: BENCH_CONFIG.max_training_segments]
+        holdout_segments = holdout.segments()
+
+        summary = analyze_program(
+            data.program, CallKind.LIBCALL, context=True
+        ).program_summary
+        static_model = initialize_hmm(summary)
+        random_init = random_model(
+            list(summary.space.labels), seed=BENCH_CONFIG.seed
+        )
+
+        config = TrainingConfig(max_iterations=BENCH_CONFIG.training_iterations,
+                                patience=10_000)
+        results = {}
+        for name, model in (("static", static_model), ("random", random_init)):
+            obs_train = model.encode(train_segments)
+            obs_holdout = model.encode(holdout_segments)
+            initial_ll = float(np.mean(log_likelihood(model, obs_holdout)))
+            trained, report = train(model, obs_train, holdout_obs=obs_holdout,
+                                    config=config)
+            best_iteration = int(
+                np.argmax(report.holdout_log_likelihood)
+            )
+            results[name] = {
+                "initial": initial_ll,
+                "final": max(report.holdout_log_likelihood),
+                "best_iteration": best_iteration,
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, f"{r['initial']:.2f}", f"{r['final']:.2f}", r["best_iteration"]]
+        for name, r in results.items()
+    ]
+    body = render_table(
+        ["init", "holdout ll before EM", "best holdout ll", "best at iteration"],
+        rows,
+        title="gzip libcall model, identical alphabet/data/EM budget",
+    )
+    static, random_ = results["static"], results["random"]
+    body += "\n" + shape_line(
+        "static init is already good before any training "
+        f"({static['initial']:.1f} vs {random_['initial']:.1f})",
+        static["initial"] > random_["initial"] + 5,
+    )
+    body += "\n" + shape_line(
+        "static init ends at least as good after equal EM budget",
+        static["final"] >= random_["final"] - 0.5,
+    )
+    body += "\n" + shape_line(
+        "static init needs no more iterations to peak",
+        static["best_iteration"] <= random_["best_iteration"],
+    )
+    print_block("Ablation — static vs random HMM initialization", body)
+    assert static["initial"] > random_["initial"]

@@ -1,0 +1,63 @@
+"""Figure 3 — FP/FN accuracy, utility programs, **system calls**.
+
+Paper reference: syscall models of the six utilities.  "System calls are
+often included in their corresponding wrapper functions, thus do not have
+great diversity in terms of their caller functions.  In this case, the
+static analysis shows more impact on the accuracy of models, where both
+CMarkov and STILO models demonstrate lower false negative rates than the
+Regular-context and Regular-basic models."  Headline: CMarkov ≈ 2× better
+than STILO and ~10× better than Regular-basic on syscalls.
+
+Shapes to reproduce:
+
+1. statically-initialized models (CMarkov, STILO) ≪ Regular-* in FN;
+2. CMarkov ≈ STILO (context adds little when syscalls are wrapped);
+3. CMarkov never worse than Regular-basic.
+"""
+
+from common import (
+    BENCH_CONFIG,
+    accuracy_figure,
+    mean_fn,
+    print_block,
+    render_comparisons,
+    shape_line,
+)
+
+from repro.program import CallKind, UTILITY_PROGRAMS
+
+
+def test_fig3_utility_syscall(benchmark):
+    comparisons = benchmark.pedantic(
+        lambda: accuracy_figure(UTILITY_PROGRAMS, CallKind.SYSCALL),
+        rounds=1,
+        iterations=1,
+    )
+    body = render_comparisons(comparisons)
+
+    fp = 0.05
+    cmarkov = mean_fn(comparisons, "cmarkov", fp)
+    stilo = mean_fn(comparisons, "stilo", fp)
+    regular_basic = mean_fn(comparisons, "regular-basic", fp)
+    regular_context = mean_fn(comparisons, "regular-context", fp)
+
+    body += "\n" + shape_line(
+        "static init beats random init on syscalls "
+        f"({(cmarkov + stilo) / 2:.4f} vs {(regular_basic + regular_context) / 2:.4f})",
+        (cmarkov + stilo) / 2 < (regular_basic + regular_context) / 2,
+    )
+    body += "\n" + shape_line(
+        f"CMarkov ≈ STILO on syscalls (mean FN@5%: {cmarkov:.4f} vs {stilo:.4f})",
+        abs(cmarkov - stilo) < 0.25,
+    )
+    body += "\n" + shape_line(
+        f"CMarkov beats Regular-basic ({cmarkov:.4f} vs {regular_basic:.4f})",
+        cmarkov < regular_basic,
+    )
+    print_block(
+        "Figure 3 — utility programs, syscall models "
+        f"(Abnormal-S, {BENCH_CONFIG.folds}-fold CV)",
+        body,
+    )
+    assert (cmarkov + stilo) / 2 < (regular_basic + regular_context) / 2
+    assert cmarkov < regular_basic

@@ -1,0 +1,61 @@
+"""Figure 4 — FP/FN accuracy, server programs (proftpd, nginx), **libcalls**.
+
+Paper reference: "Context-sensitive models (including CMarkov and
+Regular-context) outperform STILO and Regular-basic HMM models by a
+significant margin ... partly due to the great diversity of libc calls"
+in server code.
+
+Shapes to reproduce on the synthetic FTP/HTTP server workloads:
+
+1. context-sensitive ≪ context-insensitive in FN at matched FP;
+2. CMarkov is best or tied-best on both servers.
+"""
+
+from common import (
+    BENCH_CONFIG,
+    accuracy_figure,
+    mean_fn,
+    print_block,
+    render_comparisons,
+    shape_line,
+)
+
+from repro.program import CallKind, SERVER_PROGRAMS
+
+
+def test_fig4_server_libcall(benchmark):
+    comparisons = benchmark.pedantic(
+        lambda: accuracy_figure(SERVER_PROGRAMS, CallKind.LIBCALL),
+        rounds=1,
+        iterations=1,
+    )
+    body = render_comparisons(comparisons)
+
+    fp = 0.01
+    context_mean = (
+        mean_fn(comparisons, "cmarkov", fp)
+        + mean_fn(comparisons, "regular-context", fp)
+    ) / 2
+    insensitive_mean = (
+        mean_fn(comparisons, "stilo", fp)
+        + mean_fn(comparisons, "regular-basic", fp)
+    ) / 2
+    cmarkov = mean_fn(comparisons, "cmarkov", fp)
+    stilo = mean_fn(comparisons, "stilo", fp)
+
+    body += "\n" + shape_line(
+        "context-sensitive models beat context-insensitive by a significant "
+        f"margin ({context_mean:.4f} vs {insensitive_mean:.4f})",
+        context_mean < 0.7 * insensitive_mean,
+    )
+    body += "\n" + shape_line(
+        f"CMarkov beats STILO ({cmarkov:.4f} vs {stilo:.4f})",
+        cmarkov < stilo,
+    )
+    print_block(
+        "Figure 4 — server programs, libcall models "
+        f"(Abnormal-S, {BENCH_CONFIG.folds}-fold CV)",
+        body,
+    )
+    assert context_mean < insensitive_mean
+    assert cmarkov < stilo

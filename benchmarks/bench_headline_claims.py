@@ -1,0 +1,103 @@
+"""Headline claims — the paper's cross-program improvement factors.
+
+Paper reference (Section V-C):
+
+* libcall traces: "CMarkov gives 452-fold improvement compared to STILO and
+  31-fold improvement compared to Regular-basic on average";
+* syscall traces: "2-fold improvement compared to STILO ... and 10-fold
+  compared to Regular-basic on average".
+
+Absolute factors depend on test-set size and trace volume (the paper pools
+130M segments; we pool tens of thousands), so this bench checks the
+*ordering and magnitude structure*:
+
+1. on libcalls the CMarkov-vs-STILO factor is much larger than the
+   CMarkov-vs-STILO factor on syscalls (context matters where callers are
+   diverse);
+2. every factor is ≥ 1 (CMarkov never loses on average);
+3. libcall factors over context-insensitive baselines are large (≥ 3×).
+"""
+
+from common import (
+    BENCH_CONFIG,
+    accuracy_figure,
+    print_block,
+    shape_line,
+)
+
+from repro.eval import format_factor, render_table
+from repro.program import CallKind
+
+#: Programs used for the averaged headline factors (a representative subset
+#: keeps the bench fast; REPRO_SCALE raises everything).
+PROGRAMS = ("gzip", "sed", "proftpd")
+FP_TARGET = 0.01
+
+
+def _mean_factor(comparisons, baseline: str) -> float:
+    factors = [
+        comparison.improvement_factor(baseline, FP_TARGET)
+        for comparison in comparisons.values()
+    ]
+    return sum(factors) / len(factors)
+
+
+def test_headline_improvement_factors(benchmark):
+    def run():
+        libcall = accuracy_figure(PROGRAMS, CallKind.LIBCALL)
+        syscall = accuracy_figure(PROGRAMS, CallKind.SYSCALL)
+        return libcall, syscall
+
+    libcall, syscall = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lib_vs_stilo = _mean_factor(libcall, "stilo")
+    lib_vs_regular = _mean_factor(libcall, "regular-basic")
+    sys_vs_stilo = _mean_factor(syscall, "stilo")
+    sys_vs_regular = _mean_factor(syscall, "regular-basic")
+
+    body = render_table(
+        ["Trace type", "CMarkov vs STILO", "CMarkov vs Regular-basic", "paper"],
+        [
+            ["libcall", format_factor(lib_vs_stilo), format_factor(lib_vs_regular),
+             "452x / 31x"],
+            ["syscall", format_factor(sys_vs_stilo), format_factor(sys_vs_regular),
+             "2x / 10x"],
+        ],
+        title=f"Mean FN improvement at FP={FP_TARGET} over {PROGRAMS}",
+    )
+    body += "\n" + shape_line(
+        "context pays off far more on libcalls than syscalls "
+        f"({format_factor(lib_vs_stilo)} vs {format_factor(sys_vs_stilo)} over STILO)",
+        lib_vs_stilo > 2 * sys_vs_stilo,
+    )
+    body += "\n" + shape_line(
+        "CMarkov never loses on average (all factors ≥ 1)",
+        min(lib_vs_stilo, lib_vs_regular, sys_vs_stilo, sys_vs_regular) >= 0.9,
+    )
+    body += "\n" + shape_line(
+        f"libcall improvement over STILO is large ({format_factor(lib_vs_stilo)} ≥ 3x)",
+        lib_vs_stilo >= 3.0,
+    )
+
+    # Statistical support: paired sign test of per-fold FN across programs.
+    from repro.eval import paired_sign_test
+
+    cmarkov_folds = [
+        fold.fn_by_fp[FP_TARGET]
+        for comparison in libcall.values()
+        for fold in comparison.results["cmarkov"].cross_validation.folds
+    ]
+    stilo_folds = [
+        fold.fn_by_fp[FP_TARGET]
+        for comparison in libcall.values()
+        for fold in comparison.results["stilo"].cross_validation.folds
+    ]
+    sign = paired_sign_test(cmarkov_folds, stilo_folds, alternative="less")
+    body += (
+        f"\n  paired sign test (libcall, per fold): CMarkov beats STILO on "
+        f"{sign.wins}/{sign.n_informative + sign.ties} folds "
+        f"(p = {sign.p_value:.4f})"
+    )
+    print_block("Headline claims — improvement factors", body)
+    assert lib_vs_stilo > sys_vs_stilo
+    assert lib_vs_stilo >= 2.0

@@ -1,0 +1,78 @@
+"""Micro-benchmarks — throughput of the hot components.
+
+Not a paper table; these pin the performance envelope of the pieces the
+paper's deployment story depends on (classification of a 15-call segment is
+quoted at 0.038 ms; monitoring must keep up with the call rate).  Useful
+for catching performance regressions in the library itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import aggregate_program
+from repro.core.streaming import StreamingScorer
+from repro.gadgets import scan_gadgets
+from repro.hmm import TrainingConfig, log_likelihood, train
+from repro.program import CallKind, layout_program, load_program
+from repro.reduction import cluster_calls, initialize_hmm
+from repro.tracing import TraceExecutor
+
+
+@pytest.fixture(scope="module")
+def gzip_setup():
+    program = load_program("gzip")
+    summary = aggregate_program(program, CallKind.LIBCALL, True).program_summary
+    model = initialize_hmm(summary)
+    rng = np.random.default_rng(0)
+    obs = rng.integers(0, model.n_symbols - 1, size=(512, 15))
+    return program, summary, model, obs
+
+
+def test_segment_scoring_throughput(benchmark, gzip_setup):
+    """Batch scoring of 512 15-call segments (the paper's hot query)."""
+    _, _, model, obs = gzip_setup
+    result = benchmark(lambda: log_likelihood(model, obs))
+    assert result.shape == (512,)
+
+
+def test_em_iteration_cost(benchmark, gzip_setup):
+    """One Baum-Welch iteration over 512 segments — the O(B·T·N²) step."""
+    _, _, model, obs = gzip_setup
+    config = TrainingConfig(max_iterations=1, patience=10)
+    benchmark(lambda: train(model, obs, config=config))
+
+
+def test_streaming_event_cost(benchmark, gzip_setup):
+    """Per-event cost of the incremental forward filter."""
+    _, summary, model, _ = gzip_setup
+    symbols = list(summary.space.labels[:64])
+
+    def run():
+        scorer = StreamingScorer(model)
+        for symbol in symbols:
+            scorer.observe(symbol)
+        return scorer.events
+
+    assert benchmark(run) == 64
+
+
+def test_executor_throughput(benchmark):
+    """Events per run of the trace executor."""
+    program = load_program("gzip")
+    executor = TraceExecutor(program, max_events=500)
+    result = benchmark(lambda: executor.run("bench", seed=3))
+    assert len(result.trace) > 0
+
+
+def test_gadget_scan_cost(benchmark):
+    """Full-image gadget scan (every byte offset)."""
+    image = layout_program(load_program("bash"))
+    gadgets = benchmark(lambda: scan_gadgets(image))
+    assert gadgets
+
+
+def test_clustering_cost(benchmark, gzip_setup):
+    """PCA + K-means over the aggregated matrix (Algorithm 1)."""
+    _, summary, _, _ = gzip_setup
+    clustering = benchmark(lambda: cluster_calls(summary, ratio=0.5, seed=0))
+    assert clustering.n_clusters == round(len(summary.space) * 0.5)

@@ -1,0 +1,50 @@
+"""Table I — test-case coverage of the workload suites.
+
+Paper reference (SIR test suites):
+
+    Program | # cases | Branch cov | Line cov
+    flex    |   525   |   31.3%    |  76.0%   (paper lists 325 in one cell;
+    grep    |   809   |   98.7%    |  63.3%    SIR catalogs 525/567)
+    gzip    |   214   |   68.5%    |  66.9%
+    sed     |   370   |   72.3%    |  65.0%
+    bash    |  1061   |   66.3%    |  59.4%
+    vim     |   936   |   55.0%    |  41.3%
+    average |   639   |   67.0%    |  63.9%
+
+Shape to reproduce: mid-to-high partial coverage (neither ~0 nor ~100 %),
+varying by program — training data is *incomplete*, which is why purely
+trace-learned models mispredict rare-but-legal behaviour.
+"""
+
+from common import BENCH_CONFIG, print_block, shape_line
+
+from repro.eval import render_table, run_coverage_survey
+from repro.program import UTILITY_PROGRAMS
+
+
+def test_table1_coverage(benchmark):
+    reports = benchmark.pedantic(
+        lambda: run_coverage_survey(BENCH_CONFIG, program_names=UTILITY_PROGRAMS),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [report.row() for report in reports]
+    mean_branch = sum(r.branch_coverage for r in reports) / len(reports)
+    mean_line = sum(r.line_coverage for r in reports) / len(reports)
+    rows.append(
+        (
+            "average",
+            round(sum(r.n_cases for r in reports) / len(reports)),
+            f"{mean_branch * 100:.1f}%",
+            f"{mean_line * 100:.1f}%",
+        )
+    )
+    body = render_table(
+        ["Program", "# of test cases", "Branch coverage", "Line coverage"], rows
+    )
+    body += "\n" + shape_line(
+        "coverage is partial (30-99% branch, like the paper's 31.3-98.7%)",
+        all(0.30 <= r.branch_coverage <= 0.995 for r in reports),
+    )
+    print_block("Table I — workload coverage (paper: SIR suites)", body)
+    assert all(r.branch_coverage > 0.2 for r in reports)

@@ -1,0 +1,78 @@
+"""Table II — clustering-based state reduction and training speedup.
+
+Paper reference (CMarkov-libcall models, K chosen as 1/3 of N):
+
+    Program | # distinct calls | # states after | est. training time cut
+    bash    |      1366        |      455       |        88.91%
+    vim     |       829        |      415       |        74.94%  (K = N/2)
+    proftpd |      1115        |      372       |        88.87%
+
+Plus Section V-B: "the clustered model only needs 10% of the training time
+to achieve the same false positive rates as its unclustered counterpart" and
+"75% to 89% reduction in the training time".
+
+Shape to reproduce: K/N between 1/3 and 1/2 cuts estimated per-iteration
+cost by ~75-89% (1 - K²/N²), and *measured* Baum-Welch wall-clock drops by a
+comparable factor.
+"""
+
+from common import BENCH_CONFIG, print_block, shape_line
+
+from repro.eval import render_table, run_clustering_reduction
+
+#: (program, K ratio) mirroring the paper's choices: bash & proftpd at 1/3,
+#: vim at 1/2.
+PAPER_ROWS = {
+    "bash": (1366, 455, "88.91%"),
+    "vim": (829, 415, "74.94%"),
+    "proftpd": (1115, 372, "88.87%"),
+}
+
+
+def test_table2_clustering(benchmark):
+    def run():
+        rows = []
+        rows += run_clustering_reduction(("bash",), BENCH_CONFIG, ratio=1 / 3)
+        rows += run_clustering_reduction(("vim",), BENCH_CONFIG, ratio=1 / 2)
+        rows += run_clustering_reduction(("proftpd",), BENCH_CONFIG, ratio=1 / 3)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for row in rows:
+        paper_n, paper_k, paper_cut = PAPER_ROWS[row.program]
+        table.append(
+            (
+                row.program,
+                f"{row.n_distinct_calls} (paper {paper_n})",
+                f"{row.n_states_after} (paper {paper_k})",
+                f"{row.estimated_time_reduction * 100:.2f}% (paper {paper_cut})",
+                f"{row.measured_time_reduction * 100:.2f}%"
+                if row.measured_time_reduction is not None
+                else "n/a",
+            )
+        )
+    body = render_table(
+        [
+            "Program",
+            "# distinct calls",
+            "# states after clustering",
+            "Estimated training time reduction",
+            "Measured reduction",
+        ],
+        table,
+    )
+    body += "\n" + shape_line(
+        "estimated reduction lands in the paper's 75-89% band",
+        all(0.70 <= r.estimated_time_reduction <= 0.92 for r in rows),
+    )
+    body += "\n" + shape_line(
+        "measured Baum-Welch speedup is substantial (>50%)",
+        all(
+            r.measured_time_reduction is not None and r.measured_time_reduction > 0.5
+            for r in rows
+        ),
+    )
+    print_block("Table II — clustering for state reduction", body)
+    assert all(r.n_states_after < r.n_distinct_calls for r in rows)

@@ -1,0 +1,61 @@
+"""Table V — runtime of CMarkov's static analysis operations.
+
+Paper reference: "Most CMarkov operations can be finished in seconds for the
+programs evaluated" — CFG construction, probability estimation, and
+aggregation of the call-transition matrix, per program, for libcall and
+syscall models.
+
+Shape to reproduce: every stage completes in (well under) seconds per
+program, with aggregation dominating.
+"""
+
+from common import print_block, shape_line
+
+from repro.eval import render_table, run_runtime_table
+from repro.program import ALL_PROGRAMS
+
+
+def test_table5_runtime(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_runtime_table(program_names=ALL_PROGRAMS),
+        rounds=1,
+        iterations=1,
+    )
+    table = [
+        [
+            row.program,
+            row.kind.value,
+            f"{row.context_identification_s * 1000:.1f} ms",
+            f"{row.probability_estimation_s * 1000:.1f} ms",
+            f"{row.aggregation_s * 1000:.1f} ms",
+            f"{row.total_s:.3f} s",
+        ]
+        for row in rows
+    ]
+    body = render_table(
+        [
+            "Program",
+            "Model",
+            "Context identification",
+            "Probability estimation",
+            "Aggregation",
+            "Total",
+        ],
+        table,
+    )
+    fast = all(row.total_s < 30.0 for row in rows)
+    body += "\n" + shape_line(
+        "every analysis finishes in seconds (paper: 'finished in seconds')",
+        fast,
+    )
+    print_block("Table V — static-analysis runtime", body)
+    assert fast
+
+
+def test_aggregation_microbenchmark(benchmark):
+    """pytest-benchmark timing of the hottest stage on the largest program."""
+    from repro.analysis import aggregate_program
+    from repro.program import CallKind, load_program
+
+    program = load_program("bash")
+    benchmark(lambda: aggregate_program(program, CallKind.LIBCALL, context=True))

@@ -1,0 +1,107 @@
+"""Shared configuration and helpers for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper and prints
+our measured rows next to the paper's reference values.  Absolute numbers
+differ — the substrate is a synthetic corpus, not the authors' testbed — but
+each bench states the *shape* the paper claims and reports whether the run
+reproduced it.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Scale up toward paper size with ``REPRO_SCALE=2 pytest benchmarks/ ...``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core import MODEL_NAMES
+from repro.eval import (
+    AccuracyComparison,
+    ExperimentConfig,
+    format_rate,
+    render_table,
+    run_accuracy_comparison,
+)
+from repro.program import CallKind
+
+__all__ = [
+    "BENCH_CONFIG",
+    "accuracy_figure",
+    "print_block",
+    "render_comparisons",
+    "shape_line",
+]
+
+
+def _bench_config() -> ExperimentConfig:
+    """Laptop-speed defaults; REPRO_SCALE multiplies the workload."""
+    config = ExperimentConfig(
+        n_cases=80,
+        folds=2,
+        n_abnormal=400,
+        max_training_segments=2500,
+        training_iterations=15,
+        seed=7,
+    )
+    scale = os.environ.get("REPRO_SCALE")
+    if scale:
+        config = config.scaled(float(scale))
+    return config
+
+
+BENCH_CONFIG = _bench_config()
+
+
+def shape_line(claim: str, holds: bool) -> str:
+    """One-line verdict for a paper-claimed qualitative shape."""
+    verdict = "REPRODUCED" if holds else "NOT REPRODUCED"
+    return f"  shape [{verdict}]: {claim}"
+
+
+def print_block(title: str, body: str) -> None:
+    """Print a bench's output block with a visible delimiter."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def accuracy_figure(
+    programs: tuple[str, ...], kind: CallKind
+) -> dict[str, AccuracyComparison]:
+    """Run the four-model comparison on each program (a Figures 2-5 panel)."""
+    return {
+        name: run_accuracy_comparison(name, kind, BENCH_CONFIG)
+        for name in programs
+    }
+
+
+def render_comparisons(comparisons: dict[str, AccuracyComparison]) -> str:
+    """Render per-program model accuracy rows (FN at the FP budgets)."""
+    fp_targets = BENCH_CONFIG.fp_targets
+    headers = ["Program", "Model", "# states", "AUC"] + [
+        f"FN@FP={t}" for t in fp_targets
+    ]
+    rows = []
+    for program, comparison in comparisons.items():
+        for model in MODEL_NAMES:
+            result = comparison.results[model]
+            rows.append(
+                [
+                    program,
+                    model,
+                    result.n_states,
+                    format_rate(result.auc),
+                ]
+                + [format_rate(result.fn_by_fp[t]) for t in fp_targets]
+            )
+    return render_table(headers, rows)
+
+
+def mean_fn(
+    comparisons: dict[str, AccuracyComparison], model: str, fp_target: float
+) -> float:
+    """Average FN of one model across programs at one FP budget."""
+    values = [c.results[model].fn_by_fp[fp_target] for c in comparisons.values()]
+    return sum(values) / len(values)

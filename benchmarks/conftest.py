@@ -1,0 +1,6 @@
+"""Make the benchmark suite importable as a package-less directory."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Protecting *your own* program: the full API surface on custom code.
+
+The corpus programs are stand-ins for the paper's binaries, but a downstream
+user wants to protect their own service.  This example builds a small
+log-ingestion daemon from scratch with the builder DSL — including a
+function-pointer dispatch over record handlers, which static analysis
+cannot see — and then walks the complete CMarkov lifecycle:
+
+1. describe the program (``ProgramBuilder``);
+2. inspect it (DOT export, static transition matrix);
+3. collect normal traces and train;
+4. persist the model, arm the online monitor, inject an attack;
+5. explain the alert down to the offending call.
+
+Run: ``python examples/custom_program.py``
+"""
+
+from repro.analysis import analyze_program
+from repro.core import (
+    CMarkovDetector,
+    DetectorConfig,
+    OnlineMonitor,
+    threshold_for_fp_budget,
+)
+from repro.hmm import TrainingConfig, most_suspicious_positions
+from repro.program import CallKind, ProgramBuilder, call_graph_to_dot
+from repro.tracing import CallEvent, build_segment_set, run_workload
+
+
+def build_logd():
+    """A little syslog-ish daemon: accept loop, parse, dispatch, persist."""
+    pb = ProgramBuilder("logd")
+    # Record handlers, reached only through a dispatch table.
+    pb.function("handle_text").seq("strlen", "strcpy", "write")
+    pb.function("handle_json").seq("strchr", "memcpy", "write")
+    pb.function("handle_binary").seq("memcmp", "write", "write")
+    # Parsing and persistence helpers.
+    pb.function("parse_record").seq("read", "strlen").branch(
+        ["isspace", "tolower"], empty_arm=True
+    )
+    pb.function("rotate_logs").seq("rename", "open", "close")
+    # The dispatch table lives behind one indirection the analysis can't see.
+    pb.function("dispatch_record").indirect(
+        "handle_text", "handle_json", "handle_binary"
+    )
+    # The daemon main loop: accept -> parse -> dispatch -> rotate, forever.
+    pb.function("main").seq("socket", "bind", "listen").loop(
+        ["accept", "parse_record", "dispatch_record", "rotate_logs"],
+        may_skip=False,
+    ).seq("exit_group")
+    return pb.build()
+
+
+def main() -> None:
+    program = build_logd()
+    print(f"built {program.name!r}: functions = {sorted(program.functions)}\n")
+
+    # -- 2. Inspection ----------------------------------------------------
+    print("call graph (DOT, for graphviz):")
+    print("\n".join(call_graph_to_dot(program).splitlines()[:8]) + "\n  ...\n")
+    analysis = analyze_program(program, CallKind.SYSCALL, context=True)
+    print(f"static analysis: {len(analysis.space)} context-sensitive syscall "
+          f"labels in {sum(analysis.timings_s.values()) * 1000:.1f} ms")
+
+    # -- 3. Train ----------------------------------------------------------
+    workload = run_workload(program, n_cases=120, seed=7)
+    segments = build_segment_set(workload.traces, CallKind.SYSCALL, context=True,
+                                 length=8)  # short daemon: shorter windows
+    train_part, holdout = segments.split([0.8, 0.2], seed=0)
+    detector = CMarkovDetector(
+        program,
+        kind=CallKind.SYSCALL,
+        config=DetectorConfig(
+            training=TrainingConfig(max_iterations=12), seed=1
+        ),
+    )
+    fit = detector.fit(train_part)
+    print(f"trained: {fit.n_states} states, {fit.report.iterations} iterations\n")
+
+    # -- 4. Monitor + attack -----------------------------------------------
+    threshold = threshold_for_fp_budget(detector.score(holdout.segments()), 0.005)
+    monitor = OnlineMonitor(detector, threshold=threshold, segment_length=8,
+                            cooldown=2)
+    for trace in workload.traces[:3]:
+        monitor.observe_many(trace.events)
+        monitor.reset()  # one monitored process per trace: no cross-process seams
+    # The victim process: monitored live when the exploit fires mid-run.
+    monitor.observe_many(workload.traces[3].events)
+    quiet_alerts = monitor.stats.alerts
+
+    # Exploit: attacker pops a shell from inside the JSON handler.
+    attack = [
+        CallEvent("read", "parse_record", CallKind.SYSCALL),
+        CallEvent("socket", "handle_json", CallKind.SYSCALL),
+        CallEvent("connect", "handle_json", CallKind.SYSCALL),
+        CallEvent("dup2", "handle_json", CallKind.SYSCALL),
+        CallEvent("dup2", "handle_json", CallKind.SYSCALL),
+        CallEvent("execve", "handle_json", CallKind.SYSCALL),
+    ]
+    quiet_windows = monitor.stats.windows_scored
+    alerts = monitor.observe_many(attack)
+    print(
+        f"normal traffic: {quiet_alerts} alert(s) over {quiet_windows} windows; "
+        f"reverse shell: {len(alerts)} alert(s) within 6 payload calls"
+    )
+
+    # -- 5. Explain ----------------------------------------------------------
+    if alerts:
+        alert = alerts[-1]  # the window holding the most payload calls
+        print(f"\nflagged window (score {alert.score:.2f} < {alert.threshold:.2f}):")
+        for suspicion in most_suspicious_positions(detector.model, alert.window,
+                                                   top=3):
+            print(f"  {suspicion.symbol:24s} local log-prob "
+                  f"{suspicion.local_log_prob:7.2f}")
+        print("\nThe daemon never makes socket/connect/execve from "
+              "handle_json — the contexts expose the injected payload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Model lifecycle: surviving a software upgrade.
+
+A behaviour model encodes one program version.  Ship v2 and the v1 model
+starts false-alarming on legitimate new behaviour — or worse, silently
+stops covering it.  This example walks the operations loop:
+
+1. train a CMarkov model for app v1;
+2. "release" v2 (a new feature adds calls and re-weights a branch);
+3. compare the v1 model against a v2-initialized model — the drift report
+   names exactly which calls changed;
+4. apply the retraining policy, retrain on v2 traces, and show the v1
+   model's false alarms on v2 traffic disappear.
+
+Run: ``python examples/drift_and_retraining.py``
+"""
+
+import numpy as np
+
+from repro.core import (
+    CMarkovDetector,
+    DetectorConfig,
+    compare_models,
+    needs_retraining,
+    threshold_for_fp_budget,
+)
+from repro.hmm import TrainingConfig
+from repro.program import CallKind, ProgramBuilder
+from repro.tracing import build_segment_set, run_workload
+
+SEGMENT_LENGTH = 8
+FP_BUDGET = 0.01
+
+
+def build_app(version: int):
+    """A small upload service; v2 adds checksumming and a retry path."""
+    pb = ProgramBuilder(f"uploader-v{version}")
+    pb.function("recv_chunk").seq("read", "memcpy")
+    pb.function("store_chunk").seq("write")
+    if version >= 2:
+        # New feature: checksum every chunk, fsync-ish double write path.
+        pb.function("checksum").seq("memcmp", "write")
+        pb.function("store_chunk").call("checksum")
+    worker = pb.function("session")
+    worker.loop(["recv_chunk", "store_chunk"], may_skip=False)
+    if version >= 2:
+        worker.branch(["rename"], empty_arm=True)  # retry/rotate path
+    pb.function("main").seq("socket", "bind", "listen").loop(
+        ["accept", "session"], may_skip=False
+    ).seq("exit_group")
+    return pb.build()
+
+
+def train(program, workload):
+    segments = build_segment_set(
+        workload.traces, CallKind.SYSCALL, context=True, length=SEGMENT_LENGTH
+    )
+    detector = CMarkovDetector(
+        program,
+        kind=CallKind.SYSCALL,
+        config=DetectorConfig(training=TrainingConfig(max_iterations=10), seed=1),
+    )
+    train_part, holdout = segments.split([0.8, 0.2], seed=0)
+    detector.fit(train_part)
+    threshold = threshold_for_fp_budget(detector.score(holdout.segments()), FP_BUDGET)
+    return detector, threshold, segments
+
+
+def false_alarm_rate(detector, threshold, segments) -> float:
+    scores = detector.score(segments.segments())
+    return float(np.mean(scores < threshold))
+
+
+def main() -> None:
+    # -- 1. v1 in production ----------------------------------------------
+    v1 = build_app(1)
+    v1_workload = run_workload(v1, n_cases=100, seed=3)
+    v1_detector, v1_threshold, _ = train(v1, v1_workload)
+    print(f"v1 model trained ({v1_detector.model.n_states} states)")
+
+    # -- 2. v2 ships ---------------------------------------------------------
+    v2 = build_app(2)
+    v2_workload = run_workload(v2, n_cases=100, seed=4)
+    v2_segments = build_segment_set(
+        v2_workload.traces, CallKind.SYSCALL, context=True, length=SEGMENT_LENGTH
+    )
+    stale_far = false_alarm_rate(v1_detector, v1_threshold, v2_segments)
+    print(f"\nv2 traffic under the stale v1 model: {stale_far:.1%} of segments "
+          f"flagged (budget was {FP_BUDGET:.0%})")
+
+    # -- 3. Drift report -------------------------------------------------------
+    v2_detector = CMarkovDetector(
+        v2, kind=CallKind.SYSCALL,
+        config=DetectorConfig(training=TrainingConfig(max_iterations=10), seed=1),
+    )
+    v2_initial = v2_detector.build_initial_model(v2_segments)
+    report = compare_models(v1_detector.model, v2_initial)
+    print(f"\ndrift report: score {report.drift_score:.3f}, "
+          f"+{len(report.added_states)} new calls, "
+          f"-{len(report.removed_states)} removed")
+    for label in report.added_states:
+        print(f"  new behaviour: {label}")
+    for label, divergence in report.most_drifted(top=2):
+        print(f"  drifted:       {label} (divergence {divergence:.3f})")
+
+    # -- 4. Retrain -------------------------------------------------------------
+    if needs_retraining(report):
+        print("\nretraining policy: RETRAIN")
+        fresh_detector, fresh_threshold, _ = train(v2, v2_workload)
+        fresh_far = false_alarm_rate(fresh_detector, fresh_threshold, v2_segments)
+        print(f"retrained v2 model: {fresh_far:.1%} of v2 segments flagged "
+              "(back inside budget)")
+        assert fresh_far < stale_far
+    else:
+        print("\nretraining policy: model still valid")
+
+
+if __name__ == "__main__":
+    main()

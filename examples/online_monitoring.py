@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Online monitoring with alert explanation.
+
+The deployment loop a defender actually runs:
+
+1. train a CMarkov model for the protected program and persist it;
+2. attach an :class:`~repro.core.OnlineMonitor` to the live call feed;
+3. stream normal traffic (quiet), then an injected ROP chain (alerts);
+4. for each alert, use Viterbi-based explanation to point at the exact
+   calls whose caller context gave the attack away.
+
+Run: ``python examples/online_monitoring.py``
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.attacks import rop_chain_events
+from repro.core import (
+    CMarkovDetector,
+    DetectorConfig,
+    OnlineMonitor,
+    threshold_for_fp_budget,
+)
+from repro.hmm import TrainingConfig, load_model, most_suspicious_positions, save_model
+from repro.program import CallKind, layout_program, load_program
+from repro.tracing import build_segment_set, run_workload
+
+
+def main() -> None:
+    # -- 1. Train once, persist the model --------------------------------
+    program = load_program("gzip")
+    workload = run_workload(program, n_cases=60, seed=5)
+    segments = build_segment_set(workload.traces, CallKind.SYSCALL, context=True)
+    detector = CMarkovDetector(
+        program,
+        kind=CallKind.SYSCALL,
+        config=DetectorConfig(
+            training=TrainingConfig(max_iterations=12),
+            max_training_segments=2000,
+            seed=1,
+        ),
+    )
+    train_part, holdout = segments.split([0.8, 0.2], seed=0)
+    detector.fit(train_part)
+
+    model_path = Path(tempfile.mkdtemp()) / "gzip-cmarkov.npz"
+    save_model(detector.model, model_path)
+    print(f"model persisted to {model_path} "
+          f"({detector.model.n_states} states); reloading for monitoring")
+    detector.load_pretrained(load_model(model_path))  # the monitoring host's copy
+
+    threshold = threshold_for_fp_budget(detector.score(holdout.segments()), 0.02)
+    monitor = OnlineMonitor(detector, threshold=threshold)
+    print(f"monitor armed at threshold {threshold:.3f} (2% FP budget)\n")
+
+    # -- 2. Normal traffic ------------------------------------------------
+    for trace in workload.traces[:3]:
+        monitor.observe_many(trace.events)
+    print(
+        f"normal traffic: {monitor.stats.events} events, "
+        f"{monitor.stats.windows_scored} windows, {monitor.stats.alerts} alerts"
+    )
+
+    # -- 3. The exploit fires ---------------------------------------------
+    image = layout_program(program)
+    chain = rop_chain_events(image, n_calls=25, seed=9, context_fidelity=0.2)
+    alerts = monitor.observe_many(chain)
+    print(f"after ROP chain: {len(alerts)} alert(s) raised\n")
+
+    # -- 4. Explain the first alert ----------------------------------------
+    if alerts:
+        alert = alerts[0]
+        print(f"alert at event #{alert.event_index}: "
+              f"window score {alert.score:.2f} < {alert.threshold:.2f}")
+        print("most suspicious calls in the flagged window:")
+        for suspicion in most_suspicious_positions(
+            detector.model, alert.window, top=3
+        ):
+            print(
+                f"  position {suspicion.position:2d}: {suspicion.symbol:30s} "
+                f"local log-prob {suspicion.local_log_prob:8.2f}"
+            )
+        print(
+            "\nThe flagged symbols carry caller contexts that no legitimate "
+            "call site of this binary can produce — the ROP chain's gadget "
+            "hosts.  This is the per-call enforcement of Section V-C."
+        )
+
+
+if __name__ == "__main__":
+    main()

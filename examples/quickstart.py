@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a code-reuse attack with a context-sensitive model.
+
+This walks the paper's Section II-C example end to end:
+
+1. build a program (here: the paper's Figure 1 functions ``f`` and ``g``);
+2. statically analyze it into a context-sensitive call-transition matrix;
+3. initialize an HMM from the matrix (the CMarkov recipe);
+4. score the normal sequence S1 and the code-reuse sequence S2 — identical
+   call *names*, different *contexts* — and watch context sensitivity
+   separate them with no training at all.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.analysis import aggregate_program
+from repro.hmm import log_likelihood
+from repro.program import CallKind, make_paper_example
+from repro.reduction import initialize_hmm
+
+
+def main() -> None:
+    # -- 1. The program under protection --------------------------------
+    # f() { read(); write(); }
+    # g() { read(); f(); if (...) execve(); }
+    program = make_paper_example()
+    print(f"program: {program.name!r} with functions "
+          f"{sorted(program.functions)}")
+
+    # -- 2. Static analysis ---------------------------------------------
+    # CONTEXT IDENTIFICATION + PROBABILITY FORECAST + aggregation give one
+    # whole-program matrix over context-labeled calls.
+    result = aggregate_program(program, CallKind.SYSCALL, context=True)
+    summary = result.program_summary
+    print(f"\ncontext-sensitive call labels: {summary.space.labels}")
+    print("statically estimated call transitions:")
+    for i, src in enumerate(summary.space.labels):
+        for j, dst in enumerate(summary.space.labels):
+            if summary.trans[i, j] > 0:
+                print(f"  {src:10s} -> {dst:10s}  p = {summary.trans[i, j]:.2f}")
+
+    # -- 3. HMM initialization (the CMarkov recipe) ----------------------
+    model = initialize_hmm(summary)
+    print(f"\nHMM: {model.n_states} hidden states, "
+          f"{model.n_symbols} observation symbols")
+
+    # -- 4. Score normal vs attack --------------------------------------
+    s1_normal = ["read@g", "read@f", "write@f", "execve@g"]
+    s2_attack = ["read@g", "read@f", "write@foo", "execve@bar"]
+
+    ll_normal = log_likelihood(model, model.encode([s1_normal]))[0]
+    ll_attack = log_likelihood(model, model.encode([s2_attack]))[0]
+    print(f"\nS1 (normal) log-likelihood: {ll_normal:8.2f}")
+    print(f"S2 (attack) log-likelihood: {ll_attack:8.2f}")
+    print(f"likelihood ratio: e^{ll_normal - ll_attack:.1f}")
+
+    # A flow-sensitive-only model sees both sequences as
+    # read -> read -> write -> execve and cannot tell them apart; the
+    # context labels give the attack away immediately.
+    assert ll_normal > ll_attack
+    print("\nverdict: S2 flagged as anomalous (wrong calling contexts). ✓")
+
+
+if __name__ == "__main__":
+    main()

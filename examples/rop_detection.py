@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""ROP gadget analysis and code-reuse detection (Sections V-D / V-E).
+
+Reproduces the gzip case study:
+
+1. lay the program out into a binary image and scan it for
+   ``[SYSCALL ... RET]`` gadgets at lengths 2/6/10 (Table III);
+2. show how the 1-level-context check shrinks the *usable* gadget set;
+3. assemble the paper's q1/q2 ROP syscall segments from the image's actual
+   gadgets and run them — plus a maximally stealthy code-reuse chain —
+   against a trained CMarkov detector and a context-insensitive STILO
+   detector side by side.
+
+Run: ``python examples/rop_detection.py``
+"""
+
+from repro.attacks import code_reuse_from_normal, gzip_q1_q2
+from repro.core import (
+    CMarkovDetector,
+    DetectorConfig,
+    StiloDetector,
+    threshold_for_fp_budget,
+)
+from repro.gadgets import TABLE_III_LENGTHS, gadget_surface, scan_gadgets
+from repro.hmm import TrainingConfig
+from repro.program import CallKind, layout_program, load_program
+from repro.tracing import build_segment_set, run_workload, segment_symbols
+
+SEGMENT_LENGTH = 15
+FP_BUDGET = 0.02
+
+
+def main() -> None:
+    program = load_program("gzip")
+    image = layout_program(program)
+
+    # -- 1. Gadget survey (Table III) ------------------------------------
+    gadgets = scan_gadgets(image)
+    surface = gadget_surface(program, gadgets)
+    print(f"gadget surface of {program.name} ({len(image)} image bytes):")
+    for length in TABLE_III_LENGTHS:
+        print(
+            f"  length ≤ {length:2d}: {surface.total_by_length[length]:3d} total, "
+            f"{surface.compatible_by_length[length]:3d} context-compatible"
+        )
+    unintended = [g for g in gadgets if not g.intended]
+    print(f"  unintended decodings: {len(unintended)} "
+          "(all rejected by the per-call context check)")
+
+    # -- 2. Train both detectors ----------------------------------------
+    workload = run_workload(program, n_cases=80, seed=3)
+    config = DetectorConfig(
+        training=TrainingConfig(max_iterations=12),
+        max_training_segments=2500,
+        seed=5,
+    )
+
+    ctx_segments = build_segment_set(workload.traces, CallKind.SYSCALL, True)
+    cmarkov = CMarkovDetector(program, kind=CallKind.SYSCALL, config=config)
+    ctx_train, ctx_test = ctx_segments.split([0.8, 0.2], seed=1)
+    cmarkov.fit(ctx_train)
+    cmarkov_threshold = threshold_for_fp_budget(
+        cmarkov.score(ctx_test.segments()), FP_BUDGET
+    )
+
+    bare_segments = build_segment_set(workload.traces, CallKind.SYSCALL, False)
+    stilo = StiloDetector(program, kind=CallKind.SYSCALL, config=config)
+    bare_train, bare_test = bare_segments.split([0.8, 0.2], seed=1)
+    stilo.fit(bare_train)
+    stilo_threshold = threshold_for_fp_budget(
+        stilo.score(bare_test.segments()), FP_BUDGET
+    )
+
+    # -- 3. Attack streams ------------------------------------------------
+    q1, q2 = gzip_q1_q2(image, seed=11)
+    host = max(bare_segments.counts.items(), key=lambda kv: kv[1])[0]
+    stealth = code_reuse_from_normal(host, image, seed=13)
+
+    print(f"\nverdicts at a {FP_BUDGET:.0%} FP budget "
+          "(a stream is flagged when any 15-call window scores below T):")
+    print(f"{'attack':24s} {'CMarkov':>12s} {'STILO (no ctx)':>16s}")
+    for name, events in (("q1 (gzip ROP)", q1), ("q2 (gzip ROP)", q2),
+                         ("stealth code reuse", stealth)):
+        def verdict(detector, threshold, context):
+            symbols = [e.symbol(context) for e in events]
+            windows = segment_symbols(symbols, length=SEGMENT_LENGTH)
+            scores = detector.score(windows)
+            return "DETECTED" if (scores < threshold).any() else "missed"
+
+        print(
+            f"{name:24s} {verdict(cmarkov, cmarkov_threshold, True):>12s} "
+            f"{verdict(stilo, stilo_threshold, False):>16s}"
+        )
+    print(
+        "\nThe stealth chain replays a frequent *normal* syscall sequence, so "
+        "the context-insensitive model accepts it; only the caller contexts "
+        "betray it — the paper's core argument for context sensitivity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""State-reduction study: how much can clustering shrink a CMarkov model?
+
+Reproduces the trade-off behind Table II on the ``bash`` libcall model:
+
+1. build the context-sensitive libcall matrix (hundreds of states);
+2. sweep the cluster ratio K/N from 1 (no reduction) down to 1/8;
+3. for each K: measure Baum-Welch wall-clock per iteration and the
+   detection AUC on Abnormal-S segments;
+4. print the sweep — showing the paper's finding that a 1/3-1/2 reduction
+   cuts training time by ~75-89 % "without compromising detection accuracy".
+
+Run: ``python examples/state_reduction_study.py``
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import analyze_program
+from repro.attacks import abnormal_s_segments
+from repro.core import auc_score
+from repro.hmm import TrainingConfig, log_likelihood, train
+from repro.program import CallKind, load_program
+from repro.reduction import cluster_calls, initialize_hmm
+from repro.tracing import build_segment_set, run_workload
+
+RATIOS = (1.0, 1 / 2, 1 / 3, 1 / 8)
+ITERATIONS = 6
+
+
+def main() -> None:
+    program = load_program("bash")
+    print("static analysis of bash (libcall, context-sensitive)...")
+    summary = analyze_program(program, CallKind.LIBCALL, context=True).program_summary
+    n = len(summary.space)
+    print(f"  {n} context-sensitive libcall labels\n")
+
+    workload = run_workload(program, n_cases=50, seed=21)
+    segments = build_segment_set(workload.traces, CallKind.LIBCALL, context=True)
+    train_part, test_part = segments.split([0.8, 0.2], seed=3)
+    train_segments = train_part.segments()[:1500]
+    test_segments = test_part.segments()[:1500]
+    abnormal = abnormal_s_segments(
+        test_segments, segments.alphabet(), 300, seed=5, exclude=segments
+    )
+    print(f"training on {len(train_segments)} unique segments, "
+          f"testing on {len(test_segments)} normal + {len(abnormal)} Abnormal-S\n")
+
+    print(f"{'K/N':>6s} {'states':>7s} {'est. cut':>9s} {'train s':>8s} "
+          f"{'speedup':>8s} {'AUC':>7s}")
+    baseline_time = None
+    for ratio in RATIOS:
+        if ratio >= 1.0:
+            clustering = None
+            k = n
+        else:
+            clustering = cluster_calls(summary, ratio=ratio, seed=9)
+            k = clustering.n_clusters
+        model = initialize_hmm(summary, clustering=clustering)
+        obs_train = model.encode(train_segments)
+
+        started = time.perf_counter()
+        trained, _ = train(
+            model,
+            obs_train,
+            config=TrainingConfig(max_iterations=ITERATIONS, patience=10_000),
+        )
+        elapsed = time.perf_counter() - started
+        if baseline_time is None:
+            baseline_time = elapsed
+
+        normal_scores = log_likelihood(trained, trained.encode(test_segments)) / 15
+        abnormal_scores = log_likelihood(trained, trained.encode(abnormal)) / 15
+        auc = auc_score(normal_scores, abnormal_scores)
+        estimated_cut = 1 - (k * k) / (n * n)
+        print(
+            f"{ratio:6.2f} {k:7d} {estimated_cut:8.1%} {elapsed:8.1f} "
+            f"{baseline_time / elapsed:7.1f}x {auc:7.4f}"
+        )
+
+    print(
+        "\nReading: K/N in the paper's 1/3-1/2 band buys a large training "
+        "speedup at (near-)unchanged AUC; very aggressive reduction (1/8) "
+        "starts to erode the model's resolution."
+    )
+
+
+if __name__ == "__main__":
+    main()

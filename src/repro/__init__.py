@@ -1,0 +1,61 @@
+"""CMarkov reproduction: context-sensitive probabilistic program anomaly
+detection (Xu, Tian, Yao, Ryder — DSN 2016).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.program` — program substrate (toy IR, corpus, binary layout);
+* :mod:`repro.analysis` — static probability forecast and aggregation;
+* :mod:`repro.hmm` — hidden Markov model machinery;
+* :mod:`repro.reduction` — PCA + K-means state reduction, static HMM init;
+* :mod:`repro.tracing` — trace executor, workloads, segmentation;
+* :mod:`repro.core` — the four detectors, metrics, cross-validation;
+* :mod:`repro.attacks` — Abnormal-S, ROP chains, exploit payloads, mimicry;
+* :mod:`repro.gadgets` — ROP gadget scanning and context filtering;
+* :mod:`repro.eval` — per-table/figure experiment runners.
+"""
+
+from .core import (
+    CMarkovDetector,
+    ClusterPolicy,
+    Detector,
+    DetectorConfig,
+    RegularDetector,
+    StiloDetector,
+    make_detector,
+)
+from .errors import (
+    AnalysisError,
+    EvaluationError,
+    ModelError,
+    NotFittedError,
+    ProgramStructureError,
+    ReproError,
+    TraceError,
+)
+from .eval import ExperimentConfig
+from .program import CallKind, Program, load_corpus, load_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "CallKind",
+    "CMarkovDetector",
+    "ClusterPolicy",
+    "Detector",
+    "DetectorConfig",
+    "EvaluationError",
+    "ExperimentConfig",
+    "ModelError",
+    "NotFittedError",
+    "Program",
+    "ProgramStructureError",
+    "RegularDetector",
+    "ReproError",
+    "StiloDetector",
+    "TraceError",
+    "load_corpus",
+    "load_program",
+    "make_detector",
+    "__version__",
+]

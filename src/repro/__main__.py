@@ -1,0 +1,12 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exiting quietly is the Unix way.
+        sys.exit(0)

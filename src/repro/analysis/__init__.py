@@ -1,0 +1,32 @@
+"""Static analysis: probability forecast, context labels, aggregation.
+
+Implements Definitions 2-6 and Equations 1-2 of the paper plus the
+call-graph aggregation pass, producing the call-transition summaries that
+initialize CMarkov/STILO hidden Markov models.
+"""
+
+from .aggregate import AggregationResult, aggregate_program, function_matrix
+from .branching import UNIFORM, BranchPolicy, edge_probabilities, loop_biased
+from .labels import LabelSpace, build_label_space
+from .matrix import CallSummary
+from .pipeline import StaticAnalysis, analyze_program
+from .reachability import conditional_probabilities, reachability
+from .summary import summarize_function
+
+__all__ = [
+    "UNIFORM",
+    "AggregationResult",
+    "BranchPolicy",
+    "edge_probabilities",
+    "loop_biased",
+    "CallSummary",
+    "LabelSpace",
+    "StaticAnalysis",
+    "aggregate_program",
+    "analyze_program",
+    "build_label_space",
+    "conditional_probabilities",
+    "function_matrix",
+    "reachability",
+    "summarize_function",
+]

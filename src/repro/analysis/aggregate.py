@@ -1,0 +1,114 @@
+"""Aggregation of call transitions across the call graph (Section IV).
+
+Callee summaries are inlined into callers bottom-up, so the final summary of
+the program's entry function "captures the execution pattern of the entire
+program rather than single functions" and "consists of only system calls or
+library calls" — internal calls are dissolved.  Context labels are assigned
+where a call site lexically lives (``write@f`` stays ``write@f`` after being
+inlined into ``g``), exactly as the paper prescribes.
+
+Recursive call edges (call-graph SCCs and self-calls) are treated as
+call-free pass-throughs; the behaviour they contribute is learned from
+traces during HMM training, mirroring the paper's treatment of recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from ..program.callgraph import CallGraph, build_call_graph
+from ..program.calls import CallKind
+from ..program.program import Program
+from .branching import UNIFORM, BranchPolicy
+from .labels import LabelSpace, build_label_space
+from .matrix import CallSummary
+from .summary import summarize_function
+
+
+@dataclass
+class AggregationResult:
+    """Output of whole-program aggregation.
+
+    Attributes:
+        program: the analyzed program.
+        space: the label space shared by all summaries.
+        call_graph: derived call graph (with recursive edges marked).
+        function_summaries: fully-inlined summary per function.
+        program_summary: the entry function's summary — the aggregated
+            call-transition matrix of the program.
+    """
+
+    program: Program
+    space: LabelSpace
+    call_graph: CallGraph
+    function_summaries: dict[str, CallSummary]
+    program_summary: CallSummary
+
+
+def aggregate_program(
+    program: Program,
+    kind: CallKind,
+    context: bool,
+    space: LabelSpace | None = None,
+    policy: BranchPolicy = UNIFORM,
+) -> AggregationResult:
+    """Run CONTEXT IDENTIFICATION + PROBABILITY FORECAST + aggregation.
+
+    Args:
+        program: validated program to analyze.
+        kind: model syscalls or libcalls.
+        context: attach 1-level calling context to labels.
+        space: optional pre-built label space (must match ``kind``/``context``).
+
+    Returns:
+        An :class:`AggregationResult`; ``program_summary`` is what
+        initializes the CMarkov / STILO hidden Markov models.
+    """
+    if space is None:
+        space = build_label_space(program, kind, context)
+    elif space.kind is not kind or space.context is not context:
+        raise AnalysisError("label space does not match requested analysis mode")
+
+    call_graph = build_call_graph(program)
+    summaries: dict[str, CallSummary] = {}
+    for function_name in call_graph.bottom_up_order():
+        cfg = program.function(function_name)
+        callees = {
+            callee: summaries[callee]
+            for callee in call_graph.callees(function_name)
+            if callee in summaries
+            and not call_graph.is_recursive_edge(function_name, callee)
+        }
+        summaries[function_name] = summarize_function(
+            cfg, space, callees, policy=policy
+        )
+
+    entry_name = program.entry_function
+    if entry_name not in summaries:
+        raise AnalysisError(f"{program.name}: entry function was not summarized")
+    return AggregationResult(
+        program=program,
+        space=space,
+        call_graph=call_graph,
+        function_summaries=summaries,
+        program_summary=summaries[entry_name],
+    )
+
+
+def function_matrix(
+    program: Program,
+    function_name: str,
+    kind: CallKind,
+    context: bool,
+    space: LabelSpace | None = None,
+) -> CallSummary:
+    """The *local* call-transition matrix of one function (Definition 5).
+
+    Internal calls are treated as call-free: only the function's own
+    syscall/libcall sites appear, each labeled with this function as its
+    context.  This is the per-function object that aggregation later inlines.
+    """
+    if space is None:
+        space = build_label_space(program, kind, context)
+    return summarize_function(program.function(function_name), space, None)

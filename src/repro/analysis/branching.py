@@ -1,0 +1,128 @@
+"""Branch-probability policies for the probability forecast.
+
+The paper's prototype assigns branch probabilities uniformly and notes that
+"advanced branch prediction and path frequency approximation techniques can
+be utilized" (Section IV).  This module makes the choice pluggable:
+
+* :data:`UNIFORM` — the paper's default: each successor equally likely;
+* :func:`loop_biased` — a Ball-Larus-style static heuristic: loop back
+  edges are taken with a fixed (high) probability, modelling that loops
+  usually iterate more than once.
+
+Policies feed :func:`edge_probabilities`, which the reachability and
+summarization passes consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from ..program.cfg import FunctionCFG
+
+
+@dataclass(frozen=True)
+class BranchPolicy:
+    """How to distribute probability over a branch's successors.
+
+    Attributes:
+        name: policy identifier (shows up in ablation reports).
+        loop_weight: probability assigned (collectively) to back-edge
+            successors at nodes that have both back and forward successors;
+            ``None`` means uniform over all successors.
+    """
+
+    name: str
+    loop_weight: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.loop_weight is not None and not 0 < self.loop_weight < 1:
+            raise AnalysisError("loop_weight must be in (0, 1)")
+
+
+#: The paper's prototype policy: uniform over successors.
+UNIFORM = BranchPolicy(name="uniform")
+
+
+def loop_biased(loop_weight: float = 0.8) -> BranchPolicy:
+    """A policy that expects loops to iterate (back edges likely taken)."""
+    return BranchPolicy(name=f"loop-biased-{loop_weight}", loop_weight=loop_weight)
+
+
+def edge_probabilities(
+    cfg: FunctionCFG, policy: BranchPolicy = UNIFORM
+) -> dict[tuple[int, int], float]:
+    """Edge -> conditional probability under ``policy`` (Definition 2).
+
+    For the uniform policy this matches
+    :func:`repro.analysis.reachability.conditional_probabilities` exactly.
+
+    Under a loop-biased policy, two kinds of edges count as "continue the
+    loop" and collectively receive ``loop_weight`` at their branch node:
+
+    * back edges themselves (a do-while tail choosing to iterate again);
+    * at a *loop head* (target of a back edge), the successors that lead
+      into the loop body, i.e. from which the back-edge source is reachable
+      without re-entering the head (a while-loop head choosing to iterate).
+    """
+    if policy.loop_weight is None:
+        back: set[tuple[int, int]] = set()
+    else:
+        back = cfg.back_edges()
+    loop_sources: dict[int, set[int]] = {}
+    for source, head in back:
+        loop_sources.setdefault(head, set()).add(source)
+
+    probabilities: dict[tuple[int, int], float] = {}
+    for block_id in cfg.blocks:
+        successors = cfg.successors(block_id)
+        if not successors:
+            continue
+        if policy.loop_weight is None:
+            loop_successors: list[int] = []
+        else:
+            loop_successors = [
+                dst
+                for dst in successors
+                if (block_id, dst) in back
+                or _enters_loop_body(cfg, block_id, dst, loop_sources)
+            ]
+        other_successors = [d for d in successors if d not in loop_successors]
+        if not loop_successors or not other_successors:
+            share = 1.0 / len(successors)
+            for dst in successors:
+                probabilities[(block_id, dst)] = share
+            continue
+        assert policy.loop_weight is not None
+        loop_share = policy.loop_weight / len(loop_successors)
+        other_share = (1.0 - policy.loop_weight) / len(other_successors)
+        for dst in loop_successors:
+            probabilities[(block_id, dst)] = loop_share
+        for dst in other_successors:
+            probabilities[(block_id, dst)] = other_share
+    return probabilities
+
+
+def _enters_loop_body(
+    cfg: FunctionCFG,
+    head: int,
+    successor: int,
+    loop_sources: dict[int, set[int]],
+) -> bool:
+    """True when ``successor`` of loop head ``head`` leads into its body."""
+    sources = loop_sources.get(head)
+    if not sources:
+        return False
+    # DFS from the successor, never re-entering the head: can we reach a
+    # back-edge source of this head?
+    seen = {head}
+    stack = [successor]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        if node in sources:
+            return True
+        seen.add(node)
+        stack.extend(cfg.successors(node))
+    return False

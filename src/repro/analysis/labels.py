@@ -1,0 +1,82 @@
+"""Observation-label spaces for the static analysis and the detectors.
+
+A *label* is what a detection model observes for one call event:
+
+* context-insensitive models (Regular-basic, STILO) observe the bare call
+  name, e.g. ``read``;
+* context-sensitive models (Regular-context, CMarkov) observe the 1-level
+  calling-context form ``read@sys_read`` (Section II-C of the paper).
+
+The :class:`LabelSpace` fixes the universe of labels for one (program, call
+kind, context flag) triple and provides the name <-> index mapping shared by
+the call-transition matrices, the HMM alphabets, and the trace symbolizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from ..program.calls import CallKind
+from ..program.program import Program, context_label
+
+
+@dataclass(frozen=True)
+class LabelSpace:
+    """An ordered universe of observation labels.
+
+    Attributes:
+        kind: which call family is being modeled.
+        context: whether labels carry the ``@caller`` context suffix.
+        labels: sorted label strings.
+    """
+
+    kind: CallKind
+    context: bool
+    labels: tuple[str, ...]
+    _index: dict[str, int] = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._index.update({label: i for i, label in enumerate(self.labels)})
+        if len(self._index) != len(self.labels):
+            raise AnalysisError("duplicate labels in label space")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._index
+
+    def index(self, label: str) -> int:
+        """Index of ``label``; raises :class:`AnalysisError` when unknown."""
+        try:
+            return self._index[label]
+        except KeyError:
+            raise AnalysisError(f"label {label!r} not in label space") from None
+
+    def get(self, label: str) -> int | None:
+        """Index of ``label`` or ``None`` when unknown."""
+        return self._index.get(label)
+
+    def label_for(self, call_name: str, caller: str) -> str:
+        """The observation label for a call event in this space."""
+        return context_label(call_name, caller) if self.context else call_name
+
+
+def build_label_space(program: Program, kind: CallKind, context: bool) -> LabelSpace:
+    """Collect every statically known label of ``kind`` in ``program``.
+
+    This corresponds to the paper's CONTEXT IDENTIFICATION operation: parse
+    every function CFG, find the syscall/libcall sites, and (for the
+    context-sensitive variants) attach the enclosing function name.
+    """
+    labels: set[str] = set()
+    for function in program.iter_functions():
+        for site in function.calls(kind):
+            if context:
+                labels.add(context_label(site.name, function.name))
+            else:
+                labels.add(site.name)
+    if not labels:
+        raise AnalysisError(f"{program.name}: no {kind.value} sites found")
+    return LabelSpace(kind=kind, context=context, labels=tuple(sorted(labels)))

@@ -1,0 +1,147 @@
+"""Call-transition matrices and call summaries (Definitions 4-6).
+
+A :class:`CallSummary` is the quantitative behaviour summary of one function
+(or, after aggregation, of the whole program) over a fixed
+:class:`~repro.analysis.labels.LabelSpace`:
+
+* ``trans[i, j]`` — expected number of adjacent occurrences of the call pair
+  ``(label_i -> label_j)`` per execution of the function (the paper's
+  transition probability :math:`P^{cf}_{ij}`, Definition 4, generalized to
+  expected counts so loop iterations add mass the way dynamic traces do);
+* ``entry[i]`` — probability that ``label_i`` is the *first* call emitted;
+* ``exit[i]`` — probability that ``label_i`` is the *last* call emitted;
+* ``passthrough`` — probability that the function emits no call at all.
+
+These summaries compose: a call site to function ``g`` inside ``f`` splices
+``g``'s summary into ``f``'s, which is exactly the paper's "aggregation of
+call transitions" (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .labels import LabelSpace
+
+
+@dataclass
+class CallSummary:
+    """Behaviour summary of a function or program over a label space."""
+
+    space: LabelSpace
+    trans: np.ndarray
+    entry: np.ndarray
+    exit: np.ndarray
+    passthrough: float
+
+    @classmethod
+    def empty(cls, space: LabelSpace) -> "CallSummary":
+        """A summary that emits nothing (pure pass-through)."""
+        n = len(space)
+        return cls(
+            space=space,
+            trans=np.zeros((n, n)),
+            entry=np.zeros(n),
+            exit=np.zeros(n),
+            passthrough=1.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate(self, atol: float = 1e-6) -> None:
+        """Check conservation invariants; raise :class:`AnalysisError` if broken.
+
+        ``entry`` plus ``passthrough`` must account for (at most) all paths,
+        and the exit mass must match the emitting mass.  "At most" because a
+        non-terminating cycle without calls may legitimately drop a sliver
+        of mass at the fixpoint tolerance.
+        """
+        n = len(self.space)
+        if self.trans.shape != (n, n) or self.entry.shape != (n,) or self.exit.shape != (n,):
+            raise AnalysisError("summary arrays do not match label space size")
+        if np.any(self.trans < -atol) or np.any(self.entry < -atol) or np.any(self.exit < -atol):
+            raise AnalysisError("negative probability mass in summary")
+        entry_total = float(self.entry.sum()) + self.passthrough
+        if entry_total > 1.0 + atol:
+            raise AnalysisError(f"entry mass {entry_total} exceeds 1")
+        exit_total = float(self.exit.sum()) + self.passthrough
+        if exit_total > 1.0 + atol:
+            raise AnalysisError(f"exit mass {exit_total} exceeds 1")
+
+    @property
+    def emitting_mass(self) -> float:
+        """Probability that at least one call is emitted."""
+        return float(self.entry.sum())
+
+    def active_labels(self) -> list[int]:
+        """Indices of labels that carry any probability mass."""
+        mask = (
+            (self.entry > 0)
+            | (self.exit > 0)
+            | (self.trans.sum(axis=0) > 0)
+            | (self.trans.sum(axis=1) > 0)
+        )
+        return [int(i) for i in np.flatnonzero(mask)]
+
+    # ------------------------------------------------------------------
+    # Definition 6: call-transition vectors
+    # ------------------------------------------------------------------
+    def transition_vector(self, index: int) -> np.ndarray:
+        """Call-transition vector of ``labels[index]`` (Definition 6).
+
+        The concatenation of the label's outgoing row and incoming column of
+        the transition matrix — size ``2n``.
+        """
+        return np.concatenate([self.trans[index, :], self.trans[:, index]])
+
+    def transition_vectors(self, indices: list[int] | None = None) -> np.ndarray:
+        """Stack of call-transition vectors, one row per label."""
+        if indices is None:
+            indices = list(range(len(self.space)))
+        if not indices:
+            raise AnalysisError("no labels to vectorize")
+        rows = self.trans[indices, :]
+        cols = self.trans[:, indices].T
+        return np.concatenate([rows, cols], axis=1)
+
+    # ------------------------------------------------------------------
+    # Derived stochastic forms (HMM initialization inputs)
+    # ------------------------------------------------------------------
+    def row_stochastic(self, smoothing: float = 0.0) -> np.ndarray:
+        """Row-normalized transition matrix with additive smoothing.
+
+        Rows with no mass become uniform — a state we know nothing about
+        statically should not forbid any successor before training.
+
+        Shape-driven (not label-space-driven) so it also works on the K×K
+        arrays of a cluster-reduced summary.
+        """
+        n = self.trans.shape[1]
+        matrix = self.trans + smoothing
+        row_sums = matrix.sum(axis=1, keepdims=True)
+        uniform = np.full((1, n), 1.0 / n)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            normalized = np.where(row_sums > 0, matrix / np.where(row_sums == 0, 1, row_sums), uniform)
+        return normalized
+
+    def initial_distribution(self, smoothing: float = 0.0) -> np.ndarray:
+        """Normalized entry distribution with additive smoothing."""
+        vec = self.entry + smoothing
+        total = vec.sum()
+        if total <= 0:
+            size = self.entry.shape[0]
+            return np.full(size, 1.0 / size)
+        return vec / total
+
+    def copy(self) -> "CallSummary":
+        return CallSummary(
+            space=self.space,
+            trans=self.trans.copy(),
+            entry=self.entry.copy(),
+            exit=self.exit.copy(),
+            passthrough=self.passthrough,
+        )

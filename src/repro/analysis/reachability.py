@@ -1,0 +1,98 @@
+"""Conditional and reachability probabilities (Definitions 2-3, Equation 1).
+
+The PROBABILITY FORECAST operation starts from two per-CFG quantities:
+
+* the *conditional probability* ``P[n_j | n_i]`` of each edge — our
+  prototype, like the paper's, uses a uniform distribution over a node's
+  successors (branch-prediction heuristics could refine this);
+* the *reachability probability* of each node — the likelihood that the
+  function's control flow reaches it, propagated top-down from the entry
+  (Equation 1).
+
+Loops make Equation 1 circular, so we compute the fixpoint of the linear
+propagation instead of cutting back edges.  Under uniform branching every
+cycle leaks probability through its exit edge, so the iteration converges
+geometrically; the resulting value is the *expected number of visits* to a
+node, which coincides with Definition 3 on acyclic graphs and is the right
+weighting for call-pair counts observed in dynamic traces.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from ..program.cfg import FunctionCFG
+from .branching import UNIFORM, BranchPolicy, edge_probabilities
+
+#: Default fixpoint tolerance for probability propagation.
+DEFAULT_TOL = 1e-12
+#: Default sweep cap.  Leaky cycles converge geometrically with ratio equal
+#: to the loop-continuation probability; a strongly loop-biased policy
+#: (e.g. 0.99) needs log(tol)/log(0.99) ≈ 2750 sweeps, so the cap is set
+#: well above that.  Only a non-leaking (infinite) cycle exhausts it.
+DEFAULT_MAX_SWEEPS = 5000
+
+
+def conditional_probabilities(cfg: FunctionCFG) -> dict[tuple[int, int], float]:
+    """Edge -> conditional probability, uniform over each node's successors."""
+    probs: dict[tuple[int, int], float] = {}
+    for block_id in cfg.blocks:
+        successors = cfg.successors(block_id)
+        if not successors:
+            continue
+        share = 1.0 / len(successors)
+        for dst in successors:
+            probs[(block_id, dst)] = share
+    return probs
+
+
+def reachability(
+    cfg: FunctionCFG,
+    tol: float = DEFAULT_TOL,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+    policy: BranchPolicy = UNIFORM,
+) -> dict[int, float]:
+    """Expected visit count of each block, entry = 1 (Equation 1 fixpoint).
+
+    Raises:
+        AnalysisError: when the propagation fails to converge, which means
+            the CFG contains a cycle that cannot leak probability — a
+            structurally infinite loop.
+    """
+    order = cfg.forward_topological_order()
+    position = {block: i for i, block in enumerate(order)}
+    cond = edge_probabilities(cfg, policy)
+    visits = {block: 0.0 for block in cfg.blocks}
+    entry = cfg.entry
+
+    for _ in range(max_sweeps):
+        new_visits = {block: 0.0 for block in cfg.blocks}
+        new_visits[entry] = 1.0
+        # Back-edge (and unreachable-source) contributions feed from the
+        # previous iterate: a Jacobi step over the cyclic part.
+        for block in cfg.blocks:
+            for dst in cfg.successors(block):
+                if not _is_forward(position, block, dst):
+                    new_visits[dst] += visits[block] * cond[(block, dst)]
+        # Forward edges resolve within the sweep (Gauss-Seidel over the
+        # acyclic skeleton), so straight-line chains settle in one pass.
+        for block in order:
+            inflow = new_visits[block]
+            for dst in cfg.successors(block):
+                if _is_forward(position, block, dst):
+                    new_visits[dst] += inflow * cond[(block, dst)]
+        delta = max(abs(new_visits[b] - visits[b]) for b in cfg.blocks)
+        visits = new_visits
+        if delta < tol:
+            return visits
+    raise AnalysisError(
+        f"{cfg.name}: reachability fixpoint did not converge in {max_sweeps} sweeps"
+    )
+
+
+def _is_forward(position: dict[int, int], src: int, dst: int) -> bool:
+    """True when ``src -> dst`` respects the quasi-topological order."""
+    src_pos = position.get(src)
+    dst_pos = position.get(dst)
+    if src_pos is None or dst_pos is None:
+        return False
+    return src_pos < dst_pos

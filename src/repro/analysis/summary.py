@@ -1,0 +1,201 @@
+"""Function summarization: call-pair transition mass via label propagation.
+
+This implements the paper's PROBABILITY FORECAST (Definitions 4-5,
+Equation 2) and the aggregation splice in a single mechanism.  For one
+function CFG we propagate, top-down from the entry, a *state vector* over
+``labels + ⊥``:
+
+    state[l] = probability mass of paths whose most recent emitted call is l
+    state[⊥] = mass of paths that have emitted no call yet
+
+Each block applies a linear transform to its incoming state:
+
+* a plain block forwards the state unchanged;
+* a block calling an observable label ``l`` moves *all* mass to ``l`` —
+  and, at the fixpoint, contributes ``state[a]`` to the pair ``(a -> l)``
+  (exactly Equation 2's reachability-times-path-product, summed over
+  call-free paths) and ``state[⊥]`` to the function's entry distribution;
+* a block calling an internal function splices the callee's
+  :class:`~repro.analysis.matrix.CallSummary` in place: incoming mass flows
+  into the callee's entry distribution, the callee's internal transition
+  mass is added, and the outgoing state mixes the callee's exit
+  distribution with its pass-through.
+
+Cycles are handled by iterating the linear propagation to a fixpoint (see
+:mod:`repro.analysis.reachability` for why this converges and why expected
+counts are the faithful semantics for trace-trained models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..program.calls import CallKind
+from ..program.cfg import FunctionCFG
+from .branching import UNIFORM, BranchPolicy, edge_probabilities
+from .labels import LabelSpace
+from .matrix import CallSummary
+from .reachability import DEFAULT_MAX_SWEEPS, DEFAULT_TOL
+
+
+@dataclass(frozen=True)
+class _BlockRole:
+    """Pre-resolved behaviour of one block for the propagation pass."""
+
+    kind: str  # "plain" | "emit" | "splice"
+    label_index: int = -1
+    callee: CallSummary | None = None
+
+
+def _resolve_roles(
+    cfg: FunctionCFG,
+    space: LabelSpace,
+    callee_summaries: dict[str, CallSummary],
+) -> dict[int, _BlockRole]:
+    roles: dict[int, _BlockRole] = {}
+    for block_id, block in cfg.blocks.items():
+        site = block.call
+        if site is None:
+            roles[block_id] = _BlockRole("plain")
+        elif site.kind is space.kind:
+            label = space.label_for(site.name, cfg.name)
+            index = space.get(label)
+            if index is None:
+                raise AnalysisError(
+                    f"{cfg.name}: label {label!r} missing from label space"
+                )
+            roles[block_id] = _BlockRole("emit", label_index=index)
+        elif site.kind is CallKind.INTERNAL and site.name in callee_summaries:
+            roles[block_id] = _BlockRole("splice", callee=callee_summaries[site.name])
+        else:
+            # Observable call of the other kind, or an internal call with no
+            # summary (recursive edge / unanalyzed callee): call-free here.
+            roles[block_id] = _BlockRole("plain")
+    return roles
+
+
+def _apply_block(role: _BlockRole, state: np.ndarray) -> np.ndarray:
+    """The per-block linear transform O = T(I). ``state[-1]`` is ⊥."""
+    if role.kind == "plain":
+        return state
+    if role.kind == "emit":
+        out = np.zeros_like(state)
+        out[role.label_index] = state.sum()
+        return out
+    callee = role.callee
+    assert callee is not None
+    out = np.empty_like(state)
+    total = state.sum()
+    out[:-1] = total * callee.exit + callee.passthrough * state[:-1]
+    out[-1] = callee.passthrough * state[-1]
+    return out
+
+
+def summarize_function(
+    cfg: FunctionCFG,
+    space: LabelSpace,
+    callee_summaries: dict[str, CallSummary] | None = None,
+    tol: float = DEFAULT_TOL,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+    policy: BranchPolicy = UNIFORM,
+) -> CallSummary:
+    """Compute the :class:`CallSummary` of ``cfg`` over ``space``.
+
+    Args:
+        cfg: the function's control-flow graph.
+        space: global label space of the analysis.
+        callee_summaries: summaries for internal callees to splice in.  Pass
+            ``None`` (or ``{}``) to get the *local* per-function matrix of
+            Definition 5, where internal calls are treated as call-free.
+        tol: fixpoint tolerance.
+        max_sweeps: iteration cap; exceeded only by non-leaking cycles.
+        policy: branch-probability policy (Definition 2); defaults to the
+            paper's uniform distribution.
+
+    Returns:
+        The function's summary: transition mass, entry/exit distributions,
+        and pass-through probability.
+    """
+    callee_summaries = callee_summaries or {}
+    roles = _resolve_roles(cfg, space, callee_summaries)
+    cond = edge_probabilities(cfg, policy)
+    order = cfg.forward_topological_order()
+    position = {block: i for i, block in enumerate(order)}
+    n = len(space)
+    bot = n
+
+    incoming: dict[int, np.ndarray] = {b: np.zeros(n + 1) for b in cfg.blocks}
+
+    for _ in range(max_sweeps):
+        new_in: dict[int, np.ndarray] = {b: np.zeros(n + 1) for b in cfg.blocks}
+        new_in[cfg.entry][bot] = 1.0
+        # Jacobi step for back edges: use the previous iterate's outflow.
+        for block in cfg.blocks:
+            succs = cfg.successors(block)
+            if not succs:
+                continue
+            has_back = any(
+                not _forward(position, block, dst) for dst in succs
+            )
+            if not has_back:
+                continue
+            outflow = _apply_block(roles[block], incoming[block])
+            for dst in succs:
+                if not _forward(position, block, dst):
+                    new_in[dst] += outflow * cond[(block, dst)]
+        # Gauss-Seidel over the acyclic skeleton: forward chains settle now.
+        for block in order:
+            outflow = _apply_block(roles[block], new_in[block])
+            for dst in cfg.successors(block):
+                if _forward(position, block, dst):
+                    new_in[dst] += outflow * cond[(block, dst)]
+        delta = max(
+            float(np.max(np.abs(new_in[b] - incoming[b]))) for b in cfg.blocks
+        )
+        incoming = new_in
+        if delta < tol:
+            break
+    else:
+        raise AnalysisError(
+            f"{cfg.name}: summary fixpoint did not converge in {max_sweeps} sweeps"
+        )
+
+    # Accumulation pass at the fixpoint.
+    trans = np.zeros((n, n))
+    entry = np.zeros(n)
+    exit_ = np.zeros(n)
+    passthrough = 0.0
+    for block in cfg.blocks:
+        role = roles[block]
+        state = incoming[block]
+        if role.kind == "emit":
+            l = role.label_index
+            trans[:, l] += state[:-1]
+            entry[l] += state[bot]
+        elif role.kind == "splice":
+            callee = role.callee
+            assert callee is not None
+            trans += np.outer(state[:-1], callee.entry)
+            entry += state[bot] * callee.entry
+            trans += state.sum() * callee.trans
+        if not cfg.successors(block):  # function exit
+            outflow = _apply_block(role, state)
+            exit_ += outflow[:-1]
+            passthrough += outflow[bot]
+
+    summary = CallSummary(
+        space=space, trans=trans, entry=entry, exit=exit_, passthrough=passthrough
+    )
+    summary.validate()
+    return summary
+
+
+def _forward(position: dict[int, int], src: int, dst: int) -> bool:
+    src_pos = position.get(src)
+    dst_pos = position.get(dst)
+    if src_pos is None or dst_pos is None:
+        return False
+    return src_pos < dst_pos

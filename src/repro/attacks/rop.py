@@ -1,0 +1,173 @@
+"""Code-reuse (ROP) attack trace construction (Sections V-D, V-E).
+
+A return-oriented payload chains gadgets that already live in the victim's
+address space.  From the monitor's perspective each chained syscall fires
+with the caller context derived from the *gadget's* instruction pointer —
+not from the legitimate call path.  Whether that context happens to be
+correct depends on which gadget the chain could use:
+
+* the *intended* ``[SYSCALL; RET]`` gadget inside the syscall's own wrapper
+  yields a correct per-call context (these are the few "context-compatible"
+  gadgets Table III counts);
+* every other gadget — unintended mid-operand decodings, syscall bytes
+  reached from another function, shellcode in data pages — yields an
+  incorrect or missing context.
+
+Real chains rarely get to use the intended gadget for every call: register
+setup, stack pivots, and argument control force the attacker onto whatever
+gadgets exist.  The paper observed that 30-90 % of the calls in its
+reproduced attack traces carried abnormal (missing or incorrect) context
+(Section V-E).  We expose that as ``context_fidelity``: the probability a
+chained call manages to use its legitimate, context-compatible gadget.
+
+The module reproduces:
+
+* :func:`rop_chain_events` — a generic gadget-chain call stream;
+* :func:`code_reuse_from_normal` — the stealthiest variant (Section II-C's
+  ``S2``): a *normal* call-name sequence re-sourced through gadgets, so the
+  names and order are perfect and only contexts are off;
+* :func:`gzip_q1_q2` — the two concrete gzip segments of Section V-D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+from ..gadgets.scanner import Gadget, scan_gadgets
+from ..program.calls import SYSCALLS, CallKind
+from ..program.image import BinaryImage
+from ..tracing.events import CallEvent
+from ..tracing.segments import Segment
+
+#: Caller recorded when the syscall's address cannot be attributed to any
+#: function (shellcode in data pages, unmapped gadget starts...).
+MISSING_CONTEXT = "[unmapped]"
+
+#: Default probability that a chained call uses its context-compatible
+#: gadget; 1 - fidelity matches the paper's 30-90 % abnormal-context band.
+DEFAULT_CONTEXT_FIDELITY = 0.3
+
+
+class _GadgetPool:
+    """Index of an image's gadgets by syscall name and compatibility."""
+
+    def __init__(self, image: BinaryImage, gadgets: list[Gadget] | None = None):
+        self.image = image
+        self.gadgets = gadgets if gadgets is not None else scan_gadgets(image)
+        if not self.gadgets:
+            raise TraceError(f"{image.name}: no syscall gadgets available")
+        self.functions = sorted(image.extents)
+        self.compatible_by_name: dict[str, list[Gadget]] = {}
+        for gadget in self.gadgets:
+            if gadget.intended and gadget.syscall_name is not None:
+                self.compatible_by_name.setdefault(gadget.syscall_name, []).append(
+                    gadget
+                )
+
+    def event_for(
+        self, name: str, rng: np.random.Generator, context_fidelity: float
+    ) -> CallEvent:
+        """Emit ``name`` through the chain: correct context with probability
+        ``context_fidelity`` (when a compatible gadget exists at all)."""
+        hosts = self.compatible_by_name.get(name)
+        if hosts and rng.random() < context_fidelity:
+            gadget = hosts[int(rng.integers(0, len(hosts)))]
+            caller = gadget.function or MISSING_CONTEXT
+        else:
+            caller = self._foreign_context(name, rng)
+        return CallEvent(name=name, caller=caller, kind=CallKind.SYSCALL)
+
+    def _foreign_context(self, name: str, rng: np.random.Generator) -> str:
+        """A wrong-or-missing context for one chained call."""
+        if rng.random() < 0.25:
+            return MISSING_CONTEXT
+        hosts = {g.function for g in self.compatible_by_name.get(name, ())}
+        candidates = [f for f in self.functions if f not in hosts]
+        if not candidates:
+            return MISSING_CONTEXT
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+
+def rop_chain_events(
+    image: BinaryImage,
+    n_calls: int,
+    seed: int = 0,
+    gadgets: list[Gadget] | None = None,
+    context_fidelity: float = DEFAULT_CONTEXT_FIDELITY,
+) -> list[CallEvent]:
+    """Assemble a generic ROP chain of ``n_calls`` syscalls.
+
+    Call names follow common post-exploitation goals (I/O redirection, file
+    tampering, command execution) in random order — a chain whose *order*
+    and *contexts* both deviate from normal behaviour.
+    """
+    pool = _GadgetPool(image, gadgets)
+    rng = np.random.default_rng(seed)
+    known = [g.syscall_name for g in pool.gadgets if g.syscall_name is not None]
+    if not known:
+        known = ["execve", "read", "write"]
+    names = [known[int(i)] for i in rng.integers(0, len(known), size=n_calls)]
+    return [pool.event_for(name, rng, context_fidelity) for name in names]
+
+
+def code_reuse_from_normal(
+    normal_segment: Segment,
+    image: BinaryImage,
+    seed: int = 0,
+    gadgets: list[Gadget] | None = None,
+    context_fidelity: float = DEFAULT_CONTEXT_FIDELITY,
+) -> list[CallEvent]:
+    """Re-source a normal syscall-name sequence through ROP gadgets.
+
+    Produces the paper's S2 pattern: identical call names in identical order
+    to a legitimate execution — only the caller contexts betray the attack.
+    Context-insensitive models see nothing wrong with these segments.
+    """
+    pool = _GadgetPool(image, gadgets)
+    rng = np.random.default_rng(seed)
+    events: list[CallEvent] = []
+    for symbol in normal_segment:
+        name = symbol.partition("@")[0]
+        if name not in SYSCALLS:
+            raise TraceError(f"{symbol!r} is not a syscall symbol")
+        events.append(pool.event_for(name, rng, context_fidelity))
+    return events
+
+
+#: The two anomalous gzip syscall segments reproduced in Section V-D, names
+#: verbatim from the paper; q1 has 15 calls, q2 has 18.
+Q1_NAMES: tuple[str, ...] = (
+    "uname", "brk", "brk", "brk",
+    "rt_sigaction", "rt_sigaction", "rt_sigaction", "rt_sigaction",
+    "rt_sigaction", "rt_sigaction",
+    "read", "close", "close", "unlink", "chmod",
+)
+Q2_NAMES: tuple[str, ...] = (
+    "brk",
+    "rt_sigaction", "rt_sigaction", "rt_sigaction", "rt_sigaction",
+    "rt_sigaction", "rt_sigaction", "rt_sigaction",
+    "rt_sigaction", "rt_sigaction",
+    "stat", "openat", "getdents", "close", "write", "read", "write", "write",
+)
+
+
+def gzip_q1_q2(
+    image: BinaryImage,
+    seed: int = 7,
+    context_fidelity: float = DEFAULT_CONTEXT_FIDELITY,
+) -> tuple[list[CallEvent], list[CallEvent]]:
+    """Build the paper's q1 and q2 gzip ROP segments with gadget contexts.
+
+    The name sequences mimic gzip's normal startup/teardown syscalls, which
+    is why the paper's context-insensitive models accepted them; the
+    contexts come from the chain's gadgets and give them away.
+    """
+    if image.name != "gzip":
+        raise TraceError("q1/q2 are defined on the gzip image")
+    pool = _GadgetPool(image)
+    rng1 = np.random.default_rng(seed)
+    rng2 = np.random.default_rng(seed + 1)
+    q1 = [pool.event_for(name, rng1, context_fidelity) for name in Q1_NAMES]
+    q2 = [pool.event_for(name, rng2, context_fidelity) for name in Q2_NAMES]
+    return q1, q2

@@ -1,0 +1,376 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflow a downstream user runs:
+
+* ``corpus``  — list the synthetic corpus programs and their stats;
+* ``analyze`` — run the static pipeline on one program and print its
+  aggregated call-transition summary;
+* ``gadgets`` — scan a program's binary image for syscall gadgets;
+* ``dot``     — export a CFG or the call graph as Graphviz DOT;
+* ``train``   — train a detector on a workload and save the model;
+* ``score``   — load a saved model and score trace segments from a file;
+* ``trace``   — record a workload's traces to a log file (strace/ltrace role);
+* ``score-trace`` — segment a trace log and score it with a saved model;
+* ``report``  — run a fast end-to-end summary of every experiment family;
+* ``demo``    — end-to-end detection demo (train + attack + verdicts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis import analyze_program
+from .attacks import build_attack_events, payloads_for
+from .core import make_detector, threshold_for_fp_budget
+from .core.registry import MODEL_NAMES, model_is_context_sensitive
+from .eval.tables import render_table
+from .gadgets import TABLE_III_LENGTHS, gadget_surface, scan_gadgets
+from .hmm import load_model, log_likelihood, save_model
+from .program import ALL_PROGRAMS, CallKind, layout_program, load_program
+from .tracing import (
+    build_segment_set,
+    iter_segment_lines,
+    read_traces,
+    run_workload,
+    segment_symbols,
+    write_traces,
+)
+
+
+def _kind(value: str) -> CallKind:
+    try:
+        return CallKind(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown call kind {value!r}; use 'syscall' or 'libcall'"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CMarkov (DSN 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("corpus", help="list the synthetic corpus programs")
+
+    analyze = sub.add_parser("analyze", help="run static analysis on a program")
+    analyze.add_argument("program", choices=ALL_PROGRAMS)
+    analyze.add_argument("--kind", type=_kind, default=CallKind.SYSCALL)
+    analyze.add_argument("--no-context", action="store_true")
+    analyze.add_argument("--top", type=int, default=15,
+                         help="print the TOP most likely call transitions")
+
+    gadgets = sub.add_parser("gadgets", help="scan a program image for gadgets")
+    gadgets.add_argument("program", choices=ALL_PROGRAMS)
+
+    dot = sub.add_parser("dot", help="export CFG/call graph as Graphviz DOT")
+    dot.add_argument("program", choices=ALL_PROGRAMS)
+    dot.add_argument("--function", default=None,
+                     help="emit this function's CFG instead of the call graph")
+
+    train = sub.add_parser("train", help="train a detector and save the model")
+    train.add_argument("program", choices=ALL_PROGRAMS)
+    train.add_argument("--model", choices=MODEL_NAMES, default="cmarkov")
+    train.add_argument("--kind", type=_kind, default=CallKind.SYSCALL)
+    train.add_argument("--cases", type=int, default=60)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", type=Path, required=True)
+
+    score = sub.add_parser("score", help="score segments with a saved model")
+    score.add_argument("model_file", type=Path)
+    score.add_argument("segments_file", type=Path,
+                       help="text file, one space-separated segment per line")
+
+    trace = sub.add_parser("trace", help="record workload traces to a log file")
+    trace.add_argument("program", choices=ALL_PROGRAMS)
+    trace.add_argument("--cases", type=int, default=20)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--output", type=Path, required=True)
+
+    score_trace = sub.add_parser(
+        "score-trace", help="segment a trace log and score it with a saved model"
+    )
+    score_trace.add_argument("model_file", type=Path)
+    score_trace.add_argument("trace_file", type=Path)
+    score_trace.add_argument("--kind", type=_kind, default=CallKind.SYSCALL)
+    score_trace.add_argument("--length", type=int, default=15)
+    score_trace.add_argument("--threshold", type=float, default=None,
+                             help="flag segments scoring below this value")
+
+    report = sub.add_parser(
+        "report", help="fast end-to-end summary of every experiment family"
+    )
+    report.add_argument("--program", choices=ALL_PROGRAMS, default="gzip")
+    report.add_argument("--markdown", type=Path, default=None,
+                        help="write a full markdown report to this path")
+
+    demo = sub.add_parser("demo", help="end-to-end detection demo")
+    demo.add_argument("program", choices=("gzip", "proftpd"), default="gzip",
+                      nargs="?")
+    demo.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_corpus() -> int:
+    rows = []
+    for name in ALL_PROGRAMS:
+        program = load_program(name)
+        rows.append(
+            [
+                name,
+                len(program.functions),
+                program.total_blocks(),
+                len(program.distinct_calls(CallKind.SYSCALL)),
+                len(program.distinct_calls(CallKind.LIBCALL)),
+                "server" if program.metadata.get("server") else "utility",
+            ]
+        )
+    print(
+        render_table(
+            ["program", "functions", "blocks", "ctx syscalls", "ctx libcalls", "type"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    analysis = analyze_program(program, args.kind, context=not args.no_context)
+    summary = analysis.program_summary
+    print(
+        f"{args.program}: {len(summary.space)} {args.kind.value} labels, "
+        f"timings {dict((k, round(v, 4)) for k, v in analysis.timings_s.items())}"
+    )
+    flat = [
+        (summary.trans[i, j], summary.space.labels[i], summary.space.labels[j])
+        for i in range(len(summary.space))
+        for j in range(len(summary.space))
+        if summary.trans[i, j] > 0
+    ]
+    flat.sort(reverse=True)
+    rows = [[src, dst, f"{p:.4f}"] for p, src, dst in flat[: args.top]]
+    print(render_table(["from", "to", "probability"], rows,
+                       title=f"top {args.top} statically-inferred transitions"))
+    return 0
+
+
+def _cmd_gadgets(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    image = layout_program(program)
+    surface = gadget_surface(program, scan_gadgets(image))
+    rows = [
+        [
+            f"L<={length}",
+            surface.total_by_length[length],
+            surface.compatible_by_length[length],
+        ]
+        for length in TABLE_III_LENGTHS
+    ]
+    print(render_table(["gadget length", "total", "context-compatible"], rows,
+                       title=f"[SYSCALL...RET] gadgets in {args.program}"))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from .program import call_graph_to_dot, cfg_to_dot
+
+    program = load_program(args.program)
+    if args.function is None:
+        print(call_graph_to_dot(program))
+    else:
+        print(cfg_to_dot(program.function(args.function)))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    workload = run_workload(program, n_cases=args.cases, seed=args.seed)
+    context = model_is_context_sensitive(args.model)
+    segments = build_segment_set(workload.traces, args.kind, context)
+    detector = make_detector(args.model, program, args.kind)
+    fit = detector.fit(segments)
+    save_model(detector.model, args.output)
+    print(
+        f"trained {args.model} on {args.program} "
+        f"({fit.n_states} states, {fit.report.iterations} iterations, "
+        f"{fit.train_seconds:.1f}s) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    model = load_model(args.model_file)
+    lines = [
+        line.split()
+        for line in args.segments_file.read_text().splitlines()
+        if line.strip()
+    ]
+    if not lines:
+        print("no segments in input file", file=sys.stderr)
+        return 1
+    obs = model.encode(lines)
+    scores = log_likelihood(model, obs) / obs.shape[1]
+    for line, score in zip(lines, scores):
+        print(f"{score:10.4f}  {' '.join(line)}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    image = layout_program(program)
+    workload = run_workload(program, n_cases=50, seed=args.seed)
+    segments = build_segment_set(workload.traces, CallKind.SYSCALL, context=True)
+    detector = make_detector("cmarkov", program, CallKind.SYSCALL)
+    train_part, holdout = segments.split([0.8, 0.2], seed=args.seed)
+    detector.fit(train_part)
+    threshold = threshold_for_fp_budget(detector.score(holdout.segments()), 0.01)
+    print(f"trained CMarkov on {args.program}; threshold(FP=1%) = {threshold:.3f}")
+
+    carrier = workload.traces[0].symbols(CallKind.SYSCALL, context=True)
+    rows = []
+    for spec in payloads_for(args.program):
+        events = build_attack_events(spec, program, image, seed=args.seed)
+        symbols = [e.symbol(True) for e in events]
+        if len(symbols) < 15:
+            symbols = carrier[-(15 - len(symbols)):] + symbols
+        scores = detector.score(segment_symbols(symbols, length=15))
+        rows.append(
+            [
+                spec.name,
+                "DETECTED" if bool(np.any(scores < threshold)) else "missed",
+                f"{scores.min():.2f}",
+            ]
+        )
+    print(render_table(["payload", "verdict", "min score"], rows))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    workload = run_workload(program, n_cases=args.cases, seed=args.seed)
+    count = write_traces(workload.traces, args.output)
+    events = sum(len(t) for t in workload.traces)
+    print(f"wrote {count} traces ({events} events) to {args.output}")
+    return 0
+
+
+def _cmd_score_trace(args: argparse.Namespace) -> int:
+    model = load_model(args.model_file)
+    traces = read_traces(args.trace_file)
+    # Infer context mode from the model's alphabet.
+    context = any("@" in symbol for symbol in model.symbols)
+    lines = list(
+        iter_segment_lines(traces, args.kind, context, length=args.length)
+    )
+    if not lines:
+        print("trace log yields no full segments", file=sys.stderr)
+        return 1
+    segments = [line.split() for line in lines]
+    obs = model.encode(segments)
+    scores = log_likelihood(model, obs) / obs.shape[1]
+    flagged = 0
+    for line, score in zip(lines, scores):
+        marker = ""
+        if args.threshold is not None and score < args.threshold:
+            marker = "  <-- ANOMALY"
+            flagged += 1
+        print(f"{score:10.4f}  {line}{marker}")
+    if args.threshold is not None:
+        print(f"\n{flagged}/{len(lines)} segments flagged at "
+              f"threshold {args.threshold}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.markdown is not None:
+        from .eval import FAST_CONFIG, ReportSpec, write_report
+
+        spec = ReportSpec(accuracy_programs=(args.program,),
+                          exploit_victims=(args.program,) if args.program in
+                          ("gzip", "proftpd") else ())
+        path = write_report(args.markdown, config=FAST_CONFIG, spec=spec)
+        print(f"report written to {path}")
+        return 0
+    from .eval import (
+        FAST_CONFIG,
+        run_accuracy_comparison,
+        run_clustering_reduction,
+        run_coverage_survey,
+        run_gadget_survey,
+        run_runtime_table,
+    )
+
+    program = args.program
+    print(f"== coverage (Table I role) ==")
+    for row in run_coverage_survey(FAST_CONFIG, program_names=(program,)):
+        print("  ", row.row())
+    print(f"== accuracy, syscall models (Figures 3/5 role) ==")
+    comparison = run_accuracy_comparison(program, CallKind.SYSCALL, FAST_CONFIG)
+    for model_name, result in comparison.results.items():
+        fn = result.fn_by_fp[FAST_CONFIG.fp_targets[-1]]
+        print(f"   {model_name:16s} states={result.n_states:4d} "
+              f"auc={result.auc:.4f} FN@{FAST_CONFIG.fp_targets[-1]}={fn:.4f}")
+    print(f"== clustering (Table II role) ==")
+    for row in run_clustering_reduction((program,), FAST_CONFIG, measure=False):
+        print(f"   {row.n_distinct_calls} calls -> {row.n_states_after} states "
+              f"(est. {row.estimated_time_reduction:.0%} training cut)")
+    print(f"== gadgets (Table III role) ==")
+    for surface in run_gadget_survey(program_names=(program,), include_libc=False):
+        print(f"   total {surface.total_by_length} "
+              f"compatible {surface.compatible_by_length}")
+    print(f"== static-analysis runtime (Table V role) ==")
+    for row in run_runtime_table(program_names=(program,)):
+        print(f"   {row.kind.value:8s} total {row.total_s:.3f}s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError`) are rendered as
+    one-line messages with exit code 2 instead of tracebacks.
+    """
+    from .errors import ReproError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "corpus":
+        return _cmd_corpus()
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "gadgets":
+        return _cmd_gadgets(args)
+    if args.command == "dot":
+        return _cmd_dot(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "score":
+        return _cmd_score(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "score-trace":
+        return _cmd_score_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -1,0 +1,206 @@
+"""Common detector API shared by CMarkov, STILO, and the Regular baselines.
+
+A detector wraps one HMM over one observation family (syscall/libcall ×
+context), and exposes the paper's two-phase workflow:
+
+* :meth:`Detector.fit` — train on *normal* segments, holding out 20 % as the
+  termination set that decides convergence (Section V-A);
+* :meth:`Detector.score` — per-segment log-likelihood (normalized per
+  symbol), the quantity thresholded by Equations 3-4.
+
+Scores are ``log P(segment | λ) / len(segment)``; higher means more normal.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError, TraceError
+from ..hmm.baumwelch import TrainingConfig, TrainingReport, train
+from ..hmm.forward import log_likelihood
+from ..hmm.model import HiddenMarkovModel
+from ..program.calls import CallKind
+from ..tracing.segments import Segment, SegmentSet
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Shared detector knobs.
+
+    Attributes:
+        termination_fraction: share of normal data held out to decide
+            training termination (the paper uses 20 %).
+        training: Baum-Welch configuration.
+        seed: seed for data splits (and random initialization, where used).
+        max_training_segments: optional cap on unique training segments —
+            laptop-scale experiments subsample very large segment sets; the
+            cap is applied deterministically (highest-multiplicity first) and
+            reported on the fit result.
+    """
+
+    termination_fraction: float = 0.2
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    seed: int = 0
+    max_training_segments: int | None = None
+
+
+@dataclass
+class FitResult:
+    """Outcome of one training run."""
+
+    report: TrainingReport
+    n_states: int
+    n_train_segments: int
+    n_termination_segments: int
+    train_seconds: float
+    subsampled: bool = False
+
+
+class Detector(abc.ABC):
+    """Anomaly detector over call segments (minimal interface).
+
+    Concrete families: :class:`HmmDetector` (the paper's four models) and
+    :class:`~repro.core.ngram.NGramDetector` (the related-work baseline).
+    """
+
+    #: short model name ("cmarkov", "stilo", "regular-basic", ...)
+    name: str = "detector"
+
+    def __init__(self, kind: CallKind, context: bool, config: DetectorConfig | None = None):
+        self.kind = kind
+        self.context = context
+        self.config = config or DetectorConfig()
+
+    @abc.abstractmethod
+    def fit(self, normal_segments: SegmentSet) -> FitResult:
+        """Train on normal segments; returns training diagnostics."""
+
+    @abc.abstractmethod
+    def score(self, segments: Sequence[Segment]) -> np.ndarray:
+        """Per-segment normality score (higher = more normal)."""
+
+    @property
+    @abc.abstractmethod
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` (or a pretrained load) has happened."""
+
+    def classify(self, segments: Sequence[Segment], threshold: float) -> np.ndarray:
+        """Boolean anomaly verdict per segment: score below threshold."""
+        return self.score(segments) < threshold
+
+
+class HmmDetector(Detector):
+    """Shared machinery for the HMM-based detectors."""
+
+    def __init__(self, kind: CallKind, context: bool, config: DetectorConfig | None = None):
+        super().__init__(kind=kind, context=context, config=config)
+        self._model: HiddenMarkovModel | None = None
+        self._fit_result: FitResult | None = None
+
+    # ------------------------------------------------------------------
+    # Template methods
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_initial_model(self, training_segments: SegmentSet) -> HiddenMarkovModel:
+        """Construct the pre-training HMM (random or statically initialized)."""
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fit(self, normal_segments: SegmentSet) -> FitResult:
+        """Train on normal segments; returns training diagnostics."""
+        if normal_segments.n_unique == 0:
+            raise TraceError(f"{self.name}: no training segments")
+        working = normal_segments
+        subsampled = False
+        cap = self.config.max_training_segments
+        if cap is not None and working.n_unique > cap:
+            working = _cap_segments(working, cap)
+            subsampled = True
+
+        train_part, termination_part = working.split(
+            [1.0 - self.config.termination_fraction, self.config.termination_fraction],
+            seed=self.config.seed,
+        )
+        if train_part.n_unique == 0:
+            train_part, termination_part = working, working
+
+        initial = self.build_initial_model(train_part)
+        train_segments = train_part.segments()
+        train_obs = initial.encode(train_segments)
+        weights = train_part.weights(train_segments)
+        holdout_obs = (
+            initial.encode(termination_part.segments())
+            if termination_part.n_unique
+            else None
+        )
+
+        started = time.perf_counter()
+        model, report = train(
+            initial,
+            train_obs,
+            holdout_obs=holdout_obs,
+            weights=weights,
+            config=self.config.training,
+        )
+        elapsed = time.perf_counter() - started
+
+        self._model = model
+        self._fit_result = FitResult(
+            report=report,
+            n_states=model.n_states,
+            n_train_segments=train_part.n_unique,
+            n_termination_segments=termination_part.n_unique,
+            train_seconds=elapsed,
+            subsampled=subsampled,
+        )
+        return self._fit_result
+
+    def score(self, segments: Sequence[Segment]) -> np.ndarray:
+        """Per-symbol mean log-likelihood of each segment (higher = normal)."""
+        model = self.model
+        if not segments:
+            return np.empty(0)
+        obs = model.encode(segments)
+        return log_likelihood(model, obs) / obs.shape[1]
+
+    def load_pretrained(self, model: HiddenMarkovModel) -> None:
+        """Install an externally trained model (e.g. from
+        :func:`repro.hmm.serialize.load_model`) instead of calling
+        :meth:`fit` — the deployment path where training happened elsewhere.
+        """
+        model.validate()
+        self._model = model
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> HiddenMarkovModel:
+        if self._model is None:
+            raise NotFittedError(f"{self.name}: fit() has not been called")
+        return self._model
+
+    @property
+    def fit_result(self) -> FitResult:
+        if self._fit_result is None:
+            raise NotFittedError(f"{self.name}: fit() has not been called")
+        return self._fit_result
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+
+def _cap_segments(segments: SegmentSet, cap: int) -> SegmentSet:
+    """Keep the ``cap`` most frequent unique segments (ties: lexicographic)."""
+    capped = SegmentSet(length=segments.length)
+    ranked = sorted(segments.counts.items(), key=lambda item: (-item[1], item[0]))
+    for segment, count in ranked[:cap]:
+        capped.counts[segment] = count
+    return capped

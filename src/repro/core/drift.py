@@ -1,0 +1,147 @@
+"""Model drift: compare trained models across software versions.
+
+A CMarkov model encodes one program *version*.  When the program updates,
+the behaviour model must be retrained — but operators need to know *when*
+(silent drift produces false positives) and *where* (which calls changed).
+This module compares two models over a shared alphabet:
+
+* per-state symmetrized KL divergence between transition rows;
+* emission-mass movement per observation symbol;
+* an overall drift score that a retraining policy can threshold.
+
+Comparison requires structurally compatible models (same state labels);
+CMarkov models of successive versions of the same program satisfy this for
+the unchanged part of the label space, which is exactly the part worth
+comparing — new/removed labels are reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from ..hmm.model import HiddenMarkovModel
+
+_EPS = 1e-12
+
+
+def _kl(p: np.ndarray, q: np.ndarray) -> float:
+    p = np.maximum(p, _EPS)
+    q = np.maximum(q, _EPS)
+    p = p / p.sum()
+    q = q / q.sum()
+    return float(np.sum(p * np.log(p / q)))
+
+
+def symmetrized_kl(p: np.ndarray, q: np.ndarray) -> float:
+    """Jeffreys divergence between two discrete distributions."""
+    return 0.5 * (_kl(p, q) + _kl(q, p))
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Drift between two models over their shared structure.
+
+    Attributes:
+        shared_states: state labels present in both models.
+        added_states: labels only in the new model.
+        removed_states: labels only in the old model.
+        transition_divergence: per-shared-state Jeffreys divergence of
+            transition rows (restricted to shared states).
+        emission_divergence: per-shared-state Jeffreys divergence of
+            emission rows (restricted to shared symbols).
+        drift_score: mean of the per-state divergences — the retraining
+            trigger metric.
+    """
+
+    shared_states: tuple[str, ...]
+    added_states: tuple[str, ...]
+    removed_states: tuple[str, ...]
+    transition_divergence: dict[str, float]
+    emission_divergence: dict[str, float]
+    drift_score: float
+
+    def most_drifted(self, top: int = 5) -> list[tuple[str, float]]:
+        """States ranked by combined divergence, worst first."""
+        combined = {
+            label: self.transition_divergence[label]
+            + self.emission_divergence[label]
+            for label in self.shared_states
+        }
+        ranked = sorted(combined.items(), key=lambda item: -item[1])
+        return ranked[:top]
+
+
+def compare_models(
+    old: HiddenMarkovModel, new: HiddenMarkovModel
+) -> DriftReport:
+    """Compare two trained models that share (part of) a label space.
+
+    Raises:
+        ModelError: when either model lacks state labels (nothing to align
+            on) or the models share no states at all.
+    """
+    if old.state_labels is None or new.state_labels is None:
+        raise ModelError("drift comparison needs state-labeled models")
+    old_index = {label: i for i, label in enumerate(old.state_labels)}
+    new_index = {label: i for i, label in enumerate(new.state_labels)}
+    shared = tuple(sorted(set(old_index) & set(new_index)))
+    if not shared:
+        raise ModelError("models share no state labels")
+    added = tuple(sorted(set(new_index) - set(old_index)))
+    removed = tuple(sorted(set(old_index) - set(new_index)))
+
+    old_states = [old_index[label] for label in shared]
+    new_states = [new_index[label] for label in shared]
+
+    # Transition rows restricted to the shared state set.
+    old_trans = old.transition[np.ix_(old_states, old_states)]
+    new_trans = new.transition[np.ix_(new_states, new_states)]
+
+    shared_symbols = sorted(set(old.symbols) & set(new.symbols))
+    old_symbol_index = [old.symbols.index(s) for s in shared_symbols]
+    new_symbol_index = [new.symbols.index(s) for s in shared_symbols]
+    old_emit = old.emission[np.ix_(old_states, old_symbol_index)]
+    new_emit = new.emission[np.ix_(new_states, new_symbol_index)]
+
+    transition_divergence = {
+        label: symmetrized_kl(old_trans[i], new_trans[i])
+        for i, label in enumerate(shared)
+    }
+    emission_divergence = {
+        label: symmetrized_kl(old_emit[i], new_emit[i])
+        for i, label in enumerate(shared)
+    }
+    per_state = [
+        transition_divergence[label] + emission_divergence[label]
+        for label in shared
+    ]
+    return DriftReport(
+        shared_states=shared,
+        added_states=added,
+        removed_states=removed,
+        transition_divergence=transition_divergence,
+        emission_divergence=emission_divergence,
+        drift_score=float(np.mean(per_state)),
+    )
+
+
+def needs_retraining(
+    report: DriftReport, score_threshold: float = 0.5, structure_threshold: float = 0.1
+) -> bool:
+    """Retraining policy: drift score too high, or too much structural churn.
+
+    Args:
+        report: output of :func:`compare_models`.
+        score_threshold: drift-score trigger.
+        structure_threshold: fraction of added+removed states (relative to
+            the old model's shared+removed universe) that triggers
+            retraining regardless of parameter drift.
+    """
+    total_old = len(report.shared_states) + len(report.removed_states)
+    churn = (len(report.added_states) + len(report.removed_states)) / max(
+        total_old, 1
+    )
+    return report.drift_score > score_threshold or churn > structure_threshold

@@ -1,0 +1,125 @@
+"""Ensemble detection: combine the libcall and syscall models.
+
+The paper trains *separate* models per call family and observes that
+"detection with library calls yield more precise results than that with
+system calls" while syscall models enforce the security-critical boundary.
+A deployment wants both: this module combines any set of fitted detectors
+into one verdict.
+
+Two combination rules:
+
+* ``any`` — alert when any member flags its segment (union of alarms:
+  maximal recall, FP rates add);
+* ``mean`` — average the members' *calibrated* scores; calibration maps
+  each member's score through its own normal-score distribution (empirical
+  CDF), so families with different likelihood scales combine sanely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import EvaluationError, NotFittedError
+from ..tracing.segments import Segment
+from .detector import Detector
+
+
+@dataclass(frozen=True)
+class EnsembleMember:
+    """One fitted detector plus its calibration data and threshold."""
+
+    detector: Detector
+    calibration_scores: np.ndarray
+    threshold: float
+
+
+class EnsembleDetector:
+    """Combine per-family detectors into one verdict.
+
+    Args:
+        members: family key (e.g. ``"libcall"``/``"syscall"``) -> member.
+        rule: ``"any"`` or ``"mean"``.
+
+    Scoring input differs from single detectors: segments are supplied *per
+    family*, since each family observes a different event stream.
+    """
+
+    def __init__(
+        self, members: Mapping[str, EnsembleMember], rule: str = "any"
+    ) -> None:
+        if not members:
+            raise EvaluationError("ensemble needs at least one member")
+        if rule not in ("any", "mean"):
+            raise EvaluationError(f"unknown combination rule {rule!r}")
+        for key, member in members.items():
+            if not member.detector.is_fitted:
+                raise NotFittedError(f"ensemble member {key!r} is not fitted")
+            if member.calibration_scores.size == 0:
+                raise EvaluationError(f"member {key!r} has no calibration scores")
+        self.members = dict(members)
+        self.rule = rule
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _percentile(scores: np.ndarray, calibration: np.ndarray) -> np.ndarray:
+        """Map raw scores to their percentile under the calibration set —
+        the empirical probability a normal segment scores lower."""
+        sorted_calibration = np.sort(calibration)
+        ranks = np.searchsorted(sorted_calibration, scores, side="right")
+        return ranks / sorted_calibration.size
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    def classify(
+        self, segments_by_family: Mapping[str, Sequence[Segment]]
+    ) -> np.ndarray:
+        """Boolean anomaly verdicts; input segment lists must align."""
+        self._check_families(segments_by_family)
+        lengths = {len(v) for v in segments_by_family.values()}
+        if len(lengths) != 1:
+            raise EvaluationError("per-family segment lists must align")
+        (n,) = lengths
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+
+        if self.rule == "any":
+            verdict = np.zeros(n, dtype=bool)
+            for key, member in self.members.items():
+                scores = member.detector.score(list(segments_by_family[key]))
+                verdict |= scores < member.threshold
+            return verdict
+
+        combined = self.score(segments_by_family)
+        # Mean rule: flag when the combined percentile is as extreme as the
+        # strictest member threshold percentile.
+        cutoff = np.mean(
+            [
+                self._percentile(
+                    np.array([member.threshold]), member.calibration_scores
+                )[0]
+                for member in self.members.values()
+            ]
+        )
+        return combined < cutoff
+
+    def score(
+        self, segments_by_family: Mapping[str, Sequence[Segment]]
+    ) -> np.ndarray:
+        """Combined calibrated score in [0, 1]; lower = more anomalous."""
+        self._check_families(segments_by_family)
+        parts = []
+        for key, member in self.members.items():
+            raw = member.detector.score(list(segments_by_family[key]))
+            parts.append(self._percentile(raw, member.calibration_scores))
+        return np.mean(parts, axis=0)
+
+    def _check_families(self, segments_by_family: Mapping[str, object]) -> None:
+        missing = set(self.members) - set(segments_by_family)
+        if missing:
+            raise EvaluationError(f"missing segment streams for {sorted(missing)}")

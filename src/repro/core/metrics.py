@@ -1,0 +1,139 @@
+"""Detection accuracy metrics (Equations 3-4) and curve construction.
+
+Given per-segment scores (per-symbol mean log-likelihood; higher = more
+normal) and a threshold ``T``:
+
+* ``FP = |{normal segments with score < T}| / |normal|``   (Eq. 4)
+* ``FN = |{abnormal segments with score > T}| / |abnormal|`` (Eq. 3)
+
+Sweeping ``T`` yields the FP/FN trade-off curves of Figures 2-5; the paper
+compares models by their false-negative rate at matched low false-positive
+rates, which :func:`fn_at_fp` extracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One operating point of a detector."""
+
+    threshold: float
+    false_positive_rate: float
+    false_negative_rate: float
+
+
+def rates_at_threshold(
+    normal_scores: np.ndarray, abnormal_scores: np.ndarray, threshold: float
+) -> tuple[float, float]:
+    """``(FP, FN)`` at one threshold, per Equations 3-4."""
+    normal_scores = np.asarray(normal_scores)
+    abnormal_scores = np.asarray(abnormal_scores)
+    if normal_scores.size == 0 or abnormal_scores.size == 0:
+        raise EvaluationError("need both normal and abnormal scores")
+    fp = float(np.mean(normal_scores < threshold))
+    fn = float(np.mean(abnormal_scores > threshold))
+    return fp, fn
+
+
+def curve(
+    normal_scores: np.ndarray,
+    abnormal_scores: np.ndarray,
+    n_points: int = 200,
+) -> list[CurvePoint]:
+    """FP/FN curve over a threshold sweep spanning both score ranges."""
+    normal_scores = np.asarray(normal_scores)
+    abnormal_scores = np.asarray(abnormal_scores)
+    combined = np.concatenate([normal_scores, abnormal_scores])
+    lo, hi = float(combined.min()), float(combined.max())
+    if lo == hi:
+        thresholds = np.array([lo])
+    else:
+        thresholds = np.linspace(lo, hi, n_points)
+    points = []
+    for threshold in thresholds:
+        fp, fn = rates_at_threshold(normal_scores, abnormal_scores, float(threshold))
+        points.append(
+            CurvePoint(
+                threshold=float(threshold),
+                false_positive_rate=fp,
+                false_negative_rate=fn,
+            )
+        )
+    return points
+
+
+def fn_at_fp(
+    normal_scores: np.ndarray,
+    abnormal_scores: np.ndarray,
+    fp_targets: Sequence[float],
+) -> dict[float, float]:
+    """Lowest achievable FN at each FP budget.
+
+    For each target, the threshold is the largest one keeping
+    ``FP <= target`` (computed exactly from the sorted normal scores), and
+    the FN at that threshold is reported.  This is how Figures 2-5 compare
+    models: FN on synthetic abnormal segments at matched low FP on held-out
+    normal segments.
+    """
+    normal_scores = np.sort(np.asarray(normal_scores))
+    abnormal_scores = np.asarray(abnormal_scores)
+    if normal_scores.size == 0 or abnormal_scores.size == 0:
+        raise EvaluationError("need both normal and abnormal scores")
+    out: dict[float, float] = {}
+    n = normal_scores.size
+    for target in fp_targets:
+        if not 0 <= target <= 1:
+            raise EvaluationError(f"fp target {target} outside [0, 1]")
+        # Allow at most floor(target * n) normal scores strictly below T.
+        allowed = int(np.floor(target * n))
+        if allowed == 0:
+            threshold = float(normal_scores[0])  # nothing below the minimum
+        else:
+            threshold = float(normal_scores[allowed])
+        fn = float(np.mean(abnormal_scores > threshold))
+        out[float(target)] = fn
+    return out
+
+
+def auc_score(normal_scores: np.ndarray, abnormal_scores: np.ndarray) -> float:
+    """Area under the ROC curve (probability a normal segment outscores an
+    abnormal one; ties count half).  1.0 = perfect separation."""
+    normal_scores = np.asarray(normal_scores)
+    abnormal_scores = np.asarray(abnormal_scores)
+    if normal_scores.size == 0 or abnormal_scores.size == 0:
+        raise EvaluationError("need both normal and abnormal scores")
+    # Rank-sum formulation, O((n+m) log(n+m)).
+    combined = np.concatenate([abnormal_scores, normal_scores])
+    order = combined.argsort(kind="mergesort")
+    ranks = np.empty_like(order, dtype=float)
+    ranks[order] = np.arange(1, combined.size + 1)
+    # Average ranks for ties.
+    sorted_vals = combined[order]
+    start = 0
+    for end in range(1, combined.size + 1):
+        if end == combined.size or sorted_vals[end] != sorted_vals[start]:
+            if end - start > 1:
+                ranks_slice = order[start:end]
+                ranks[ranks_slice] = ranks[ranks_slice].mean()
+            start = end
+    n_abnormal = abnormal_scores.size
+    n_normal = normal_scores.size
+    rank_sum_normal = ranks[n_abnormal:].sum()
+    u_statistic = rank_sum_normal - n_normal * (n_normal + 1) / 2
+    return float(u_statistic / (n_normal * n_abnormal))
+
+
+def detection_rate(scores: np.ndarray, threshold: float) -> float:
+    """Fraction of segments flagged anomalous at ``threshold``."""
+    scores = np.asarray(scores)
+    if scores.size == 0:
+        raise EvaluationError("no scores to classify")
+    return float(np.mean(scores < threshold))

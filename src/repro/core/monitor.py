@@ -1,0 +1,137 @@
+"""Online monitoring: streaming anomaly detection over a live call feed.
+
+The paper's deployment story intercepts calls as the program runs and
+classifies sliding 15-call windows.  :class:`OnlineMonitor` packages that:
+feed it :class:`~repro.tracing.events.CallEvent` objects (or raw symbols)
+one at a time; it maintains the window, scores each complete window under a
+fitted detector, and emits :class:`Alert` records whenever the score drops
+below the operating threshold.
+
+A short cooldown suppresses the alert storm a single bad call would cause
+as it slides through up to ``segment_length`` consecutive windows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import NotFittedError, TraceError
+from ..tracing.events import CallEvent
+from ..tracing.segments import DEFAULT_SEGMENT_LENGTH
+from .detector import Detector
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One anomaly alert.
+
+    Attributes:
+        event_index: index of the newest event in the flagged window.
+        window: the flagged window's symbols.
+        score: per-symbol log-likelihood of the window.
+        threshold: operating threshold at alert time.
+    """
+
+    event_index: int
+    window: tuple[str, ...]
+    score: float
+    threshold: float
+
+
+@dataclass
+class MonitorStats:
+    """Aggregate counters for one monitoring session."""
+
+    events: int = 0
+    windows_scored: int = 0
+    alerts: int = 0
+    suppressed: int = 0
+    min_score: float = field(default=float("inf"))
+
+
+class OnlineMonitor:
+    """Streaming detector over a live sequence of call events.
+
+    Args:
+        detector: a *fitted* detector; its ``kind``/``context`` settings
+            decide which events are observed and how they're symbolized.
+        threshold: operating threshold (e.g. from
+            :func:`~repro.core.thresholds.threshold_for_fp_budget`).
+        segment_length: sliding-window length (the paper's 15).
+        cooldown: windows to skip after an alert before alerting again; the
+            default of one window length collapses each incident into a
+            single alert.
+    """
+
+    def __init__(
+        self,
+        detector: Detector,
+        threshold: float,
+        segment_length: int = DEFAULT_SEGMENT_LENGTH,
+        cooldown: int | None = None,
+    ) -> None:
+        if not detector.is_fitted:
+            raise NotFittedError("OnlineMonitor requires a fitted detector")
+        if segment_length <= 0:
+            raise TraceError("segment_length must be positive")
+        self.detector = detector
+        self.threshold = threshold
+        self.segment_length = segment_length
+        self.cooldown = segment_length if cooldown is None else cooldown
+        self._window: deque[str] = deque(maxlen=segment_length)
+        self._cooldown_left = 0
+        self.stats = MonitorStats()
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def observe_event(self, event: CallEvent) -> Alert | None:
+        """Feed one call event; events of other kinds are ignored."""
+        if event.kind is not self.detector.kind:
+            return None
+        return self.observe_symbol(event.symbol(self.detector.context))
+
+    def observe_symbol(self, symbol: str) -> Alert | None:
+        """Feed one pre-symbolized observation."""
+        self.stats.events += 1
+        self._window.append(symbol)
+        if len(self._window) < self.segment_length:
+            return None
+
+        window = tuple(self._window)
+        score = float(self.detector.score([window])[0])
+        self.stats.windows_scored += 1
+        self.stats.min_score = min(self.stats.min_score, score)
+
+        if score >= self.threshold:
+            if self._cooldown_left > 0:
+                self._cooldown_left -= 1
+            return None
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            self.stats.suppressed += 1
+            return None
+
+        self._cooldown_left = self.cooldown
+        self.stats.alerts += 1
+        return Alert(
+            event_index=self.stats.events - 1,
+            window=window,
+            score=score,
+            threshold=self.threshold,
+        )
+
+    def observe_many(self, events: list[CallEvent]) -> list[Alert]:
+        """Feed a batch of events, returning every alert raised."""
+        alerts = []
+        for event in events:
+            alert = self.observe_event(event)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def reset(self) -> None:
+        """Clear the window and cooldown (e.g. on process restart)."""
+        self._window.clear()
+        self._cooldown_left = 0

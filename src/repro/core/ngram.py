@@ -1,0 +1,124 @@
+"""The n-gram ("stide") baseline from the paper's related work.
+
+"The n-gram models [1, 32, 33] construct a set of all allowable call
+sequences from the execution traces of a program.  It is the simplest
+flow-sensitive solution" (Section VI).  This is Forrest et al.'s sequence
+time-delay embedding: training memorizes every observed window of ``n``
+consecutive calls; detection slides the same window over a segment and
+counts mismatches.
+
+Unlike the HMM models the verdict is *set membership*, not likelihood, so
+the per-segment "score" is the negated mismatch fraction — kept on the
+shared higher-is-more-normal scale so thresholds, metrics, and the online
+monitor all work unchanged.  Comparing it against CMarkov quantifies what
+probabilistic reasoning adds on top of pure flow sensitivity.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError, TraceError
+from ..hmm.baumwelch import TrainingReport
+from ..program.calls import CallKind
+from ..tracing.segments import Segment, SegmentSet
+from .detector import Detector, DetectorConfig, FitResult
+
+#: Forrest et al.'s classic window size.
+DEFAULT_WINDOW = 6
+
+
+class NGramDetector(Detector):
+    """Set-membership detector over sliding n-call windows.
+
+    Args:
+        kind: syscall or libcall observations.
+        context: observe ``call@caller`` symbols (an n-gram analogue of
+            Regular-context) or bare names (the classic stide).
+        window: n-gram window size (default 6, per the original papers).
+        config: shared detector knobs (only the training cap is used).
+    """
+
+    def __init__(
+        self,
+        kind: CallKind,
+        context: bool,
+        window: int = DEFAULT_WINDOW,
+        config: DetectorConfig | None = None,
+    ) -> None:
+        super().__init__(kind=kind, context=context, config=config)
+        if window <= 0:
+            raise TraceError("window must be positive")
+        self.window = window
+        self.name = "ngram-context" if context else "ngram"
+        self._database: frozenset[tuple[str, ...]] | None = None
+
+    # ------------------------------------------------------------------
+    # Detector interface
+    # ------------------------------------------------------------------
+    def fit(self, normal_segments: SegmentSet) -> FitResult:
+        """Memorize every n-window of the normal segments."""
+        if normal_segments.n_unique == 0:
+            raise TraceError(f"{self.name}: no training segments")
+        if normal_segments.length < self.window:
+            raise TraceError(
+                f"{self.name}: window {self.window} exceeds segment "
+                f"length {normal_segments.length}"
+            )
+        started = time.perf_counter()
+        database: set[tuple[str, ...]] = set()
+        for segment in normal_segments.counts:
+            for start in range(len(segment) - self.window + 1):
+                database.add(segment[start : start + self.window])
+        self._database = frozenset(database)
+        elapsed = time.perf_counter() - started
+        return FitResult(
+            report=TrainingReport(iterations=1, converged=True),
+            n_states=len(database),  # database size plays the "model size" role
+            n_train_segments=normal_segments.n_unique,
+            n_termination_segments=0,
+            train_seconds=elapsed,
+        )
+
+    def score(self, segments: Sequence[Segment]) -> np.ndarray:
+        """Negated mismatch fraction per segment (0 = fully normal).
+
+        Raises:
+            TraceError: when a segment is shorter than the window — it has
+                no windows at all, and silently calling it normal would be
+                a detection hole.
+        """
+        database = self.database
+        if not segments:
+            return np.empty(0)
+        scores = np.empty(len(segments))
+        for index, segment in enumerate(segments):
+            n_windows = len(segment) - self.window + 1
+            if n_windows < 1:
+                raise TraceError(
+                    f"{self.name}: segment of length {len(segment)} has no "
+                    f"window of size {self.window}"
+                )
+            mismatches = sum(
+                1
+                for start in range(n_windows)
+                if segment[start : start + self.window] not in database
+            )
+            scores[index] = -mismatches / n_windows
+        return scores
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> frozenset[tuple[str, ...]]:
+        if self._database is None:
+            raise NotFittedError(f"{self.name}: fit() has not been called")
+        return self._database
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._database is not None

@@ -1,0 +1,91 @@
+"""Factory for the four compared models (Section V-A).
+
+Maps the paper's model names to constructors:
+
+* ``cmarkov``          — static init, context-sensitive, cluster-reduced;
+* ``stilo``            — static init, context-insensitive;
+* ``regular-basic``    — random init, context-insensitive;
+* ``regular-context``  — random init, context-sensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import EvaluationError
+from ..program.calls import CallKind
+from ..program.program import Program
+from .detector import Detector, DetectorConfig
+from .ngram import NGramDetector
+from .regular import RegularDetector
+from .static_models import ClusterPolicy, CMarkovDetector, StiloDetector
+
+#: The four model names, in the paper's presentation order.
+MODEL_NAMES: tuple[str, ...] = (
+    "cmarkov",
+    "stilo",
+    "regular-basic",
+    "regular-context",
+)
+
+#: Extra related-work baselines (Section VI) available beyond the paper's
+#: four compared models.
+EXTRA_MODEL_NAMES: tuple[str, ...] = ("ngram", "ngram-context")
+
+
+def make_detector(
+    model_name: str,
+    program: Program,
+    kind: CallKind,
+    config: DetectorConfig | None = None,
+    cluster_policy: ClusterPolicy | None = None,
+) -> Detector:
+    """Instantiate one of the four compared detectors.
+
+    Raises:
+        EvaluationError: for an unknown model name.
+    """
+    if model_name == "cmarkov":
+        return CMarkovDetector(
+            program, kind=kind, config=config, cluster_policy=cluster_policy
+        )
+    if model_name == "stilo":
+        return StiloDetector(program, kind=kind, config=config)
+    if model_name == "regular-basic":
+        return RegularDetector(kind=kind, context=False, config=config)
+    if model_name == "regular-context":
+        return RegularDetector(kind=kind, context=True, config=config)
+    if model_name == "ngram":
+        return NGramDetector(kind=kind, context=False, config=config)
+    if model_name == "ngram-context":
+        return NGramDetector(kind=kind, context=True, config=config)
+    raise EvaluationError(
+        f"unknown model {model_name!r}; choose from "
+        f"{MODEL_NAMES + EXTRA_MODEL_NAMES}"
+    )
+
+
+def detector_factory(
+    model_name: str,
+    program: Program,
+    kind: CallKind,
+    config: DetectorConfig | None = None,
+    cluster_policy: ClusterPolicy | None = None,
+) -> Callable[[], Detector]:
+    """A zero-argument factory for cross-validation."""
+
+    def build() -> Detector:
+        return make_detector(
+            model_name, program, kind, config=config, cluster_policy=cluster_policy
+        )
+
+    return build
+
+
+def model_is_context_sensitive(model_name: str) -> bool:
+    """Whether a model observes ``call@caller`` symbols."""
+    if model_name in ("cmarkov", "regular-context", "ngram-context"):
+        return True
+    if model_name in ("stilo", "regular-basic", "ngram"):
+        return False
+    raise EvaluationError(f"unknown model {model_name!r}")

@@ -1,0 +1,41 @@
+"""Regular-basic and Regular-context: the randomly-initialized baselines.
+
+These are "the widely accepted HMM-based classification, which is the
+state-of-the-art probabilistic anomaly detection model" (Section V-A):
+one hidden state per distinct observed call, all parameters random.
+Regular-context differs only in observing ``call@caller`` symbols.
+"""
+
+from __future__ import annotations
+
+from ..hmm.model import HiddenMarkovModel
+from ..hmm.random_init import random_model
+from ..program.calls import CallKind
+from ..tracing.segments import SegmentSet
+from .detector import DetectorConfig, HmmDetector
+
+
+class RegularDetector(HmmDetector):
+    """Randomly-initialized HMM detector (basic or context variant).
+
+    The observation alphabet and the hidden-state count are taken from the
+    *training traces*: one state per distinct observed call, exactly the
+    regular-model setup the paper compares against.
+    """
+
+    def __init__(
+        self,
+        kind: CallKind,
+        context: bool,
+        config: DetectorConfig | None = None,
+    ) -> None:
+        super().__init__(kind=kind, context=context, config=config)
+        self.name = "regular-context" if context else "regular-basic"
+
+    def build_initial_model(self, training_segments: SegmentSet) -> HiddenMarkovModel:
+        observed = training_segments.alphabet()
+        return random_model(
+            symbols=observed,
+            n_states=len(observed),
+            seed=self.config.seed,
+        )

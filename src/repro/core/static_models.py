@@ -1,0 +1,125 @@
+"""STILO and CMarkov: statically-initialized HMM detectors.
+
+Both run the static pipeline of :mod:`repro.analysis` and initialize the
+HMM from the aggregated call-transition matrix
+(:func:`repro.reduction.initializer.initialize_hmm`).  They differ in:
+
+* **STILO** — context-insensitive labels (bare call names), no clustering;
+  the reproduction of the paper's prior work [4] it compares against.
+* **CMarkov** — 1-level calling-context labels, with optional PCA+K-means
+  state reduction (applied when the state count crosses a threshold, as the
+  paper does for models with > 800 states; laptop-scale experiments set the
+  threshold lower to exercise the same machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.pipeline import StaticAnalysis, analyze_program
+from ..hmm.model import HiddenMarkovModel
+from ..program.calls import CallKind
+from ..program.program import Program
+from ..reduction.cluster import CallClustering, cluster_calls
+from ..reduction.initializer import initialize_hmm
+from ..tracing.segments import SegmentSet
+from .detector import DetectorConfig, HmmDetector
+
+
+@dataclass(frozen=True)
+class ClusterPolicy:
+    """When and how much to reduce hidden states.
+
+    Attributes:
+        ratio: target ``K / n_states`` (paper: 1/3 to 1/2); ``None``
+            disables clustering entirely.
+        min_states: clustering only triggers above this state count (the
+            paper's prototype reduces models with > 800 states).
+    """
+
+    ratio: float | None = 0.5
+    min_states: int = 800
+
+    def applies(self, n_states: int) -> bool:
+        return self.ratio is not None and n_states > self.min_states
+
+
+class StaticallyInitializedDetector(HmmDetector):
+    """Shared machinery for STILO and CMarkov."""
+
+    def __init__(
+        self,
+        program: Program,
+        kind: CallKind,
+        context: bool,
+        config: DetectorConfig | None = None,
+        cluster_policy: ClusterPolicy | None = None,
+    ) -> None:
+        super().__init__(kind=kind, context=context, config=config)
+        self.program = program
+        self.cluster_policy = cluster_policy or ClusterPolicy()
+        self._analysis: StaticAnalysis | None = None
+        self._clustering: CallClustering | None = None
+
+    @property
+    def analysis(self) -> StaticAnalysis:
+        """The static pipeline result (computed lazily, cached)."""
+        if self._analysis is None:
+            self._analysis = analyze_program(self.program, self.kind, self.context)
+        return self._analysis
+
+    @property
+    def clustering(self) -> CallClustering | None:
+        """The state-reduction clustering, if one was applied."""
+        return self._clustering
+
+    def build_initial_model(self, training_segments: SegmentSet) -> HiddenMarkovModel:
+        summary = self.analysis.program_summary
+        clustering = None
+        if self.cluster_policy.applies(len(summary.space)):
+            assert self.cluster_policy.ratio is not None
+            clustering = cluster_calls(
+                summary, ratio=self.cluster_policy.ratio, seed=self.config.seed
+            )
+        self._clustering = clustering
+        return initialize_hmm(summary, clustering=clustering)
+
+
+class StiloDetector(StaticallyInitializedDetector):
+    """STILO: statically initialized, context-insensitive (the paper's [4])."""
+
+    def __init__(
+        self,
+        program: Program,
+        kind: CallKind,
+        config: DetectorConfig | None = None,
+    ) -> None:
+        # STILO never clusters: without context its state counts stay small.
+        super().__init__(
+            program,
+            kind=kind,
+            context=False,
+            config=config,
+            cluster_policy=ClusterPolicy(ratio=None),
+        )
+        self.name = "stilo"
+
+
+class CMarkovDetector(StaticallyInitializedDetector):
+    """CMarkov: statically initialized, context-sensitive, cluster-reduced."""
+
+    def __init__(
+        self,
+        program: Program,
+        kind: CallKind,
+        config: DetectorConfig | None = None,
+        cluster_policy: ClusterPolicy | None = None,
+    ) -> None:
+        super().__init__(
+            program,
+            kind=kind,
+            context=True,
+            config=config,
+            cluster_policy=cluster_policy or ClusterPolicy(),
+        )
+        self.name = "cmarkov"

@@ -1,0 +1,73 @@
+"""Figure-series export: FP/FN curves as CSV and quick ASCII plots.
+
+The paper presents Figures 2-5 as FP/FN trade-off curves.  The benchmark
+suite prints tabular operating points; this module additionally exports the
+full curves for external plotting (CSV) and renders a dependency-free ASCII
+view for terminal inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..core.metrics import CurvePoint
+from ..errors import EvaluationError
+from .runners import AccuracyComparison
+
+
+def curves_of(comparison: AccuracyComparison, n_points: int = 200) -> dict[str, list[CurvePoint]]:
+    """Pooled FP/FN curve per model of one comparison."""
+    return {
+        model: result.fp_fn_curve(n_points=n_points)
+        for model, result in comparison.results.items()
+    }
+
+
+def write_curves_csv(
+    curves: Mapping[str, Sequence[CurvePoint]], path: str | Path
+) -> int:
+    """Write curve points to CSV (columns: model, threshold, fp, fn).
+
+    Returns the number of rows written.
+    """
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["model", "threshold", "false_positive_rate",
+                         "false_negative_rate"])
+        for model, points in curves.items():
+            for point in points:
+                writer.writerow(
+                    [
+                        model,
+                        f"{point.threshold:.6f}",
+                        f"{point.false_positive_rate:.6f}",
+                        f"{point.false_negative_rate:.6f}",
+                    ]
+                )
+                rows += 1
+    return rows
+
+
+def ascii_curve(
+    points: Sequence[CurvePoint], width: int = 60, height: int = 12
+) -> str:
+    """Render one FP/FN curve as an ASCII scatter (FP on x, FN on y).
+
+    Both axes span [0, 1]; '*' marks operating points, denser regions
+    overprint.  Useful for eyeballing a model's trade-off in a terminal.
+    """
+    if not points:
+        raise EvaluationError("no curve points to render")
+    grid = [[" "] * width for _ in range(height)]
+    for point in points:
+        x = min(int(point.false_positive_rate * (width - 1)), width - 1)
+        y = min(int(point.false_negative_rate * (height - 1)), height - 1)
+        grid[height - 1 - y][x] = "*"
+    lines = ["FN"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width + "> FP")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Statistical utilities for experiment reporting.
+
+Cross-validated comparisons need uncertainty estimates before claiming one
+model beats another.  Two tools, both dependency-free:
+
+* :func:`bootstrap_ci` — percentile bootstrap confidence interval for any
+  statistic of a score sample (e.g. an FN rate);
+* :func:`paired_sign_test` — exact binomial sign test over paired per-fold
+  metrics (does model A beat model B on more folds than chance?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided percentile bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    values: Sequence[float] | np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI for ``statistic`` of ``values``.
+
+    Args:
+        values: sample (e.g. per-segment scores or per-fold FN rates).
+        statistic: function of a 1-D array, defaults to the mean.
+        confidence: interval mass, e.g. 0.95.
+        n_resamples: bootstrap resamples.
+        seed: RNG seed for reproducible intervals.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise EvaluationError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise EvaluationError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(n_resamples)
+    for index in range(n_resamples):
+        resample = data[rng.integers(0, data.size, size=data.size)]
+        estimates[index] = statistic(resample)
+    alpha = (1.0 - confidence) / 2
+    return ConfidenceInterval(
+        estimate=float(statistic(data)),
+        low=float(np.quantile(estimates, alpha)),
+        high=float(np.quantile(estimates, 1 - alpha)),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class SignTestResult:
+    """Outcome of an exact paired sign test."""
+
+    wins: int
+    losses: int
+    ties: int
+    p_value: float
+
+    @property
+    def n_informative(self) -> int:
+        return self.wins + self.losses
+
+
+def paired_sign_test(
+    a: Sequence[float], b: Sequence[float], alternative: str = "less"
+) -> SignTestResult:
+    """Exact binomial sign test on paired metrics.
+
+    Args:
+        a, b: paired per-fold metrics (e.g. FN rates of two models on the
+            same folds).
+        alternative: ``"less"`` tests whether ``a`` tends to be *smaller*
+            than ``b`` (a lower-is-better metric like FN), ``"greater"``
+            the reverse, ``"two-sided"`` any difference.
+
+    Returns:
+        Win/loss/tie counts and the exact p-value under the null that each
+        non-tied pair is a coin flip.
+    """
+    a_values = np.asarray(a, dtype=float)
+    b_values = np.asarray(b, dtype=float)
+    if a_values.shape != b_values.shape or a_values.size == 0:
+        raise EvaluationError("paired samples must be non-empty, equal length")
+    if alternative not in ("less", "greater", "two-sided"):
+        raise EvaluationError(f"unknown alternative {alternative!r}")
+    wins = int(np.sum(a_values < b_values))
+    losses = int(np.sum(a_values > b_values))
+    n = wins + losses
+    if n == 0:
+        return SignTestResult(wins=0, losses=0, ties=a_values.size, p_value=1.0)
+
+    def tail(k_min: int) -> float:
+        return sum(comb(n, k) for k in range(k_min, n + 1)) / 2.0**n
+
+    if alternative == "less":
+        p_value = tail(wins)
+    elif alternative == "greater":
+        p_value = tail(losses)
+    else:
+        p_value = min(1.0, 2.0 * tail(max(wins, losses)))
+    return SignTestResult(
+        wins=wins, losses=losses, ties=int(a_values.size - n), p_value=p_value
+    )

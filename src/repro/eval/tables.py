@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark prints the rows the corresponding paper table/figure
+reports; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with left-aligned columns."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(format_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_rate(rate: float) -> str:
+    """Format an FP/FN rate compactly (4 significant decimals)."""
+    return f"{rate:.4f}"
+
+
+def format_factor(factor: float) -> str:
+    """Format an improvement factor like the paper quotes (e.g. ``452x``)."""
+    if factor >= 100:
+        return f"{factor:.0f}x"
+    if factor >= 10:
+        return f"{factor:.1f}x"
+    return f"{factor:.2f}x"

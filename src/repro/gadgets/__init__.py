@@ -1,0 +1,14 @@
+"""ROP gadget analysis: scanning and context-compatibility (Table III)."""
+
+from .context_filter import GadgetSurface, context_compatible, gadget_surface
+from .scanner import TABLE_III_LENGTHS, Gadget, count_by_length, scan_gadgets
+
+__all__ = [
+    "TABLE_III_LENGTHS",
+    "Gadget",
+    "GadgetSurface",
+    "context_compatible",
+    "count_by_length",
+    "gadget_surface",
+    "scan_gadgets",
+]

@@ -1,0 +1,72 @@
+"""Context-compatibility filtering of gadgets (Section V-D's security claim).
+
+Under CMarkov, every monitored syscall carries its caller context, derived
+from the instruction pointer of the call site.  A ROP gadget therefore only
+"works" (evades the per-call context check) when:
+
+* its syscall instruction is an *intended* site — an unintended mid-operand
+  decoding maps to an address the caller-translation step cannot attribute
+  to a legitimate ``syscall@function`` label; and
+* the resulting ``syscall@function`` label exists in the program's
+  statically-built model.
+
+Everything else is flagged on sight, before any sequence-likelihood
+reasoning — this is the mechanism that shrinks the usable gadget set and
+keeps ROP "far from being Turing complete" on the monitored programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.labels import LabelSpace, build_label_space
+from ..program.calls import CallKind
+from ..program.program import Program, context_label
+from .scanner import TABLE_III_LENGTHS, Gadget, count_by_length
+
+
+@dataclass(frozen=True)
+class GadgetSurface:
+    """Usable-gadget accounting for one program image."""
+
+    program: str
+    total_by_length: dict[int, int]
+    compatible_by_length: dict[int, int]
+
+    def reduction_at(self, length: int) -> float:
+        """Fraction of gadgets removed by the context check at a length."""
+        total = self.total_by_length.get(length, 0)
+        if total == 0:
+            return 0.0
+        return 1.0 - self.compatible_by_length.get(length, 0) / total
+
+
+def context_compatible(gadgets: list[Gadget], space: LabelSpace) -> list[Gadget]:
+    """Gadgets whose syscall passes the per-call context check."""
+    compatible: list[Gadget] = []
+    for gadget in gadgets:
+        if not gadget.intended:
+            continue
+        if gadget.syscall_name is None or gadget.function is None:
+            continue
+        label = context_label(gadget.syscall_name, gadget.function)
+        if label in space:
+            compatible.append(gadget)
+    return compatible
+
+
+def gadget_surface(
+    program: Program,
+    gadgets: list[Gadget],
+    lengths: tuple[int, ...] = TABLE_III_LENGTHS,
+    space: LabelSpace | None = None,
+) -> GadgetSurface:
+    """Summarize total vs context-compatible gadget counts (Table III)."""
+    if space is None:
+        space = build_label_space(program, CallKind.SYSCALL, context=True)
+    compatible = context_compatible(gadgets, space)
+    return GadgetSurface(
+        program=program.name,
+        total_by_length=count_by_length(gadgets, lengths),
+        compatible_by_length=count_by_length(compatible, lengths),
+    )

@@ -1,0 +1,121 @@
+"""ROP gadget scanner: find ``[SYSCALL ... RET]`` gadgets in a binary image.
+
+Section V-D of the paper counts the "useful" syscall gadgets available to a
+return-oriented-programming attacker at several gadget lengths.  A gadget
+here is a decoded instruction window that *starts at a syscall instruction*
+(intended or not — the scan begins at every byte offset, so mid-operand
+decodings count) and reaches a ``RET`` within the length bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..program.calls import SYSCALLS
+from ..program.image import BinaryImage
+from ..program.instructions import Instruction, decode_one, decode_window
+
+#: Gadget lengths evaluated in Table III.
+TABLE_III_LENGTHS: tuple[int, ...] = (2, 6, 10)
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """One ``[SYSCALL ... RET]`` gadget.
+
+    Attributes:
+        syscall_address: address of the syscall instruction (gadget start).
+        ret_address: address of the terminating return.
+        length: instruction count from the syscall to the RET inclusive.
+        intended: whether the syscall decodes at a layout-emitted site.
+        syscall_name: for intended sites, the statically-known syscall; for
+            unintended decodings, the syscall selected by the preceding
+            immediate if one decodes, else ``None`` (attacker-controlled).
+        function: enclosing function per the address map, or ``None`` for
+            data-region gadgets.
+    """
+
+    syscall_address: int
+    ret_address: int
+    length: int
+    intended: bool
+    syscall_name: str | None
+    function: str | None
+
+
+def scan_gadgets(
+    image: BinaryImage,
+    max_length: int = 10,
+    base_address: int = 0x1000,
+) -> list[Gadget]:
+    """Scan ``image`` for syscall gadgets of at most ``max_length`` instructions.
+
+    Every byte offset is considered a potential gadget start; a gadget is
+    recorded when the offset decodes as ``SYSCALL`` and a ``RET`` decodes
+    within the window.  Gadgets are deduplicated by their
+    ``(syscall, ret)`` address pair.
+    """
+    data = image.data
+    seen: set[tuple[int, int]] = set()
+    gadgets: list[Gadget] = []
+    for offset in range(len(data)):
+        first = decode_one(data, offset)
+        if first is None or not first.is_syscall:
+            continue
+        window = decode_window(data, offset, max_length)
+        ret_index = _ret_index(window)
+        if ret_index is None:
+            continue
+        address = base_address + offset
+        ret_address = base_address + window[ret_index].offset
+        key = (address, ret_address)
+        if key in seen:
+            continue
+        seen.add(key)
+        site = image.intended_syscall_at(address)
+        gadgets.append(
+            Gadget(
+                syscall_address=address,
+                ret_address=ret_address,
+                length=ret_index + 1,
+                intended=site is not None,
+                syscall_name=site.syscall if site else _immediate_syscall(data, offset),
+                function=image.function_at(address),
+            )
+        )
+    return gadgets
+
+
+def count_by_length(
+    gadgets: list[Gadget], lengths: tuple[int, ...] = TABLE_III_LENGTHS
+) -> dict[int, int]:
+    """Gadget counts at each cumulative length bound (Table III columns)."""
+    return {
+        bound: sum(1 for g in gadgets if g.length <= bound) for bound in lengths
+    }
+
+
+def _ret_index(window: list[Instruction]) -> int | None:
+    for index, instruction in enumerate(window):
+        if instruction.is_ret:
+            return index
+    return None
+
+
+def _immediate_syscall(data: bytes, syscall_offset: int) -> str | None:
+    """Recover the syscall selected by a ``mov_imm`` just before the gadget.
+
+    An unintended syscall byte executes whatever number is in the register;
+    if the two preceding bytes happen to decode as ``mov_imm n`` with a
+    valid syscall number, the gadget's effect is predictable — otherwise the
+    attacker must set the register via other gadgets and we leave it open.
+    """
+    if syscall_offset < 2:
+        return None
+    previous = decode_one(data, syscall_offset - 2)
+    if previous is None or previous.mnemonic != "mov_imm":
+        return None
+    number = previous.operands[0]
+    if number < len(SYSCALLS):
+        return SYSCALLS[number]
+    return None

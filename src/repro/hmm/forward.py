@@ -1,0 +1,107 @@
+"""Scaled forward/backward recursions, batched over equal-length sequences.
+
+The evaluation works on fixed-length 15-call segments, thousands at a time,
+so both recursions are vectorized across the batch axis: one (B, N) matrix
+product per time step instead of a Python loop per sequence.
+
+Scaling follows Rabiner: the forward variable is renormalized at every step
+and the per-step normalizers (``scales``) carry the likelihood, so
+``log P(O | λ) = Σ_t log scale_t`` without underflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .model import HiddenMarkovModel
+
+#: Floor applied to per-step normalizers so a zero-probability observation
+#: yields a very negative — but finite — log-likelihood.
+SCALE_FLOOR = 1e-300
+
+
+def _check_obs(model: HiddenMarkovModel, obs: np.ndarray) -> np.ndarray:
+    obs = np.asarray(obs)
+    if obs.ndim == 1:
+        obs = obs[None, :]
+    if obs.ndim != 2:
+        raise ModelError(f"observations must be (B, T), got shape {obs.shape}")
+    if obs.size and (obs.min() < 0 or obs.max() >= model.n_symbols):
+        raise ModelError("observation index out of alphabet range")
+    return obs
+
+
+def forward(
+    model: HiddenMarkovModel, obs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scaled forward pass.
+
+    Args:
+        model: the HMM.
+        obs: (B, T) integer observation array (or (T,) for one sequence).
+
+    Returns:
+        ``(alpha, scales)`` where ``alpha`` has shape (B, T, N) with each
+        ``alpha[b, t]`` normalized to sum 1, and ``scales`` has shape (B, T)
+        holding the normalizers.
+    """
+    obs = _check_obs(model, obs)
+    batch, length = obs.shape
+    n = model.n_states
+    alpha = np.empty((batch, length, n))
+    scales = np.empty((batch, length))
+
+    emission_t = model.emission.T  # (M, N): emission_t[o] = B[:, o]
+    current = model.initial[None, :] * emission_t[obs[:, 0]]
+    norm = current.sum(axis=1)
+    norm = np.maximum(norm, SCALE_FLOOR)
+    alpha[:, 0] = current / norm[:, None]
+    scales[:, 0] = norm
+    for t in range(1, length):
+        current = (alpha[:, t - 1] @ model.transition) * emission_t[obs[:, t]]
+        norm = current.sum(axis=1)
+        norm = np.maximum(norm, SCALE_FLOOR)
+        alpha[:, t] = current / norm[:, None]
+        scales[:, t] = norm
+    return alpha, scales
+
+
+def backward(
+    model: HiddenMarkovModel, obs: np.ndarray, scales: np.ndarray
+) -> np.ndarray:
+    """Scaled backward pass using the forward pass's normalizers.
+
+    Returns:
+        ``beta`` of shape (B, T, N), scaled so that
+        ``alpha[b, t] * beta[b, t]`` is proportional to the state posterior.
+    """
+    obs = _check_obs(model, obs)
+    batch, length = obs.shape
+    n = model.n_states
+    beta = np.empty((batch, length, n))
+    beta[:, length - 1] = 1.0
+    emission_t = model.emission.T
+    for t in range(length - 2, -1, -1):
+        weighted = beta[:, t + 1] * emission_t[obs[:, t + 1]]
+        beta[:, t] = (weighted @ model.transition.T) / scales[:, t + 1][:, None]
+    return beta
+
+
+def log_likelihood(model: HiddenMarkovModel, obs: np.ndarray) -> np.ndarray:
+    """Per-sequence ``log P(O | λ)``, shape (B,)."""
+    _, scales = forward(model, obs)
+    return np.log(scales).sum(axis=1)
+
+
+def posterior_states(
+    model: HiddenMarkovModel, obs: np.ndarray
+) -> np.ndarray:
+    """State posteriors ``γ[b, t, i] = P[q_t = i | O_b, λ]``, shape (B, T, N)."""
+    obs = _check_obs(model, obs)
+    alpha, scales = forward(model, obs)
+    beta = backward(model, obs, scales)
+    gamma = alpha * beta
+    totals = gamma.sum(axis=2, keepdims=True)
+    totals = np.maximum(totals, SCALE_FLOOR)
+    return gamma / totals

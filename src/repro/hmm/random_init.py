@@ -1,0 +1,54 @@
+"""Random HMM initialization — the Regular-basic / Regular-context baseline.
+
+"The regular model randomly chooses the initial HMM parameters, including
+the initial transition probabilities, initial emission probabilities, and
+the initial distribution of hidden states" with one hidden state per
+distinct observed call (Section V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from .model import HiddenMarkovModel, ensure_alphabet_with_unknown
+
+
+def _random_stochastic(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """Random row-stochastic matrix via a flat Dirichlet per row."""
+    matrix = rng.gamma(shape=1.0, scale=1.0, size=(rows, cols))
+    matrix = np.maximum(matrix, 1e-12)
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+def random_model(
+    symbols: Sequence[str],
+    n_states: int | None = None,
+    seed: int = 0,
+) -> HiddenMarkovModel:
+    """Build a randomly-initialized HMM over ``symbols``.
+
+    Args:
+        symbols: observed alphabet (the :data:`~repro.hmm.model.UNKNOWN_SYMBOL`
+            slot is appended automatically).
+        n_states: number of hidden states; defaults to the alphabet size,
+            matching the paper's regular-model setup.
+        seed: RNG seed for reproducible baselines.
+    """
+    alphabet = ensure_alphabet_with_unknown(symbols)
+    if n_states is None:
+        n_states = len(symbols)
+    if n_states <= 0:
+        raise ModelError("n_states must be positive")
+    rng = np.random.default_rng(seed)
+    transition = _random_stochastic(rng, n_states, n_states)
+    emission = _random_stochastic(rng, n_states, len(alphabet))
+    initial = _random_stochastic(rng, 1, n_states)[0]
+    return HiddenMarkovModel(
+        transition=transition,
+        emission=emission,
+        initial=initial,
+        symbols=alphabet,
+    )

@@ -1,0 +1,72 @@
+"""Model persistence: save/load trained HMMs.
+
+Training a CMarkov model costs minutes; scoring costs microseconds.  A
+deployment trains once (per program release) and ships the model to the
+monitoring hosts, so the parameters need a stable on-disk format.  We use a
+single ``.npz`` archive holding the three parameter arrays plus a JSON
+header with the alphabet and state labels.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ModelError
+from .model import HiddenMarkovModel
+
+#: Format version written into every archive; bump on layout changes.
+FORMAT_VERSION = 1
+
+
+def save_model(model: HiddenMarkovModel, path: str | Path) -> None:
+    """Write ``model`` to ``path`` (``.npz`` archive)."""
+    path = Path(path)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "symbols": list(model.symbols),
+        "state_labels": list(model.state_labels) if model.state_labels else None,
+    }
+    np.savez_compressed(
+        path,
+        transition=model.transition,
+        emission=model.emission,
+        initial=model.initial,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_model(path: str | Path) -> HiddenMarkovModel:
+    """Read a model previously written by :func:`save_model`.
+
+    Raises:
+        ModelError: on a missing file, wrong format version, or an archive
+            whose parameters fail validation.
+    """
+    path = Path(path)
+    if not path.exists():
+        # numpy appends .npz when saving if absent; mirror that on load.
+        alternative = path.with_suffix(path.suffix + ".npz")
+        if alternative.exists():
+            path = alternative
+        else:
+            raise ModelError(f"model file {path} does not exist")
+    try:
+        archive = np.load(path)
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+    except (OSError, ValueError, KeyError) as exc:
+        raise ModelError(f"cannot read model archive {path}: {exc}") from exc
+    if header.get("format_version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported model format version {header.get('format_version')}"
+        )
+    state_labels = header.get("state_labels")
+    return HiddenMarkovModel(
+        transition=archive["transition"],
+        emission=archive["emission"],
+        initial=archive["initial"],
+        symbols=tuple(header["symbols"]),
+        state_labels=tuple(state_labels) if state_labels else None,
+    )

@@ -1,0 +1,149 @@
+"""Viterbi decoding: most likely hidden-state paths.
+
+Beyond classification, a deployed detector wants to *explain* an alert.
+Decoding the most likely state path through a statically-initialized model
+maps each observed call back to the call (or call cluster) the model thinks
+the program was executing — so a wrong-context call shows up as a position
+where the decoded state's emission probability for the observation
+collapses.  :func:`explain_segment` packages that per-position view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from .forward import _check_obs
+from .model import HiddenMarkovModel
+
+#: Log-space floor for zero probabilities.
+LOG_FLOOR = -1e30
+
+
+@dataclass(frozen=True)
+class DecodedPath:
+    """Viterbi decoding result for one sequence.
+
+    Attributes:
+        states: most likely hidden-state index per time step.
+        log_probability: joint log-probability of the path and observations.
+    """
+
+    states: np.ndarray
+    log_probability: float
+
+
+def viterbi(model: HiddenMarkovModel, obs: np.ndarray) -> list[DecodedPath]:
+    """Decode the most likely state path for each observation sequence.
+
+    Args:
+        model: the HMM.
+        obs: (B, T) integer observations (or (T,) for a single sequence).
+
+    Returns:
+        One :class:`DecodedPath` per sequence.
+    """
+    obs = _check_obs(model, obs)
+    with np.errstate(divide="ignore"):
+        log_a = np.where(model.transition > 0, np.log(model.transition), LOG_FLOOR)
+        log_b = np.where(model.emission > 0, np.log(model.emission), LOG_FLOOR)
+        log_pi = np.where(model.initial > 0, np.log(model.initial), LOG_FLOOR)
+
+    paths: list[DecodedPath] = []
+    batch, length = obs.shape
+    n = model.n_states
+    for index in range(batch):
+        sequence = obs[index]
+        delta = log_pi + log_b[:, sequence[0]]
+        backpointers = np.empty((length, n), dtype=np.int64)
+        for t in range(1, length):
+            candidates = delta[:, None] + log_a  # (from, to)
+            backpointers[t] = candidates.argmax(axis=0)
+            delta = candidates.max(axis=0) + log_b[:, sequence[t]]
+        best_final = int(delta.argmax())
+        states = np.empty(length, dtype=np.int64)
+        states[-1] = best_final
+        for t in range(length - 1, 0, -1):
+            states[t - 1] = backpointers[t, states[t]]
+        paths.append(
+            DecodedPath(states=states, log_probability=float(delta[best_final]))
+        )
+    return paths
+
+
+@dataclass(frozen=True)
+class PositionExplanation:
+    """Why one position of a segment looked (ab)normal.
+
+    Attributes:
+        position: index within the segment.
+        symbol: the observed symbol.
+        state_label: descriptive label of the decoded hidden state (the
+            call/cluster the model believes was executing), if available.
+        emission_log_prob: log-probability that the decoded state emits the
+            observed symbol — very negative means "this call does not belong
+            here" (wrong context or unknown call).
+        transition_log_prob: log-probability of entering the decoded state
+            from the previous one (the initial probability at position 0) —
+            very negative means "this call cannot follow the previous one"
+            (impossible order).
+    """
+
+    position: int
+    symbol: str
+    state_label: str | None
+    emission_log_prob: float
+    transition_log_prob: float
+
+    @property
+    def local_log_prob(self) -> float:
+        """Combined local cost of the position along the decoded path."""
+        return self.emission_log_prob + self.transition_log_prob
+
+
+def explain_segment(
+    model: HiddenMarkovModel, segment: list[str] | tuple[str, ...]
+) -> list[PositionExplanation]:
+    """Per-position anomaly attribution for one segment.
+
+    Returns explanations sorted by position; sort by ``emission_log_prob``
+    to rank the most suspicious calls first.
+    """
+    if not segment:
+        raise ModelError("cannot explain an empty segment")
+    obs = model.encode([list(segment)])
+    path = viterbi(model, obs)[0]
+    explanations: list[PositionExplanation] = []
+    for position, (state, symbol_index) in enumerate(zip(path.states, obs[0])):
+        emission = float(model.emission[state, symbol_index])
+        if position == 0:
+            transition = float(model.initial[state])
+        else:
+            transition = float(model.transition[path.states[position - 1], state])
+        label = (
+            model.state_labels[state] if model.state_labels is not None else None
+        )
+        explanations.append(
+            PositionExplanation(
+                position=position,
+                symbol=segment[position],
+                state_label=label,
+                emission_log_prob=float(np.log(max(emission, 1e-300))),
+                transition_log_prob=float(np.log(max(transition, 1e-300))),
+            )
+        )
+    return explanations
+
+
+def most_suspicious_positions(
+    model: HiddenMarkovModel,
+    segment: list[str] | tuple[str, ...],
+    top: int = 3,
+) -> list[PositionExplanation]:
+    """The ``top`` positions with the worst local (transition + emission)
+    cost along the decoded path — wrong-context calls surface through the
+    emission term, impossible orderings through the transition term."""
+    explanations = explain_segment(model, segment)
+    return sorted(explanations, key=lambda e: e.local_log_prob)[:top]

@@ -1,0 +1,76 @@
+"""Program substrate: toy IR, CFGs, call graph, corpus, and binary layout.
+
+This package is the synthetic stand-in for the real binaries + Dyninst
+toolchain the paper uses.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from .builder import FunctionBuilder, ProgramBuilder
+from .callgraph import CallGraph, build_call_graph
+from .calls import (
+    LIBCALLS,
+    SYSCALLS,
+    CallKind,
+    classify_call,
+    is_observable,
+    observable_names,
+)
+from .cfg import INDIRECT_CALL, BasicBlock, CallSite, FunctionCFG, linear_cfg
+from .dot import call_graph_to_dot, cfg_to_dot
+from .corpus import (
+    ALL_PROGRAMS,
+    PROGRAM_SPECS,
+    SERVER_PROGRAMS,
+    UTILITY_PROGRAMS,
+    CorpusSpec,
+    load_corpus,
+    load_program,
+    make_paper_example,
+    wrapper_name,
+)
+from .image import BinaryImage, SyscallSite, layout_libc, layout_program
+from .instructions import Instruction, decode_one, decode_window
+from .metrics import FunctionMetrics, ProgramMetrics, function_metrics, program_metrics
+from .program import Program, context_label, split_label
+
+__all__ = [
+    "ALL_PROGRAMS",
+    "INDIRECT_CALL",
+    "call_graph_to_dot",
+    "cfg_to_dot",
+    "LIBCALLS",
+    "PROGRAM_SPECS",
+    "SERVER_PROGRAMS",
+    "SYSCALLS",
+    "UTILITY_PROGRAMS",
+    "BasicBlock",
+    "BinaryImage",
+    "CallGraph",
+    "CallKind",
+    "CallSite",
+    "CorpusSpec",
+    "FunctionBuilder",
+    "FunctionCFG",
+    "Instruction",
+    "Program",
+    "ProgramBuilder",
+    "SyscallSite",
+    "build_call_graph",
+    "classify_call",
+    "context_label",
+    "decode_one",
+    "decode_window",
+    "FunctionMetrics",
+    "ProgramMetrics",
+    "function_metrics",
+    "program_metrics",
+    "is_observable",
+    "layout_libc",
+    "layout_program",
+    "linear_cfg",
+    "load_corpus",
+    "load_program",
+    "make_paper_example",
+    "observable_names",
+    "split_label",
+    "wrapper_name",
+]

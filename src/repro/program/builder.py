@@ -1,0 +1,182 @@
+"""Fluent construction of function CFGs and whole programs.
+
+The synthetic-corpus generators (:mod:`repro.program.corpus`) assemble the
+eight evaluation programs out of three structural elements — straight-line
+call sequences, conditional branches, and loops — which this module provides
+as a small builder DSL:
+
+    >>> pb = ProgramBuilder("demo")
+    >>> f = pb.function("main")
+    >>> _ = f.seq("getenv", "malloc").branch(["read", "write"], ["printf"])
+    >>> _ = f.loop(["fgets", "strlen"]).seq("free", "exit_group")
+    >>> program = pb.build()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ProgramStructureError
+from .cfg import FunctionCFG
+from .program import Program
+
+
+class FunctionBuilder:
+    """Incrementally grows one :class:`FunctionCFG`.
+
+    The builder keeps a *cursor*: the set of dangling blocks that the next
+    element attaches to.  ``finish()`` (called automatically by
+    :meth:`ProgramBuilder.build`) joins the cursor into a single exit block.
+    """
+
+    def __init__(self, cfg: FunctionCFG) -> None:
+        self._cfg = cfg
+        entry = cfg.add_block()
+        self._cursor: list[int] = [entry]
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+    def seq(self, *calls: str) -> "FunctionBuilder":
+        """Append a straight-line sequence of call blocks."""
+        self._check_open()
+        for name in calls:
+            node = self._cfg.add_block(call=name)
+            self._attach(node)
+            self._cursor = [node]
+        return self
+
+    def branch(
+        self, *arms: Sequence[str], empty_arm: bool = False
+    ) -> "FunctionBuilder":
+        """Append a conditional branch.
+
+        Each arm is a sequence of call names (an empty sequence is a plain
+        fall-through arm).  ``empty_arm=True`` adds an extra empty arm, the
+        common "condition not taken" shape.
+        """
+        self._check_open()
+        if not arms and not empty_arm:
+            raise ProgramStructureError("branch needs at least one arm")
+        head = self._cfg.add_block()
+        self._attach(head)
+        arm_lists = [list(arm) for arm in arms]
+        if empty_arm:
+            arm_lists.append([])
+        join = self._cfg.add_block()
+        for arm in arm_lists:
+            prev = head
+            for name in arm:
+                node = self._cfg.add_block(call=name)
+                self._cfg.add_edge(prev, node)
+                prev = node
+            self._cfg.add_edge(prev, join)
+        self._cursor = [join]
+        return self
+
+    def loop(self, body: Sequence[str], may_skip: bool = True) -> "FunctionBuilder":
+        """Append a loop whose body makes ``body`` calls in order.
+
+        The loop head is a test block: one edge enters the body, one exits.
+        The body's last block has a back edge to the head.  With
+        ``may_skip=False`` the body is forced to execute at least once
+        (do-while shape).
+        """
+        self._check_open()
+        if not body:
+            raise ProgramStructureError("loop body must make at least one call")
+        head = self._cfg.add_block()
+        self._attach(head)
+        prev = head
+        first_body: int | None = None
+        for name in body:
+            node = self._cfg.add_block(call=name)
+            self._cfg.add_edge(prev, node)
+            if first_body is None:
+                first_body = node
+            prev = node
+        self._cfg.add_edge(prev, head)  # back edge
+        after = self._cfg.add_block()
+        if may_skip:
+            self._cfg.add_edge(head, after)
+        else:
+            self._cfg.add_edge(prev, after)
+        self._cursor = [after]
+        return self
+
+    def call(self, name: str) -> "FunctionBuilder":
+        """Append a single call block (alias for one-element :meth:`seq`)."""
+        return self.seq(name)
+
+    def indirect(self, *targets: str) -> "FunctionBuilder":
+        """Append a function-pointer dispatch over ``targets``.
+
+        Static analysis treats the site as call-free (the paper learns
+        pointer behaviour from traces); the executor picks a target at
+        runtime.
+        """
+        from .cfg import CallSite
+
+        self._check_open()
+        node = self._cfg.add_block(site=CallSite.indirect(targets))
+        self._attach(node)
+        self._cursor = [node]
+        return self
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def finish(self) -> FunctionCFG:
+        """Seal the function with a single exit block and return its CFG.
+
+        The exit block is weightless: a function whose last real block makes
+        a syscall compiles to ``... SYSCALL; RET``, the classic 2-instruction
+        gadget shape the Table III scan must be able to find.
+        """
+        if not self._finished:
+            exit_block = self._cfg.add_block(weight=0)
+            self._attach(exit_block)
+            self._cursor = [exit_block]
+            self._finished = True
+        return self._cfg
+
+    @property
+    def cfg(self) -> FunctionCFG:
+        return self._cfg
+
+    def _attach(self, node: int) -> None:
+        for open_block in self._cursor:
+            self._cfg.add_edge(open_block, node)
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise ProgramStructureError(
+                f"{self._cfg.name}: cannot extend a finished function"
+            )
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` out of :class:`FunctionBuilder` functions."""
+
+    def __init__(self, name: str, entry_function: str = "main") -> None:
+        self._program = Program(name=name, entry_function=entry_function)
+        self._builders: dict[str, FunctionBuilder] = {}
+
+    def function(self, name: str) -> FunctionBuilder:
+        """Open (or reopen) the builder for function ``name``."""
+        if name in self._builders:
+            return self._builders[name]
+        builder = FunctionBuilder(FunctionCFG(name))
+        self._builders[name] = builder
+        return builder
+
+    def build(self, validate: bool = True) -> Program:
+        """Finish every function and return the validated program."""
+        for builder in self._builders.values():
+            cfg = builder.finish()
+            if cfg.name not in self._program.functions:
+                self._program.add_function(cfg)
+        if validate:
+            self._program.validate()
+        return self._program

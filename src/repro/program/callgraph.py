@@ -1,0 +1,87 @@
+"""Call-graph construction and traversal order for matrix aggregation.
+
+The aggregation pass (Section IV of the paper) inlines callee call-transition
+summaries into callers, so callees must be summarized first.  This module
+derives the call graph from the CFGs, condenses strongly connected components
+(recursion), and yields a bottom-up processing order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import ProgramStructureError
+from .calls import CallKind
+from .program import Program
+
+
+@dataclass
+class CallGraph:
+    """Internal-call relationships of a program.
+
+    Attributes:
+        graph: directed graph; node = function name, edge caller -> callee.
+        recursive_edges: call edges that participate in a cycle (an SCC of
+            size > 1, or a self-call).  The aggregation pass treats these
+            call sites as call-free pass-throughs, mirroring the paper's
+            stance that recursion is learned dynamically from traces.
+    """
+
+    graph: nx.DiGraph
+    recursive_edges: frozenset[tuple[str, str]] = field(default_factory=frozenset)
+
+    def callees(self, function: str) -> list[str]:
+        return sorted(self.graph.successors(function))
+
+    def callers(self, function: str) -> list[str]:
+        return sorted(self.graph.predecessors(function))
+
+    def bottom_up_order(self) -> list[str]:
+        """Functions ordered so every (non-recursive) callee precedes callers."""
+        acyclic = nx.DiGraph(self.graph)
+        acyclic.remove_edges_from(self.recursive_edges)
+        order = list(nx.topological_sort(acyclic))
+        order.reverse()
+        return order
+
+    def is_recursive_edge(self, caller: str, callee: str) -> bool:
+        return (caller, callee) in self.recursive_edges
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    """Derive the :class:`CallGraph` of ``program`` from its CFGs.
+
+    Raises:
+        ProgramStructureError: when an internal call site names a function
+            that is not defined in the program.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(program.functions)
+    for function in program.functions.values():
+        for block in function.call_blocks():
+            site = block.call
+            assert site is not None
+            if site.kind is not CallKind.INTERNAL:
+                continue
+            if site.is_indirect:
+                # Function-pointer dispatch: no static call edge — the
+                # paper's analysis leaves pointer targets to trace learning.
+                continue
+            if site.name not in program.functions:
+                raise ProgramStructureError(
+                    f"{function.name}: call to undefined function {site.name!r}"
+                )
+            graph.add_edge(function.name, site.name)
+
+    recursive: set[tuple[str, str]] = set()
+    for scc in nx.strongly_connected_components(graph):
+        if len(scc) > 1:
+            for src, dst in graph.edges():
+                if src in scc and dst in scc:
+                    recursive.add((src, dst))
+    for node in graph.nodes():
+        if graph.has_edge(node, node):
+            recursive.add((node, node))
+    return CallGraph(graph=graph, recursive_edges=frozenset(recursive))

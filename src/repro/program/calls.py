@@ -1,0 +1,207 @@
+"""Tables of observable call names and call-kind classification.
+
+The paper monitors two event families: Linux *system calls* (collected with
+``strace`` in the original work) and *glibc library calls* (collected with
+``ltrace``).  Our synthetic programs draw their call sites from the tables
+below so that generated traces look like the traces of the real programs the
+paper evaluates (grep, gzip, bash, proftpd, nginx, ...).
+
+Internal (user-defined) function calls are a third kind: they appear in CFGs
+and drive aggregation, but are never observation symbols.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CallKind(enum.Enum):
+    """Classification of a call site inside a basic block."""
+
+    SYSCALL = "syscall"
+    LIBCALL = "libcall"
+    INTERNAL = "internal"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: System calls used by the synthetic corpus.  The selection mirrors what the
+#: paper's utility and server programs actually issue (file I/O, memory
+#: management, signals, process control, and sockets for the servers).
+SYSCALLS: tuple[str, ...] = (
+    "read",
+    "write",
+    "open",
+    "openat",
+    "close",
+    "stat",
+    "fstat",
+    "lstat",
+    "lseek",
+    "mmap",
+    "munmap",
+    "brk",
+    "rt_sigaction",
+    "rt_sigprocmask",
+    "ioctl",
+    "access",
+    "pipe",
+    "dup2",
+    "getpid",
+    "socket",
+    "connect",
+    "accept",
+    "bind",
+    "listen",
+    "sendto",
+    "recvfrom",
+    "setsockopt",
+    "fork",
+    "clone",
+    "execve",
+    "exit_group",
+    "wait4",
+    "kill",
+    "uname",
+    "fcntl",
+    "getdents",
+    "getcwd",
+    "chdir",
+    "rename",
+    "mkdir",
+    "rmdir",
+    "unlink",
+    "chmod",
+    "chown",
+    "umask",
+    "gettimeofday",
+    "getuid",
+    "setuid",
+    "futex",
+    "epoll_wait",
+    "epoll_ctl",
+    "writev",
+    "select",
+    "poll",
+    "nanosleep",
+)
+
+#: glibc library calls used by the synthetic corpus.
+LIBCALLS: tuple[str, ...] = (
+    "malloc",
+    "calloc",
+    "realloc",
+    "free",
+    "memcpy",
+    "memmove",
+    "memset",
+    "memcmp",
+    "strlen",
+    "strcmp",
+    "strncmp",
+    "strcpy",
+    "strncpy",
+    "strcat",
+    "strchr",
+    "strrchr",
+    "strstr",
+    "strtok",
+    "strdup",
+    "sprintf",
+    "snprintf",
+    "printf",
+    "fprintf",
+    "vfprintf",
+    "sscanf",
+    "fopen",
+    "fclose",
+    "fread",
+    "fwrite",
+    "fgets",
+    "fputs",
+    "fputc",
+    "fgetc",
+    "fflush",
+    "fseek",
+    "ftell",
+    "feof",
+    "getc",
+    "putc",
+    "puts",
+    "atoi",
+    "atol",
+    "strtol",
+    "strtoul",
+    "getenv",
+    "setenv",
+    "qsort",
+    "bsearch",
+    "regcomp",
+    "regexec",
+    "regfree",
+    "isalpha",
+    "isdigit",
+    "isspace",
+    "tolower",
+    "toupper",
+    "setlocale",
+    "localeconv",
+    "gettext",
+    "abort",
+    "exit",
+    "atexit",
+    "signal",
+    "longjmp",
+    "setjmp",
+    "time",
+    "localtime",
+    "strftime",
+    "rand",
+    "srand",
+    "getopt",
+    "getopt_long",
+    "perror",
+    "opendir",
+    "readdir",
+    "closedir",
+    "dlopen",
+    "dlsym",
+    "gethostbyname",
+    "inet_ntoa",
+    "htons",
+    "ntohs",
+    "crypt",
+    "gcry_cipher_encrypt",
+)
+
+_SYSCALL_SET = frozenset(SYSCALLS)
+_LIBCALL_SET = frozenset(LIBCALLS)
+
+
+def classify_call(name: str) -> CallKind:
+    """Return the :class:`CallKind` of ``name``.
+
+    Names in neither table are treated as internal (user-defined) functions,
+    matching how the paper's toolchain separates ``strace``/``ltrace`` events
+    from ordinary calls.
+    """
+    if name in _SYSCALL_SET:
+        return CallKind.SYSCALL
+    if name in _LIBCALL_SET:
+        return CallKind.LIBCALL
+    return CallKind.INTERNAL
+
+
+def is_observable(name: str) -> bool:
+    """True when ``name`` is a syscall or libcall (an observation symbol)."""
+    return name in _SYSCALL_SET or name in _LIBCALL_SET
+
+
+def observable_names(kind: CallKind) -> tuple[str, ...]:
+    """Return the full name table for an observable :class:`CallKind`."""
+    if kind is CallKind.SYSCALL:
+        return SYSCALLS
+    if kind is CallKind.LIBCALL:
+        return LIBCALLS
+    raise ValueError(f"{kind} is not an observable call kind")

@@ -1,0 +1,312 @@
+"""Control-flow graph representation (Definition 1 of the paper).
+
+A :class:`FunctionCFG` is a directed graph whose nodes are basic blocks and
+whose edges are control transfers.  A basic block may contain at most one
+call site (system call, library call, or internal call) — the paper's static
+analysis only cares about call-bearing nodes, so richer blocks are split by
+the builder before they reach the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import ProgramStructureError
+from .calls import CallKind, classify_call
+
+
+#: Pseudo-name of indirect (function-pointer) call sites.
+INDIRECT_CALL = "*indirect*"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A call made by a basic block.
+
+    Attributes:
+        name: called symbol (syscall name, libcall name, or internal
+            function name), or :data:`INDIRECT_CALL` for a function-pointer
+            dispatch.
+        kind: classification of the called symbol.
+        targets: candidate callees of an indirect site.  Static analysis
+            deliberately ignores them — the paper's stance is that function
+            pointers "will be learned from program traces" — but the
+            executor dispatches through them and validation checks they
+            exist.
+    """
+
+    name: str
+    kind: CallKind
+    targets: tuple[str, ...] = ()
+
+    @classmethod
+    def of(cls, name: str) -> "CallSite":
+        """Build a call site, classifying ``name`` against the call tables."""
+        return cls(name=name, kind=classify_call(name))
+
+    @classmethod
+    def indirect(cls, targets: Iterable[str]) -> "CallSite":
+        """Build an indirect call site dispatching over ``targets``."""
+        target_tuple = tuple(targets)
+        if not target_tuple:
+            raise ProgramStructureError("indirect call needs at least one target")
+        return cls(name=INDIRECT_CALL, kind=CallKind.INTERNAL, targets=target_tuple)
+
+    @property
+    def observable(self) -> bool:
+        """True when the call is a syscall or libcall (emits a trace event)."""
+        return self.kind is not CallKind.INTERNAL
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.name == INDIRECT_CALL
+
+
+@dataclass
+class BasicBlock:
+    """A CFG node: a run of straight-line instructions with ≤ 1 call site.
+
+    Attributes:
+        block_id: identifier unique within the enclosing function.
+        call: the call site made by the block, or ``None`` for plain blocks.
+        weight: relative size of the block in toy-ISA instructions; used by
+            the binary layout pass when emitting the address-space image.
+    """
+
+    block_id: int
+    call: CallSite | None = None
+    weight: int = 4
+
+    @property
+    def is_call(self) -> bool:
+        return self.call is not None
+
+
+class FunctionCFG:
+    """The control-flow graph of one function.
+
+    The graph has a single entry block.  Exit blocks (no successors) model
+    function returns.  Self-loops and arbitrary cycles are allowed: the
+    static-analysis passes remove back edges (Section IV of the paper: loop
+    behaviour is learned from traces), while the trace executor walks the
+    cyclic graph directly.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._blocks: dict[int, BasicBlock] = {}
+        self._succs: dict[int, list[int]] = {}
+        self._preds: dict[int, list[int]] = {}
+        self._entry: int | None = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_block(
+        self,
+        call: str | None = None,
+        weight: int = 4,
+        site: CallSite | None = None,
+    ) -> int:
+        """Add a block; the first block added becomes the entry.
+
+        Args:
+            call: symbol called by the block, or ``None``.
+            weight: toy-instruction count for binary layout.
+            site: pre-built call site (e.g. :meth:`CallSite.indirect`);
+                mutually exclusive with ``call``.
+
+        Returns:
+            The new block id.
+        """
+        if call is not None and site is not None:
+            raise ProgramStructureError("pass either call or site, not both")
+        block_id = self._next_id
+        self._next_id += 1
+        if site is None and call is not None:
+            site = CallSite.of(call)
+        self._blocks[block_id] = BasicBlock(block_id=block_id, call=site, weight=weight)
+        self._succs[block_id] = []
+        self._preds[block_id] = []
+        if self._entry is None:
+            self._entry = block_id
+        return block_id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Add a control-flow edge ``src -> dst``."""
+        if src not in self._blocks or dst not in self._blocks:
+            raise ProgramStructureError(
+                f"{self.name}: edge ({src} -> {dst}) references unknown block"
+            )
+        if dst in self._succs[src]:
+            return
+        self._succs[src].append(dst)
+        self._preds[dst].append(src)
+
+    def set_entry(self, block_id: int) -> None:
+        """Override the entry block (defaults to the first block added)."""
+        if block_id not in self._blocks:
+            raise ProgramStructureError(f"{self.name}: unknown entry block {block_id}")
+        self._entry = block_id
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> int:
+        if self._entry is None:
+            raise ProgramStructureError(f"{self.name}: function has no blocks")
+        return self._entry
+
+    @property
+    def blocks(self) -> dict[int, BasicBlock]:
+        return self._blocks
+
+    def block(self, block_id: int) -> BasicBlock:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise ProgramStructureError(
+                f"{self.name}: unknown block {block_id}"
+            ) from None
+
+    def successors(self, block_id: int) -> list[int]:
+        return self._succs[block_id]
+
+    def predecessors(self, block_id: int) -> list[int]:
+        return self._preds[block_id]
+
+    def exit_blocks(self) -> list[int]:
+        """Blocks with no successors (function returns)."""
+        return [b for b, succ in self._succs.items() if not succ]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for src, succ in self._succs.items():
+            for dst in succ:
+                yield (src, dst)
+
+    def call_blocks(self) -> list[BasicBlock]:
+        """All blocks that make a call, in block-id order."""
+        return [b for _, b in sorted(self._blocks.items()) if b.is_call]
+
+    def calls(self, kind: CallKind | None = None) -> list[CallSite]:
+        """All call sites, optionally filtered by kind."""
+        sites = [b.call for b in self.call_blocks() if b.call is not None]
+        if kind is None:
+            return sites
+        return [s for s in sites if s.kind is kind]
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FunctionCFG({self.name!r}, blocks={len(self._blocks)}, "
+            f"edges={sum(len(s) for s in self._succs.values())})"
+        )
+
+    # ------------------------------------------------------------------
+    # Structural analysis helpers
+    # ------------------------------------------------------------------
+    def reachable_blocks(self) -> set[int]:
+        """Blocks reachable from the entry."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succs[node])
+        return seen
+
+    def back_edges(self) -> set[tuple[int, int]]:
+        """Return the back edges found by an iterative DFS from the entry.
+
+        Removing these edges leaves an acyclic graph, which is what the
+        probability-forecast pass operates on (Equation 1 is defined
+        top-down from the function entry).
+        """
+        color: dict[int, int] = {}  # 0 = in progress, 1 = done
+        back: set[tuple[int, int]] = set()
+        stack: list[tuple[int, Iterator[int]]] = []
+        entry = self.entry
+        color[entry] = 0
+        stack.append((entry, iter(self._succs[entry])))
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for child in it:
+                state = color.get(child)
+                if state == 0:
+                    back.add((node, child))
+                elif state is None:
+                    color[child] = 0
+                    stack.append((child, iter(self._succs[child])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 1
+                stack.pop()
+        return back
+
+    def forward_topological_order(self) -> list[int]:
+        """Topological order of reachable blocks after back-edge removal."""
+        back = self.back_edges()
+        reachable = self.reachable_blocks()
+        indeg = {b: 0 for b in reachable}
+        for src, dst in self.edges():
+            if (src, dst) in back or src not in reachable:
+                continue
+            indeg[dst] += 1
+        order: list[int] = []
+        frontier = [b for b, d in indeg.items() if d == 0]
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for child in self._succs[node]:
+                if (node, child) in back:
+                    continue
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    frontier.append(child)
+        if len(order) != len(reachable):
+            raise ProgramStructureError(
+                f"{self.name}: cycle remains after back-edge removal"
+            )
+        return order
+
+    def validate(self) -> None:
+        """Check basic structural invariants, raising on violation."""
+        if self._entry is None:
+            raise ProgramStructureError(f"{self.name}: function has no blocks")
+        if not self.exit_blocks():
+            raise ProgramStructureError(f"{self.name}: function has no exit block")
+        unreachable = set(self._blocks) - self.reachable_blocks()
+        if unreachable:
+            raise ProgramStructureError(
+                f"{self.name}: unreachable blocks {sorted(unreachable)}"
+            )
+
+
+def count_edges(cfg: FunctionCFG) -> int:
+    """Total number of edges in ``cfg``."""
+    return sum(len(cfg.successors(b)) for b in cfg.blocks)
+
+
+def linear_cfg(name: str, call_names: Iterable[str]) -> FunctionCFG:
+    """Build a straight-line CFG that makes ``call_names`` in order.
+
+    Convenience used heavily by tests and examples.
+    """
+    cfg = FunctionCFG(name)
+    prev = cfg.add_block()
+    for call in call_names:
+        node = cfg.add_block(call=call)
+        cfg.add_edge(prev, node)
+        prev = node
+    tail = cfg.add_block()
+    cfg.add_edge(prev, tail)
+    return cfg

@@ -1,0 +1,643 @@
+"""Synthetic evaluation corpus: the paper's eight programs, reconstructed.
+
+The original evaluation analyses real Linux binaries (flex, grep, gzip, sed,
+bash, vim, proftpd, nginx) with Dyninst.  Those binaries — and Dyninst — are
+not available here, so this module *synthesizes* programs with the same
+structural properties the paper's results depend on:
+
+* **Syscall funnelling.**  System calls are made through a small number of
+  wrapper functions (glibc-style), so the set of distinct ``syscall@caller``
+  labels is barely larger than the set of distinct syscall names.  This is
+  why context sensitivity helps syscall models only mildly (Section V-C).
+* **Libcall diversity.**  Library calls are invoked directly from many user
+  functions, so the context-labeled libcall alphabet is much larger than the
+  bare-name alphabet — the regime where CMarkov shines.
+* **Program shape.**  Utilities are option-parse / work-loop / cleanup
+  pipelines; servers are accept-loop daemons with per-request handlers.
+
+Each program is generated deterministically from a per-program seed, and a
+``scale`` knob grows or shrinks the function count so experiments can run at
+laptop speed or closer to paper scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProgramStructureError
+from .builder import FunctionBuilder, ProgramBuilder
+from .calls import LIBCALLS, SYSCALLS
+from .program import Program
+
+#: Names of the six SIR utility programs evaluated in the paper.
+UTILITY_PROGRAMS: tuple[str, ...] = ("flex", "grep", "gzip", "sed", "bash", "vim")
+#: Names of the two server programs evaluated in the paper.
+SERVER_PROGRAMS: tuple[str, ...] = ("proftpd", "nginx")
+#: All corpus programs.
+ALL_PROGRAMS: tuple[str, ...] = UTILITY_PROGRAMS + SERVER_PROGRAMS
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Generation parameters for one synthetic program.
+
+    Attributes:
+        name: program name.
+        seed: RNG seed (per-program, so corpora are reproducible).
+        n_leaf: number of leaf utility functions (libcall-heavy).
+        n_mid: number of mid-level functions (call leaves + wrappers).
+        n_phase: number of top-level phase functions called from ``main``.
+        libcall_pool: libcall names this program uses.
+        syscall_pool: syscall names this program uses.
+        double_wrapped: syscalls that get two wrapper functions instead of
+            one (adds mild caller diversity for a few syscalls, as real
+            programs have e.g. both buffered and raw read paths).
+        server: if True, ``main`` is an accept/event loop daemon.
+        n_handlers: size of the program's function-pointer dispatch table
+            (bash builtins, nginx/proftpd request handlers); 0 disables it.
+            Dispatch targets are invisible to static analysis — the paper's
+            "function pointers ... learned from program traces" regime.
+        loc: lines-of-code metadata (descriptive only).
+        size_kb: binary-size metadata (descriptive only).
+    """
+
+    name: str
+    seed: int
+    n_leaf: int
+    n_mid: int
+    n_phase: int
+    libcall_pool: tuple[str, ...]
+    syscall_pool: tuple[str, ...]
+    double_wrapped: tuple[str, ...] = ()
+    server: bool = False
+    n_handlers: int = 0
+    loc: int = 10_000
+    size_kb: int = 500
+
+    def scaled(self, scale: float) -> "CorpusSpec":
+        """Return a copy with function counts multiplied by ``scale``."""
+        if scale <= 0:
+            raise ProgramStructureError(f"scale must be positive, got {scale}")
+        return dataclasses.replace(
+            self,
+            n_leaf=max(2, round(self.n_leaf * scale)),
+            n_mid=max(1, round(self.n_mid * scale)),
+            n_phase=max(1, round(self.n_phase * scale)),
+        )
+
+
+def _pool(names: tuple[str, ...], *extra: str) -> tuple[str, ...]:
+    seen: dict[str, None] = dict.fromkeys(names)
+    for name in extra:
+        seen.setdefault(name)
+    return tuple(seen)
+
+
+_FILE_SYS = ("open", "openat", "read", "write", "close", "stat", "fstat", "lseek")
+_MEM_SYS = ("brk", "mmap", "munmap")
+_SIG_SYS = ("rt_sigaction", "rt_sigprocmask")
+_PROC_SYS = ("fork", "execve", "wait4", "exit_group", "getpid")
+_NET_SYS = (
+    "socket",
+    "bind",
+    "listen",
+    "accept",
+    "connect",
+    "sendto",
+    "recvfrom",
+    "setsockopt",
+)
+
+_STR_LIB = (
+    "strlen",
+    "strcmp",
+    "strncmp",
+    "strcpy",
+    "strncpy",
+    "strchr",
+    "strstr",
+    "strdup",
+    "strcat",
+)
+_MEM_LIB = ("malloc", "calloc", "realloc", "free", "memcpy", "memset", "memcmp")
+_IO_LIB = (
+    "fopen",
+    "fclose",
+    "fread",
+    "fwrite",
+    "fgets",
+    "fputs",
+    "fputc",
+    "fgetc",
+    "fflush",
+    "printf",
+    "fprintf",
+    "sprintf",
+    "snprintf",
+    "puts",
+    "perror",
+)
+_CTYPE_LIB = ("isalpha", "isdigit", "isspace", "tolower", "toupper")
+_MISC_LIB = ("getenv", "atoi", "strtol", "qsort", "exit", "atexit", "getopt")
+
+PROGRAM_SPECS: dict[str, CorpusSpec] = {
+    "flex": CorpusSpec(
+        name="flex",
+        seed=101,
+        n_leaf=14,
+        n_mid=6,
+        n_phase=4,
+        libcall_pool=_pool(_STR_LIB, *_MEM_LIB, *_IO_LIB[:8], "qsort", "getopt", "exit"),
+        syscall_pool=_pool(_FILE_SYS, *_MEM_SYS, "uname", "exit_group"),
+        double_wrapped=("read",),
+        loc=16_000,
+        size_kb=900,
+    ),
+    "grep": CorpusSpec(
+        name="grep",
+        seed=102,
+        n_leaf=12,
+        n_mid=5,
+        n_phase=3,
+        libcall_pool=_pool(
+            ("regcomp", "regexec", "regfree"),
+            *_STR_LIB,
+            *_MEM_LIB[:5],
+            "fgets",
+            "printf",
+            "fprintf",
+            "getopt_long",
+            "setlocale",
+            "exit",
+        ),
+        syscall_pool=_pool(_FILE_SYS, "brk", "mmap", "getdents", "exit_group"),
+        double_wrapped=("read", "open"),
+        loc=10_000,
+        size_kb=600,
+    ),
+    "gzip": CorpusSpec(
+        name="gzip",
+        seed=103,
+        n_leaf=10,
+        n_mid=4,
+        n_phase=3,
+        libcall_pool=_pool(
+            _MEM_LIB,
+            "strlen",
+            "strcpy",
+            "strcmp",
+            "fprintf",
+            "sprintf",
+            "perror",
+            "atoi",
+            "exit",
+            "signal",
+        ),
+        syscall_pool=_pool(
+            _FILE_SYS,
+            "brk",
+            "uname",
+            "rt_sigaction",
+            "unlink",
+            "chmod",
+            "chown",
+            "gettimeofday",
+            "exit_group",
+        ),
+        double_wrapped=("write",),
+        loc=8_000,
+        size_kb=400,
+    ),
+    "sed": CorpusSpec(
+        name="sed",
+        seed=104,
+        n_leaf=11,
+        n_mid=5,
+        n_phase=3,
+        libcall_pool=_pool(
+            ("regcomp", "regexec"),
+            *_STR_LIB[:7],
+            *_MEM_LIB[:5],
+            "fgets",
+            "fputs",
+            "fopen",
+            "fclose",
+            "printf",
+            "getopt",
+            "exit",
+        ),
+        syscall_pool=_pool(_FILE_SYS, "brk", "rename", "unlink", "exit_group"),
+        loc=12_000,
+        size_kb=500,
+    ),
+    "bash": CorpusSpec(
+        name="bash",
+        seed=105,
+        n_leaf=26,
+        n_mid=12,
+        n_phase=6,
+        libcall_pool=_pool(
+            _STR_LIB,
+            *_MEM_LIB,
+            *_IO_LIB,
+            *_CTYPE_LIB,
+            *_MISC_LIB,
+            "setenv",
+            "signal",
+            "longjmp",
+            "setjmp",
+            "opendir",
+            "readdir",
+            "closedir",
+            "time",
+        ),
+        syscall_pool=_pool(
+            _FILE_SYS,
+            *_MEM_SYS,
+            *_SIG_SYS,
+            *_PROC_SYS,
+            "pipe",
+            "dup2",
+            "ioctl",
+            "getcwd",
+            "chdir",
+            "getuid",
+            "kill",
+        ),
+        double_wrapped=("read", "write", "open"),
+        n_handlers=4,  # builtin-command dispatch
+        loc=70_000,
+        size_kb=1_600,
+    ),
+    "vim": CorpusSpec(
+        name="vim",
+        seed=106,
+        n_leaf=22,
+        n_mid=10,
+        n_phase=5,
+        libcall_pool=_pool(
+            _STR_LIB,
+            *_MEM_LIB,
+            *_IO_LIB[:10],
+            *_CTYPE_LIB,
+            "setlocale",
+            "getenv",
+            "time",
+            "localtime",
+            "strftime",
+            "exit",
+            "signal",
+        ),
+        syscall_pool=_pool(
+            _FILE_SYS,
+            *_MEM_SYS,
+            *_SIG_SYS,
+            "ioctl",
+            "access",
+            "select",
+            "getcwd",
+            "rename",
+            "unlink",
+            "exit_group",
+        ),
+        double_wrapped=("read", "write"),
+        loc=90_000,
+        size_kb=2_200,
+    ),
+    "proftpd": CorpusSpec(
+        name="proftpd",
+        seed=107,
+        n_leaf=20,
+        n_mid=9,
+        n_phase=5,
+        libcall_pool=_pool(
+            _STR_LIB,
+            *_MEM_LIB,
+            "snprintf",
+            "sprintf",
+            "fprintf",
+            "fopen",
+            "fclose",
+            "fgets",
+            "crypt",
+            "gethostbyname",
+            "inet_ntoa",
+            "htons",
+            "time",
+            "strftime",
+            "getenv",
+            "signal",
+            "exit",
+        ),
+        syscall_pool=_pool(
+            _NET_SYS,
+            *_FILE_SYS,
+            *_SIG_SYS,
+            "fork",
+            "wait4",
+            "dup2",
+            "chdir",
+            "getcwd",
+            "rename",
+            "mkdir",
+            "rmdir",
+            "unlink",
+            "chmod",
+            "getdents",
+            "setuid",
+            "getuid",
+            "exit_group",
+        ),
+        double_wrapped=("read", "write"),
+        server=True,
+        n_handlers=3,  # FTP command handlers
+        loc=68_000,
+        size_kb=2_800,
+    ),
+    "nginx": CorpusSpec(
+        name="nginx",
+        seed=108,
+        n_leaf=18,
+        n_mid=8,
+        n_phase=4,
+        libcall_pool=_pool(
+            ("memcpy", "memset", "memcmp", "malloc", "free", "calloc"),
+            "strlen",
+            "strncmp",
+            "strchr",
+            "snprintf",
+            "sprintf",
+            "time",
+            "localtime",
+            "strftime",
+            "htons",
+            "ntohs",
+            "inet_ntoa",
+            "getenv",
+            "exit",
+            "qsort",
+        ),
+        syscall_pool=_pool(
+            _NET_SYS,
+            "epoll_wait",
+            "epoll_ctl",
+            "writev",
+            *_FILE_SYS,
+            "mmap",
+            "munmap",
+            "brk",
+            "rt_sigaction",
+            "clone",
+            "futex",
+            "exit_group",
+        ),
+        double_wrapped=("read",),
+        server=True,
+        n_handlers=5,  # HTTP module handlers
+        loc=110_000,
+        size_kb=3_000,
+    ),
+}
+
+
+def wrapper_name(syscall: str, variant: int = 0) -> str:
+    """Name of the ``variant``-th wrapper function for ``syscall``."""
+    return f"sys_{syscall}" if variant == 0 else f"sys_{syscall}_{variant}"
+
+
+class _Generator:
+    """Stateful generator that assembles one program from a spec."""
+
+    def __init__(self, spec: CorpusSpec) -> None:
+        self.spec = spec
+        self.rng = np.random.default_rng(spec.seed)
+        self.pb = ProgramBuilder(spec.name)
+        self.wrappers: dict[str, list[str]] = {}
+        self.leaves: list[str] = []
+        self.mids: list[str] = []
+        self.phases: list[str] = []
+        self.handlers: list[str] = []
+        self.dispatcher: str | None = None
+
+    # -- random helpers -------------------------------------------------
+    def _pick(self, pool: tuple[str, ...] | list[str], k: int = 1) -> list[str]:
+        idx = self.rng.integers(0, len(pool), size=k)
+        return [pool[i] for i in idx]
+
+    def _libs(self, k: int) -> list[str]:
+        return self._pick(self.spec.libcall_pool, k)
+
+    # -- construction phases --------------------------------------------
+    def build(self) -> Program:
+        self._make_wrappers()
+        self._make_leaves()
+        self._make_handlers()
+        self._make_mids()
+        self._make_phases()
+        self._make_main()
+        program = self.pb.build()
+        program.metadata.update(
+            {
+                "loc": self.spec.loc,
+                "size_kb": self.spec.size_kb,
+                "server": self.spec.server,
+                "seed": self.spec.seed,
+            }
+        )
+        return program
+
+    def _make_wrappers(self) -> None:
+        """glibc-style wrappers: (almost) the only homes of raw syscalls."""
+        for syscall in self.spec.syscall_pool:
+            variants = 2 if syscall in self.spec.double_wrapped else 1
+            self.wrappers[syscall] = []
+            for variant in range(variants):
+                name = wrapper_name(syscall, variant)
+                fb = self.pb.function(name)
+                # Error-checking shape: maybe log through a libcall on the
+                # failure arm, always issue the syscall itself.
+                fb.call(syscall)
+                if self.rng.random() < 0.5:
+                    fb.branch(["perror"], empty_arm=True)
+                self.wrappers[syscall].append(name)
+
+    def _wrapper_for(self, syscall: str) -> str:
+        options = self.wrappers[syscall]
+        return options[int(self.rng.integers(0, len(options)))]
+
+    def _make_leaves(self) -> None:
+        """Leaf utilities: libcall-dense, occasionally hit a wrapper."""
+        for i in range(self.spec.n_leaf):
+            name = f"{self.spec.name}_leaf_{i}"
+            self.leaves.append(name)
+            fb = self.pb.function(name)
+            for _ in range(int(self.rng.integers(2, 5))):
+                self._emit_element(fb, call_pool=self._leaf_pool())
+
+    def _leaf_pool(self) -> list[str]:
+        pool = list(self._libs(6))
+        if self.rng.random() < 0.45:
+            pool.append(self._wrapper_for(self._pick(self.spec.syscall_pool)[0]))
+        return pool
+
+    def _make_handlers(self) -> None:
+        """Dispatch-table targets reached only through a function pointer."""
+        if self.spec.n_handlers <= 0:
+            return
+        for i in range(self.spec.n_handlers):
+            name = f"{self.spec.name}_handler_{i}"
+            self.handlers.append(name)
+            fb = self.pb.function(name)
+            for _ in range(int(self.rng.integers(2, 4))):
+                self._emit_element(fb, call_pool=self._leaf_pool())
+        self.dispatcher = f"{self.spec.name}_dispatch"
+        fb = self.pb.function(self.dispatcher)
+        fb.seq(*self._libs(1))
+        fb.indirect(*self.handlers)
+
+    def _make_mids(self) -> None:
+        """Mid-level functions: orchestrate leaves, wrappers and libcalls."""
+        for i in range(self.spec.n_mid):
+            name = f"{self.spec.name}_mid_{i}"
+            self.mids.append(name)
+            fb = self.pb.function(name)
+            for _ in range(int(self.rng.integers(2, 5))):
+                pool = list(self._libs(3))
+                pool.extend(self._pick(self.leaves, 2))
+                if self.rng.random() < 0.6:
+                    pool.append(
+                        self._wrapper_for(self._pick(self.spec.syscall_pool)[0])
+                    )
+                self._emit_element(fb, call_pool=pool)
+
+    def _make_phases(self) -> None:
+        """Top-level phases: mostly sequencing of mid-level functions."""
+        for i in range(self.spec.n_phase):
+            name = f"{self.spec.name}_phase_{i}"
+            self.phases.append(name)
+            fb = self.pb.function(name)
+            fb.seq(*self._libs(1))
+            for _ in range(int(self.rng.integers(2, 4))):
+                pool = list(self._pick(self.mids, 2)) + self._libs(2)
+                self._emit_element(fb, call_pool=pool)
+
+    def _make_main(self) -> None:
+        spec = self.spec
+        fb = self.pb.function("main")
+        # Startup: memory + signal setup through wrappers, env probing.
+        startup: list[str] = []
+        if "brk" in self.wrappers:
+            startup.append(self._wrapper_for("brk"))
+        if "uname" in self.wrappers:
+            startup.append(self._wrapper_for("uname"))
+        if "rt_sigaction" in self.wrappers:
+            startup.extend([self._wrapper_for("rt_sigaction")] * 2)
+        startup.extend(["getenv", "malloc"])
+        fb.seq(*[c for c in startup if self._known(c)])
+        if spec.server:
+            self._server_main(fb)
+        else:
+            self._utility_main(fb)
+        # Cleanup and exit.
+        tail: list[str] = ["free"] if self._known("free") else []
+        if "exit_group" in self.wrappers:
+            tail.append(self._wrapper_for("exit_group"))
+        if tail:
+            fb.seq(*tail)
+
+    def _utility_main(self, fb: FunctionBuilder) -> None:
+        if self._known("getopt"):
+            fb.loop(["getopt"], may_skip=True)
+        elif self._known("getopt_long"):
+            fb.loop(["getopt_long"], may_skip=True)
+        # Main work loop over inputs: run the phases (plus the dispatch
+        # table, when the program has one — e.g. bash builtins).
+        body = list(self.phases)
+        if self.dispatcher is not None:
+            body.append(self.dispatcher)
+        fb.loop(body, may_skip=False)
+
+    def _server_main(self, fb: FunctionBuilder) -> None:
+        setup = []
+        for syscall in ("socket", "setsockopt", "bind", "listen"):
+            if syscall in self.wrappers:
+                setup.append(self._wrapper_for(syscall))
+        if setup:
+            fb.seq(*setup)
+        # Event loop: accept/epoll, then dispatch request phases.
+        loop_body: list[str] = []
+        if "epoll_wait" in self.wrappers:
+            loop_body.append(self._wrapper_for("epoll_wait"))
+        if "accept" in self.wrappers:
+            loop_body.append(self._wrapper_for("accept"))
+        loop_body.extend(self.phases)
+        if self.dispatcher is not None:
+            loop_body.append(self.dispatcher)
+        fb.loop(loop_body, may_skip=False)
+
+    def _known(self, call: str) -> bool:
+        return (
+            call in self.spec.libcall_pool
+            or call in self.spec.syscall_pool
+            or any(call in ws for ws in self.wrappers.values())
+        )
+
+    # -- element emission --------------------------------------------------
+    def _emit_element(self, fb: FunctionBuilder, call_pool: list[str]) -> None:
+        """Emit one random structural element drawn from ``call_pool``."""
+        roll = self.rng.random()
+        if roll < 0.45:
+            fb.seq(*self._pick(call_pool, int(self.rng.integers(1, 4))))
+        elif roll < 0.8:
+            arms = [
+                self._pick(call_pool, int(self.rng.integers(1, 3)))
+                for _ in range(int(self.rng.integers(2, 4)))
+            ]
+            fb.branch(*arms, empty_arm=bool(self.rng.random() < 0.5))
+        else:
+            fb.loop(
+                self._pick(call_pool, int(self.rng.integers(1, 3))),
+                may_skip=bool(self.rng.random() < 0.7),
+            )
+
+
+def load_program(name: str, scale: float = 1.0) -> Program:
+    """Generate one of the eight corpus programs.
+
+    Args:
+        name: a member of :data:`ALL_PROGRAMS`.
+        scale: multiplies leaf/mid/phase function counts; 1.0 is the
+            laptop-speed default, larger values approach paper scale.
+
+    Returns:
+        A validated :class:`Program`.
+    """
+    try:
+        spec = PROGRAM_SPECS[name]
+    except KeyError:
+        raise ProgramStructureError(
+            f"unknown corpus program {name!r}; choose from {ALL_PROGRAMS}"
+        ) from None
+    return _Generator(spec.scaled(scale)).build()
+
+
+def load_corpus(scale: float = 1.0) -> dict[str, Program]:
+    """Generate the full eight-program corpus."""
+    return {name: load_program(name, scale=scale) for name in ALL_PROGRAMS}
+
+
+def make_paper_example() -> Program:
+    """The running example of the paper's Figure 1 / Section II-C.
+
+    Two user functions: ``g`` reads input then (conditionally) executes a
+    command, ``f`` reads and writes.  The normal context-sensitive sequence
+    is ``read@g -> read@f -> write@f -> execve@g``.
+    """
+    pb = ProgramBuilder("paper-example")
+    pb.function("f").seq("read", "write")
+    pb.function("g").seq("read", "f").branch(["execve"], empty_arm=True)
+    pb.function("main").seq("g")
+    return pb.build()

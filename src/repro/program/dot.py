@@ -1,0 +1,78 @@
+"""Graphviz DOT export for CFGs and call graphs.
+
+Inspection tooling: render a function's control-flow graph or a program's
+call graph as DOT text for debugging analyses or documenting case studies.
+Pure text generation — no graphviz dependency.
+"""
+
+from __future__ import annotations
+
+from ..program.callgraph import CallGraph, build_call_graph
+from ..program.calls import CallKind
+from ..program.cfg import FunctionCFG
+from ..program.program import Program
+
+_KIND_COLORS = {
+    CallKind.SYSCALL: "#c62828",
+    CallKind.LIBCALL: "#1565c0",
+    CallKind.INTERNAL: "#2e7d32",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def cfg_to_dot(cfg: FunctionCFG) -> str:
+    """Render one function CFG as DOT.
+
+    Call blocks are colored by call kind (syscalls red, libcalls blue,
+    internal calls green); back edges are dashed.
+    """
+    lines = [f'digraph "{_escape(cfg.name)}" {{', "  node [shape=box];"]
+    back = cfg.back_edges()
+    for block_id, block in sorted(cfg.blocks.items()):
+        if block.call is None:
+            label = f"b{block_id}"
+            attrs = ""
+        else:
+            site = block.call
+            if site.is_indirect:
+                label = f"b{block_id}: (*ptr)({', '.join(site.targets)})"
+            else:
+                label = f"b{block_id}: {site.name}"
+            color = _KIND_COLORS[site.kind]
+            attrs = f', color="{color}", fontcolor="{color}"'
+        shape = ', peripheries=2' if block_id == cfg.entry else ""
+        lines.append(f'  n{block_id} [label="{_escape(label)}"{attrs}{shape}];')
+    for src, dst in cfg.edges():
+        style = ' [style=dashed, label="back"]' if (src, dst) in back else ""
+        lines.append(f"  n{src} -> n{dst}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def call_graph_to_dot(program: Program, call_graph: CallGraph | None = None) -> str:
+    """Render a program's call graph as DOT.
+
+    Recursive edges are dashed; the entry function is double-bordered;
+    wrapper functions (name prefix ``sys_``) are grouped visually by color.
+    """
+    if call_graph is None:
+        call_graph = build_call_graph(program)
+    lines = [f'digraph "{_escape(program.name)}" {{', "  node [shape=ellipse];"]
+    for name in sorted(program.functions):
+        attrs = []
+        if name == program.entry_function:
+            attrs.append("peripheries=2")
+        if name.startswith("sys_"):
+            attrs.append('color="#c62828"')
+        rendered = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{_escape(name)}"{rendered};')
+    for src, dst in sorted(call_graph.graph.edges()):
+        style = (
+            " [style=dashed]" if call_graph.is_recursive_edge(src, dst) else ""
+        )
+        lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}"{style};')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Binary-image layout: flatten a :class:`Program` into a byte image.
+
+The layout pass assigns every function a contiguous extent in a flat address
+space and emits toy-ISA bytes for its blocks.  The resulting
+:class:`BinaryImage` supports the two queries the evaluation needs:
+
+* the gadget scanner (:mod:`repro.gadgets`) walks the raw bytes looking for
+  ``[SYSCALL ... RET]`` sequences at *every* byte offset, intended or not;
+* the context-compatibility filter maps an address back to the enclosing
+  function (the ``addr2line`` role from the paper's toolchain) and checks
+  whether a syscall at that address is an intended, statically-known site.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ProgramStructureError
+from .calls import SYSCALLS, CallKind
+from .instructions import (
+    CALL_OPCODE,
+    FILLER_OPCODES,
+    OPCODES,
+    RET_OPCODE,
+    SYSCALL_OPCODE,
+)
+from .program import Program
+
+
+@dataclass(frozen=True)
+class SyscallSite:
+    """An intended syscall instruction emitted by the layout pass."""
+
+    address: int
+    syscall: str
+    function: str
+
+
+@dataclass
+class BinaryImage:
+    """A laid-out program image.
+
+    Attributes:
+        name: program name.
+        data: raw bytes.
+        extents: function name -> (start, end) half-open byte extent.
+        syscall_sites: every intended syscall instruction.
+    """
+
+    name: str
+    data: bytes
+    extents: dict[str, tuple[int, int]]
+    syscall_sites: list[SyscallSite] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._starts = sorted((start, end, name) for name, (start, end) in self.extents.items())
+        self._start_keys = [s for s, _, _ in self._starts]
+        self._sites_by_addr = {site.address: site for site in self.syscall_sites}
+
+    def function_at(self, address: int) -> str | None:
+        """Map ``address`` to the enclosing function name (addr2line role)."""
+        idx = bisect.bisect_right(self._start_keys, address) - 1
+        if idx < 0:
+            return None
+        start, end, name = self._starts[idx]
+        if start <= address < end:
+            return name
+        return None
+
+    def intended_syscall_at(self, address: int) -> SyscallSite | None:
+        """The intended syscall site at ``address``, if the layout emitted one."""
+        return self._sites_by_addr.get(address)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+# Fixed syscall numbers for the toy ABI: index in the syscall table.
+SYSCALL_NUMBERS: dict[str, int] = {name: i for i, name in enumerate(SYSCALLS)}
+
+
+def layout_program(
+    program: Program,
+    data_bytes: int = 512,
+    base_address: int = 0x1000,
+    seed: int | None = None,
+) -> BinaryImage:
+    """Emit a :class:`BinaryImage` for ``program``.
+
+    Blocks are emitted in block-id order per function; functions in sorted
+    name order.  Call blocks become ``MOV imm; SYSCALL`` (for syscalls) or a
+    ``CALL`` instruction (for libcalls and internal calls).  Each function
+    ends with ``RET``.  A trailing pseudo-``.rodata`` region of seeded random
+    bytes provides the unintended-gadget surface.
+
+    Args:
+        program: the program to lay out.
+        data_bytes: size of the trailing data region.
+        base_address: address of the first function byte.
+        seed: RNG seed for filler instructions and the data region;
+            defaults to the program's corpus seed (or 0).
+    """
+    if seed is None:
+        seed = int(program.metadata.get("seed", 0))  # type: ignore[arg-type]
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    out = bytearray()
+    extents: dict[str, tuple[int, int]] = {}
+    sites: list[SyscallSite] = []
+
+    def emit_filler(count: int) -> None:
+        for _ in range(count):
+            opcode = int(FILLER_OPCODES[int(rng.integers(0, len(FILLER_OPCODES)))])
+            out.append(opcode)
+            _, operand_count = OPCODES[opcode]
+            for _ in range(operand_count):
+                out.append(int(rng.integers(0, 256)))
+
+    for function in program.iter_functions():
+        start = base_address + len(out)
+        for block_id in sorted(function.blocks):
+            block = function.block(block_id)
+            emit_filler(block.weight // 2)
+            if block.call is None:
+                continue
+            if block.call.kind is CallKind.SYSCALL:
+                number = SYSCALL_NUMBERS.get(block.call.name, 0)
+                out.append(0xB8)  # mov_imm syscall number
+                out.append(number & 0xFF)
+                sites.append(
+                    SyscallSite(
+                        address=base_address + len(out),
+                        syscall=block.call.name,
+                        function=function.name,
+                    )
+                )
+                out.append(SYSCALL_OPCODE)
+            else:
+                out.append(CALL_OPCODE)
+                out.append(int(rng.integers(0, 256)))
+                out.append(int(rng.integers(0, 256)))
+        out.append(RET_OPCODE)
+        extents[function.name] = (start, base_address + len(out))
+
+    if data_bytes < 0:
+        raise ProgramStructureError("data_bytes must be non-negative")
+    out.extend(int(b) for b in rng.integers(0, 256, size=data_bytes))
+
+    return BinaryImage(
+        name=program.name,
+        data=bytes(out),
+        extents=extents,
+        syscall_sites=sites,
+    )
+
+
+def layout_libc(seed: int = 0x11BC, data_bytes: int = 2048) -> BinaryImage:
+    """Lay out a standalone pseudo-``libc.so`` image (Table III's last row).
+
+    The image holds one wrapper-like routine per syscall in the table plus a
+    large data region, mirroring how real gadget surveys find most syscall
+    gadgets inside libc.
+    """
+    from .builder import ProgramBuilder  # local import to avoid a cycle
+
+    pb = ProgramBuilder("libc.so", entry_function="libc_start_main")
+    pb.function("libc_start_main").seq("brk")
+    for syscall in SYSCALLS:
+        pb.function(f"__{syscall}").call(syscall)
+    program = pb.build()
+    program.metadata["seed"] = seed
+    return layout_program(program, data_bytes=data_bytes)

@@ -1,0 +1,120 @@
+"""A toy instruction set with a byte-level encoding.
+
+The ROP-gadget experiment (Table III of the paper) scans a binary for
+``[SYSCALL ... RET]`` gadget sequences, including gadgets that only exist at
+*unintended* instruction offsets.  To reproduce that mechanism without real
+x86 binaries, this module defines a minimal fixed-format ISA:
+
+* single-byte opcodes, zero or one operand byte;
+* a ``SYSCALL`` instruction and a ``RET`` instruction, so gadget scanning is
+  meaningful;
+* plenty of opcode space left *unassigned*, so a scan started mid-operand
+  usually desynchronizes and aborts — exactly how unintended x86 gadgets
+  behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: opcode byte -> (mnemonic, operand byte count)
+OPCODES: dict[int, tuple[str, int]] = {
+    0x90: ("nop", 0),
+    0x05: ("syscall", 0),
+    0xC3: ("ret", 0),
+    0xE8: ("call", 2),
+    0xB8: ("mov_imm", 1),
+    0x01: ("add", 1),
+    0x29: ("sub", 1),
+    0x39: ("cmp", 1),
+    0x74: ("je", 1),
+    0xEB: ("jmp", 1),
+    0x50: ("push", 0),
+    0x58: ("pop", 0),
+    0x8B: ("load", 1),
+    0x89: ("store", 1),
+    0x31: ("xor", 1),
+}
+
+SYSCALL_OPCODE = 0x05
+RET_OPCODE = 0xC3
+CALL_OPCODE = 0xE8
+
+#: opcodes that can serve as generic filler instructions
+FILLER_OPCODES: tuple[int, ...] = (0x90, 0xB8, 0x01, 0x29, 0x39, 0x50, 0x58, 0x8B, 0x89, 0x31)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Attributes:
+        offset: byte offset in the image where the instruction starts.
+        opcode: opcode byte.
+        mnemonic: symbolic name.
+        operands: operand bytes (possibly empty).
+    """
+
+    offset: int
+    opcode: int
+    mnemonic: str
+    operands: bytes
+
+    @property
+    def size(self) -> int:
+        return 1 + len(self.operands)
+
+    @property
+    def is_ret(self) -> bool:
+        return self.opcode == RET_OPCODE
+
+    @property
+    def is_syscall(self) -> bool:
+        return self.opcode == SYSCALL_OPCODE
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        ops = " " + self.operands.hex() if self.operands else ""
+        return f"{self.offset:#06x}: {self.mnemonic}{ops}"
+
+
+def decode_one(image: bytes, offset: int) -> Instruction | None:
+    """Decode a single instruction at ``offset``.
+
+    Returns ``None`` when the byte is not a valid opcode or its operands run
+    past the end of the image — the scan desynchronized.
+    """
+    if offset >= len(image):
+        return None
+    opcode = image[offset]
+    entry = OPCODES.get(opcode)
+    if entry is None:
+        return None
+    mnemonic, operand_count = entry
+    end = offset + 1 + operand_count
+    if end > len(image):
+        return None
+    return Instruction(
+        offset=offset,
+        opcode=opcode,
+        mnemonic=mnemonic,
+        operands=bytes(image[offset + 1 : end]),
+    )
+
+
+def decode_window(image: bytes, offset: int, max_instructions: int) -> list[Instruction]:
+    """Decode up to ``max_instructions`` consecutive instructions.
+
+    Stops early at an undecodable byte or at a ``RET`` (a gadget never
+    extends past its terminating return).
+    """
+    out: list[Instruction] = []
+    cursor = offset
+    for _ in range(max_instructions):
+        ins = decode_one(image, cursor)
+        if ins is None:
+            break
+        out.append(ins)
+        cursor += ins.size
+        if ins.is_ret:
+            break
+    return out

@@ -1,0 +1,127 @@
+"""Whole-program container: a named set of function CFGs with an entry point.
+
+This is the analysis subject — the synthetic stand-in for the stripped
+binaries the paper feeds to Dyninst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import ProgramStructureError
+from .calls import CallKind
+from .cfg import FunctionCFG
+
+
+@dataclass
+class Program:
+    """A program under analysis.
+
+    Attributes:
+        name: program identifier (``"gzip"``, ``"proftpd"``, ...).
+        functions: function name -> CFG.
+        entry_function: name of the function where execution starts.
+        metadata: free-form descriptive values (lines of code, binary size)
+            used by the reporting layer to mimic the paper's setup tables.
+    """
+
+    name: str
+    functions: dict[str, FunctionCFG] = field(default_factory=dict)
+    entry_function: str = "main"
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def add_function(self, cfg: FunctionCFG) -> None:
+        """Register ``cfg``; function names must be unique."""
+        if cfg.name in self.functions:
+            raise ProgramStructureError(f"duplicate function {cfg.name!r}")
+        self.functions[cfg.name] = cfg
+
+    def function(self, name: str) -> FunctionCFG:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise ProgramStructureError(
+                f"{self.name}: unknown function {name!r}"
+            ) from None
+
+    @property
+    def entry(self) -> FunctionCFG:
+        return self.function(self.entry_function)
+
+    def iter_functions(self) -> Iterator[FunctionCFG]:
+        for name in sorted(self.functions):
+            yield self.functions[name]
+
+    # ------------------------------------------------------------------
+    # Statistics used by reports and the corpus self-checks
+    # ------------------------------------------------------------------
+    def distinct_calls(self, kind: CallKind, context: bool = True) -> set[str]:
+        """Distinct observable calls of ``kind``.
+
+        With ``context=True`` each call is labeled ``name@caller`` (1-level
+        calling context, Section II-C); otherwise bare names are returned.
+        """
+        labels: set[str] = set()
+        for function in self.functions.values():
+            for site in function.calls(kind):
+                if context:
+                    labels.add(f"{site.name}@{function.name}")
+                else:
+                    labels.add(site.name)
+        return labels
+
+    def total_blocks(self) -> int:
+        return sum(len(f) for f in self.functions.values())
+
+    def total_edges(self) -> int:
+        return sum(
+            len(f.successors(b)) for f in self.functions.values() for b in f.blocks
+        )
+
+    def total_branches(self) -> int:
+        """Number of conditional branch edges (edges out of multi-successor
+        blocks), the denominator for branch coverage in Table I."""
+        total = 0
+        for function in self.functions.values():
+            for block_id in function.blocks:
+                succ = function.successors(block_id)
+                if len(succ) > 1:
+                    total += len(succ)
+        return total
+
+    def validate(self) -> None:
+        """Validate every function plus whole-program invariants."""
+        if self.entry_function not in self.functions:
+            raise ProgramStructureError(
+                f"{self.name}: entry function {self.entry_function!r} undefined"
+            )
+        for function in self.functions.values():
+            function.validate()
+            for block in function.call_blocks():
+                site = block.call
+                assert site is not None
+                if site.is_indirect:
+                    missing = [t for t in site.targets if t not in self.functions]
+                    if missing:
+                        raise ProgramStructureError(
+                            f"{function.name}: indirect call targets "
+                            f"{missing} are undefined"
+                        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Program({self.name!r}, functions={len(self.functions)}, "
+            f"blocks={self.total_blocks()})"
+        )
+
+
+def context_label(call_name: str, caller: str) -> str:
+    """The 1-level calling-context label ``call_name@caller`` (Section II-C)."""
+    return f"{call_name}@{caller}"
+
+
+def split_label(label: str) -> tuple[str, str | None]:
+    """Split a possibly context-labeled symbol into ``(name, caller|None)``."""
+    name, sep, caller = label.partition("@")
+    return (name, caller if sep else None)

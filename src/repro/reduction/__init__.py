@@ -1,0 +1,18 @@
+"""State reduction: PCA + K-means over call-transition vectors, and the
+static HMM initialization shared by STILO and CMarkov (Section III)."""
+
+from .cluster import CallClustering, cluster_calls, identity_clustering
+from .initializer import initialize_hmm, mix_uniform
+from .kmeans import KMeansResult, kmeans
+from .pca import PCA
+
+__all__ = [
+    "PCA",
+    "CallClustering",
+    "KMeansResult",
+    "cluster_calls",
+    "identity_clustering",
+    "initialize_hmm",
+    "kmeans",
+    "mix_uniform",
+]

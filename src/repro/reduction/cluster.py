@@ -1,0 +1,139 @@
+"""Clustering-based state reduction (Section III, Algorithm 1).
+
+Each call is represented by its call-transition vector — the concatenation
+of its outgoing row and incoming column in the aggregated call-transition
+matrix (Definition 6).  PCA compresses the vectors, K-means groups similar
+calls, and the grouped matrix becomes the (smaller) hidden-state space of
+the HMM: a many-to-one mapping from calls to states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.matrix import CallSummary
+from ..errors import ModelError
+from .kmeans import kmeans
+from .pca import PCA
+
+
+@dataclass
+class CallClustering:
+    """A grouping of the labels of a :class:`CallSummary`.
+
+    Attributes:
+        summary: the summary that was clustered.
+        assignments: cluster id per label index, shape (n_labels,).
+        members: cluster id -> list of member label indices.
+        weights: per-label occurrence mass (entry mass + incoming transition
+            mass), used to weight emission probabilities of merged states.
+    """
+
+    summary: CallSummary
+    assignments: np.ndarray
+    members: dict[int, list[int]]
+    weights: np.ndarray
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.members)
+
+    def reduced_summary(self) -> CallSummary:
+        """The clustered call-transition matrix (Algorithm 1's output).
+
+        Probability mass between clusters is the sum of the mass between
+        their members, so the reduced matrix conserves all transition,
+        entry, and exit mass of the original.
+        """
+        k = self.n_clusters
+        n = len(self.summary.space)
+        indicator = np.zeros((n, k))
+        indicator[np.arange(n), self.assignments] = 1.0
+        reduced = CallSummary(
+            space=self.summary.space,  # label space unchanged; states shrink
+            trans=indicator.T @ self.summary.trans @ indicator,
+            entry=indicator.T @ self.summary.entry,
+            exit=indicator.T @ self.summary.exit,
+            passthrough=self.summary.passthrough,
+        )
+        return reduced
+
+    def member_labels(self, cluster: int) -> list[str]:
+        """Human-readable labels of one cluster's members."""
+        return [self.summary.space.labels[i] for i in self.members[cluster]]
+
+
+def identity_clustering(summary: CallSummary) -> CallClustering:
+    """The trivial one-call-per-state clustering (no reduction)."""
+    n = len(summary.space)
+    assignments = np.arange(n)
+    return CallClustering(
+        summary=summary,
+        assignments=assignments,
+        members={i: [i] for i in range(n)},
+        weights=_occurrence_weights(summary),
+    )
+
+
+def cluster_calls(
+    summary: CallSummary,
+    n_clusters: int | None = None,
+    ratio: float = 0.5,
+    pca_components: int | None = None,
+    pca_variance: float = 0.95,
+    seed: int = 0,
+) -> CallClustering:
+    """Cluster similar calls of ``summary`` (Algorithm 1).
+
+    Args:
+        summary: aggregated call-transition summary of a program.
+        n_clusters: explicit K; default derives K from ``ratio``.
+        ratio: target ``K / n_labels`` when ``n_clusters`` is ``None`` — the
+            paper picks 1/3 to 1/2 of the original state count.
+        pca_components: dimensionality for the post-PCA matrix (``None`` =
+            pick by explained variance).
+        pca_variance: explained-variance target for automatic component
+            selection.
+        seed: RNG seed for k-means++.
+
+    Returns:
+        A :class:`CallClustering` whose clusters are the new hidden states.
+    """
+    n = len(summary.space)
+    if n == 0:
+        raise ModelError("cannot cluster an empty summary")
+    if n_clusters is None:
+        if not 0 < ratio <= 1:
+            raise ModelError("ratio must be in (0, 1]")
+        n_clusters = max(1, round(n * ratio))
+    n_clusters = min(n_clusters, n)
+
+    vectors = summary.transition_vectors()
+    projected = PCA(n_components=pca_components, variance_ratio=pca_variance).fit_transform(vectors)
+    result = kmeans(projected, n_clusters=n_clusters, seed=seed)
+
+    members: dict[int, list[int]] = {}
+    # Renumber clusters densely in first-appearance order for stable output.
+    renumber: dict[int, int] = {}
+    assignments = np.empty(n, dtype=int)
+    for index, raw in enumerate(result.labels):
+        cluster = renumber.setdefault(int(raw), len(renumber))
+        assignments[index] = cluster
+        members.setdefault(cluster, []).append(index)
+
+    return CallClustering(
+        summary=summary,
+        assignments=assignments,
+        members=members,
+        weights=_occurrence_weights(summary),
+    )
+
+
+def _occurrence_weights(summary: CallSummary) -> np.ndarray:
+    """Per-label occurrence mass: how often the call happens per execution."""
+    weights = summary.entry + summary.trans.sum(axis=0)
+    # Labels with no static mass still deserve a sliver so merged-state
+    # emissions never hard-zero a legitimate call.
+    return weights + 1e-9

@@ -1,0 +1,93 @@
+"""STILO-style HMM initialization from static analysis (Section III).
+
+The hidden states of the model are the (possibly clustered) calls of the
+aggregated call-transition matrix:
+
+* ``A`` — row-normalized transition mass between (clusters of) calls, mixed
+  with a uniform floor so training can still discover dynamic-only behaviour
+  (function pointers, recursion, loop carry-over);
+* ``B`` — a state emits (the labels of) its own calls: probability
+  concentrated on the member labels, weighted by their static occurrence
+  mass, with an ε floor over the rest of the alphabet (including the
+  unknown-symbol slot);
+* ``π`` — the program's statically-estimated first-call distribution.
+
+This is the paper's "informed set of initial HMM probability values" that
+both STILO and CMarkov share; CMarkov additionally uses context-sensitive
+labels and clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.matrix import CallSummary
+from ..errors import ModelError
+from ..hmm.model import HiddenMarkovModel, ensure_alphabet_with_unknown
+from .cluster import CallClustering, identity_clustering
+
+
+def mix_uniform(rows: np.ndarray, epsilon: float) -> np.ndarray:
+    """Mix each stochastic row with the uniform distribution."""
+    if not 0 <= epsilon < 1:
+        raise ModelError("epsilon must be in [0, 1)")
+    n = rows.shape[1]
+    return (1.0 - epsilon) * rows + epsilon / n
+
+
+def initialize_hmm(
+    summary: CallSummary,
+    clustering: CallClustering | None = None,
+    emission_concentration: float = 0.98,
+    transition_mix: float = 0.02,
+    initial_mix: float = 0.02,
+) -> HiddenMarkovModel:
+    """Build a statically-initialized HMM from a program summary.
+
+    Args:
+        summary: aggregated call-transition summary (program level).
+        clustering: optional state reduction; ``None`` gives the one-to-one
+            call/state mapping of plain STILO.
+        emission_concentration: probability a state emits one of its own
+            member labels (the remainder floors the rest of the alphabet).
+        transition_mix: uniform mixing weight for ``A``.
+        initial_mix: uniform mixing weight for ``π``.
+
+    Returns:
+        A validated :class:`HiddenMarkovModel` whose ``state_labels`` name
+        each state's member calls.
+    """
+    if clustering is None:
+        clustering = identity_clustering(summary)
+    elif clustering.summary is not summary:
+        raise ModelError("clustering was computed for a different summary")
+    if not 0 < emission_concentration < 1:
+        raise ModelError("emission_concentration must be in (0, 1)")
+
+    reduced = clustering.reduced_summary()
+    n_states = clustering.n_clusters
+    alphabet = ensure_alphabet_with_unknown(summary.space.labels)
+    m = len(alphabet)
+
+    transition = mix_uniform(reduced.row_stochastic(), transition_mix)
+    initial = mix_uniform(reduced.initial_distribution()[None, :], initial_mix)[0]
+
+    emission = np.full((n_states, m), (1.0 - emission_concentration) / m)
+    for cluster in range(n_states):
+        member_indices = clustering.members[cluster]
+        member_weights = clustering.weights[member_indices]
+        member_weights = member_weights / member_weights.sum()
+        for index, weight in zip(member_indices, member_weights):
+            emission[cluster, index] += emission_concentration * weight
+    emission /= emission.sum(axis=1, keepdims=True)
+
+    state_labels = tuple(
+        "|".join(clustering.member_labels(cluster)) for cluster in range(n_states)
+    )
+    return HiddenMarkovModel(
+        transition=transition,
+        emission=emission,
+        initial=initial,
+        symbols=alphabet,
+        state_labels=state_labels,
+    )

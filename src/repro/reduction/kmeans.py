@@ -1,0 +1,127 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+The paper chose K-means "because of its simplicity and efficiency"
+(Section III-C); the similarity metric is Euclidean distance between
+(post-PCA) call-transition vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+@dataclass
+class KMeansResult:
+    """Clustering output.
+
+    Attributes:
+        labels: cluster index per sample, shape (samples,).
+        centers: cluster centroids, shape (k, features).
+        inertia: sum of squared distances of samples to their centroid.
+        iterations: Lloyd iterations performed.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centers.shape[0]
+
+
+def _squared_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, shape (samples, k)."""
+    # ||x - c||² = ||x||² - 2 x·c + ||c||², computed without the big
+    # 3-D broadcast.
+    x_sq = (data**2).sum(axis=1)[:, None]
+    c_sq = (centers**2).sum(axis=1)[None, :]
+    cross = data @ centers.T
+    return np.maximum(x_sq - 2 * cross + c_sq, 0.0)
+
+
+def _kmeans_plus_plus(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D² sampling."""
+    n = data.shape[0]
+    centers = np.empty((k, data.shape[1]))
+    first = int(rng.integers(0, n))
+    centers[0] = data[first]
+    closest = _squared_distances(data, centers[:1]).ravel()
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with a center; pick arbitrarily.
+            choice = int(rng.integers(0, n))
+        else:
+            choice = int(rng.choice(n, p=closest / total))
+        centers[i] = data[choice]
+        distances = _squared_distances(data, centers[i : i + 1]).ravel()
+        closest = np.minimum(closest, distances)
+    return centers
+
+
+def kmeans(
+    data: np.ndarray,
+    n_clusters: int,
+    seed: int = 0,
+    max_iterations: int = 100,
+    tol: float = 1e-7,
+) -> KMeansResult:
+    """Cluster ``data`` into ``n_clusters`` groups.
+
+    Empty clusters are re-seeded to the point currently farthest from its
+    centroid, so the result always has exactly ``n_clusters`` non-empty
+    clusters (provided there are at least that many distinct points).
+
+    Raises:
+        ModelError: on invalid shapes or ``n_clusters`` > samples.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ModelError("kmeans input must be a non-empty 2-D array")
+    n = data.shape[0]
+    if not 1 <= n_clusters <= n:
+        raise ModelError(f"n_clusters must be in [1, {n}], got {n_clusters}")
+
+    rng = np.random.default_rng(seed)
+    centers = _kmeans_plus_plus(data, n_clusters, rng)
+    labels = np.zeros(n, dtype=int)
+    inertia = float("inf")
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        distances = _squared_distances(data, centers)
+        labels = distances.argmin(axis=1)
+        point_costs = distances[np.arange(n), labels]
+        new_inertia = float(point_costs.sum())
+
+        new_centers = np.zeros_like(centers)
+        counts = np.bincount(labels, minlength=n_clusters).astype(float)
+        np.add.at(new_centers, labels, data)
+        empty = counts == 0
+        if empty.any():
+            # Re-seed each empty cluster at the worst-fit point.
+            order = np.argsort(point_costs)[::-1]
+            for cluster, point in zip(np.flatnonzero(empty), order):
+                new_centers[cluster] = data[point]
+                counts[cluster] = 1.0
+                labels[point] = cluster
+        new_centers /= counts[:, None]
+
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        if abs(inertia - new_inertia) <= tol and shift <= tol:
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+
+    return KMeansResult(
+        labels=labels, centers=centers, inertia=inertia, iterations=iterations
+    )

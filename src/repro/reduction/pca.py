@@ -1,0 +1,71 @@
+"""Principal component analysis, from scratch on numpy.
+
+Call-transition vectors (Definition 6) live in a ``2n``-dimensional space
+that is mostly zeros; the paper applies PCA before K-means so clustering
+operates on a dense low-dimensional embedding that preserves the distance
+structure of the original vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+class PCA:
+    """Linear PCA via singular value decomposition.
+
+    Args:
+        n_components: number of components to keep, or ``None`` to choose
+            the smallest count explaining ``variance_ratio`` of the total
+            variance.
+        variance_ratio: explained-variance target used when
+            ``n_components`` is ``None``.
+    """
+
+    def __init__(self, n_components: int | None = None, variance_ratio: float = 0.95) -> None:
+        if n_components is not None and n_components <= 0:
+            raise ModelError("n_components must be positive")
+        if not 0 < variance_ratio <= 1:
+            raise ModelError("variance_ratio must be in (0, 1]")
+        self.n_components = n_components
+        self.variance_ratio = variance_ratio
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        """Fit on (samples, features) data."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ModelError("PCA input must be a non-empty 2-D array")
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        # SVD of the centered data: rows of vt are principal directions.
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        denominator = max(data.shape[0] - 1, 1)
+        variance = (singular**2) / denominator
+        if self.n_components is not None:
+            keep = min(self.n_components, vt.shape[0])
+        else:
+            total = variance.sum()
+            if total <= 0:
+                keep = 1
+            else:
+                cumulative = np.cumsum(variance) / total
+                keep = int(np.searchsorted(cumulative, self.variance_ratio) + 1)
+                keep = min(keep, vt.shape[0])
+        self.components_ = vt[:keep]
+        self.explained_variance_ = variance[:keep]
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project (samples, features) data onto the fitted components."""
+        if self.components_ is None or self.mean_ is None:
+            raise ModelError("PCA.transform called before fit")
+        data = np.asarray(data, dtype=float)
+        return (data - self.mean_) @ self.components_.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)

@@ -1,0 +1,54 @@
+"""Dynamic tracing substrate: executor, workloads, and n-gram segmentation.
+
+The stand-in for the paper's strace/ltrace/addr2line toolchain and the SIR
+test suites (DESIGN.md §2).
+"""
+
+from .events import CallEvent, Trace
+from .logio import iter_segment_lines, read_traces, write_traces
+from .sampling import sample_trace, sample_workload, throttle_trace
+from .executor import (
+    BranchProfile,
+    ExecutionResult,
+    TraceExecutor,
+    collect_traces,
+)
+from .segments import (
+    DEFAULT_SEGMENT_LENGTH,
+    Segment,
+    SegmentSet,
+    build_segment_set,
+    build_segment_set_at_depth,
+    segment_symbols,
+)
+from .workload import (
+    PAPER_CASE_COUNTS,
+    CoverageReport,
+    WorkloadResult,
+    run_workload,
+)
+
+__all__ = [
+    "DEFAULT_SEGMENT_LENGTH",
+    "PAPER_CASE_COUNTS",
+    "BranchProfile",
+    "CallEvent",
+    "CoverageReport",
+    "ExecutionResult",
+    "Segment",
+    "SegmentSet",
+    "Trace",
+    "TraceExecutor",
+    "WorkloadResult",
+    "build_segment_set",
+    "build_segment_set_at_depth",
+    "collect_traces",
+    "iter_segment_lines",
+    "read_traces",
+    "sample_trace",
+    "sample_workload",
+    "throttle_trace",
+    "write_traces",
+    "run_workload",
+    "segment_symbols",
+]

@@ -1,0 +1,94 @@
+"""Trace events: what the monitoring layer observes at runtime.
+
+The paper intercepts syscalls/libcalls with ``strace``/``ltrace`` and maps
+each event's instruction pointer to its caller function with ``addr2line``.
+Our executor emits the same information directly: the call name, its kind,
+and the function whose body issued it (the 1-level calling context).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TraceError
+from ..program.calls import CallKind
+from ..program.program import context_label
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One observed call.
+
+    Attributes:
+        name: syscall or libcall name.
+        caller: function whose body made the call (1-level context).
+        kind: syscall vs libcall.
+        stack: optional call-chain suffix ending at ``caller`` (e.g.
+            ``("main", "g", "f")`` for a call made inside ``f`` called from
+            ``g``).  Recorded by the executor; empty when the producer only
+            knows the immediate caller.  Enables the k-level-context
+            ablation — the deeper-context design the paper declines for
+            cost reasons (§II-C).
+    """
+
+    name: str
+    caller: str
+    kind: CallKind
+    stack: tuple[str, ...] = ()
+
+    def symbol(self, context: bool) -> str:
+        """The observation label for this event (the paper's 1-level form)."""
+        return context_label(self.name, self.caller) if context else self.name
+
+    def symbol_at_depth(self, depth: int) -> str:
+        """The k-level-context observation label.
+
+        ``depth=0`` is the bare name; ``depth=1`` the paper's
+        ``name@caller``; deeper values append callers of callers joined by
+        ``/`` (``read@g/f``), truncated to what the recorded stack holds.
+
+        Raises:
+            TraceError: for a negative depth.
+        """
+        if depth < 0:
+            raise TraceError(f"context depth must be >= 0, got {depth}")
+        if depth == 0:
+            return self.name
+        if depth == 1 or not self.stack:
+            return context_label(self.name, self.caller)
+        chain = self.stack[-depth:]
+        return context_label(self.name, "/".join(chain))
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return f"{self.name}@{self.caller}"
+
+
+@dataclass
+class Trace:
+    """One program execution's event stream.
+
+    Attributes:
+        program: program name.
+        case_id: workload test-case identifier that produced the trace.
+        events: ordered call events.
+    """
+
+    program: str
+    case_id: str
+    events: list[CallEvent] = field(default_factory=list)
+
+    def append(self, event: CallEvent) -> None:
+        self.events.append(event)
+
+    def filter(self, kind: CallKind) -> list[CallEvent]:
+        """Events of one kind, order preserved."""
+        if kind is CallKind.INTERNAL:
+            raise TraceError("internal calls are not trace events")
+        return [e for e in self.events if e.kind is kind]
+
+    def symbols(self, kind: CallKind, context: bool) -> list[str]:
+        """The observation-symbol stream for one model family."""
+        return [e.symbol(context) for e in self.filter(kind)]
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,181 @@
+"""Stochastic trace executor: run a synthetic program, record its calls.
+
+This is the dynamic half of the substitution for the paper's testbed: where
+the original work runs real binaries under ``strace``/``ltrace``, we *walk*
+the program's CFGs.  Control flow is concrete — internal calls push a call
+stack, loops actually iterate — and only branch outcomes are stochastic.
+
+Each workload test case owns a :class:`BranchProfile`: a deterministic,
+case-specific preference over every branch's outgoing edges.  Different
+cases therefore steer execution down different paths, the way different
+inputs exercise different code in the SIR test suites, and a suite of many
+cases accumulates branch/line coverage (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TraceError
+from ..program.calls import CallKind
+from ..program.program import Program
+from .events import CallEvent, Trace
+
+#: Default cap on observable events per run (keeps loop-heavy cases bounded).
+DEFAULT_MAX_EVENTS = 2_000
+#: Default cap on walked blocks per run.
+DEFAULT_MAX_STEPS = 60_000
+#: Call-stack depth cap; deeper internal calls are skipped (recursion guard).
+DEFAULT_MAX_DEPTH = 128
+
+
+class BranchProfile:
+    """Deterministic per-test-case branch preferences.
+
+    For every branch (function, block) the profile lazily draws one Dirichlet
+    weight vector from its own RNG and reuses it for every visit, so a test
+    case's path distribution is stable and distinct from other cases'.
+    """
+
+    def __init__(self, seed: int, concentration: float = 1.0) -> None:
+        if concentration <= 0:
+            raise TraceError("concentration must be positive")
+        self._rng = np.random.default_rng(seed)
+        self._concentration = concentration
+        self._weights: dict[tuple[str, int], np.ndarray] = {}
+
+    def edge_weights(self, function: str, block: int, n_edges: int) -> np.ndarray:
+        key = (function, block)
+        weights = self._weights.get(key)
+        if weights is None or weights.shape[0] != n_edges:
+            weights = self._rng.dirichlet(np.full(n_edges, self._concentration))
+            # Keep every edge takable so loops always terminate and coverage
+            # accumulates across visits.
+            weights = np.maximum(weights, 0.05)
+            weights = weights / weights.sum()
+            self._weights[key] = weights
+        return weights
+
+
+@dataclass
+class ExecutionResult:
+    """A trace plus the coverage footprint of the run."""
+
+    trace: Trace
+    visited_blocks: set[tuple[str, int]] = field(default_factory=set)
+    visited_edges: set[tuple[str, int, int]] = field(default_factory=set)
+    steps: int = 0
+    truncated: bool = False
+
+
+class TraceExecutor:
+    """Walks a program's CFGs and records syscall/libcall events."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.max_events = max_events
+        self.max_steps = max_steps
+        self.max_depth = max_depth
+
+    def run(self, case_id: str, seed: int) -> ExecutionResult:
+        """Execute one test case.
+
+        Args:
+            case_id: identifier recorded on the trace.
+            seed: drives both the case's branch profile and the per-visit
+                sampling, so runs are fully reproducible.
+        """
+        profile = BranchProfile(seed=seed)
+        rng = np.random.default_rng(seed ^ 0x9E3779B9)
+        trace = Trace(program=self.program.name, case_id=case_id)
+        result = ExecutionResult(trace=trace)
+
+        # Explicit call stack of (function name, block iterator position).
+        stack: list[tuple[str, int]] = [
+            (self.program.entry_function, self.program.entry.entry)
+        ]
+        while stack:
+            if result.steps >= self.max_steps or len(trace) >= self.max_events:
+                result.truncated = True
+                break
+            function_name, block_id = stack.pop()
+            function = self.program.function(function_name)
+            block = function.block(block_id)
+            result.steps += 1
+            result.visited_blocks.add((function_name, block_id))
+
+            site = block.call
+            descend: str | None = None
+            if site is not None:
+                if site.kind is CallKind.INTERNAL:
+                    if site.is_indirect:
+                        # Function-pointer dispatch: the case's branch
+                        # profile fixes a stable preference over targets,
+                        # mirroring how a given input drives one handler.
+                        weights = profile.edge_weights(
+                            function_name, -block_id - 1, len(site.targets)
+                        )
+                        choice = int(rng.choice(len(site.targets), p=weights))
+                        target = site.targets[choice]
+                    else:
+                        target = site.name
+                    if (
+                        target in self.program.functions
+                        and len(stack) < self.max_depth
+                    ):
+                        descend = target
+                else:
+                    # The continuation stack holds exactly one frame per
+                    # active call, so its function names are the call chain.
+                    chain = tuple(fn for fn, _ in stack) + (function_name,)
+                    trace.append(
+                        CallEvent(
+                            name=site.name,
+                            caller=function_name,
+                            kind=site.kind,
+                            stack=chain[-4:],  # suffix is enough for k <= 4
+                        )
+                    )
+
+            successors = function.successors(block_id)
+            if successors:
+                if len(successors) == 1:
+                    next_block = successors[0]
+                else:
+                    weights = profile.edge_weights(
+                        function_name, block_id, len(successors)
+                    )
+                    next_block = successors[int(rng.choice(len(successors), p=weights))]
+                result.visited_edges.add((function_name, block_id, next_block))
+                stack.append((function_name, next_block))
+            # No successors: function returns; the caller's continuation is
+            # already on the stack.
+
+            if descend is not None:
+                callee = self.program.function(descend)
+                stack.append((descend, callee.entry))
+        return result
+
+
+def collect_traces(
+    program: Program,
+    n_cases: int,
+    seed: int = 0,
+    executor: TraceExecutor | None = None,
+) -> list[ExecutionResult]:
+    """Run ``n_cases`` deterministic test cases and return their results."""
+    executor = executor or TraceExecutor(program)
+    base = np.random.default_rng(seed).integers(0, 2**63 - 1, size=n_cases)
+    return [
+        executor.run(case_id=f"{program.name}-case-{i:05d}", seed=int(case_seed))
+        for i, case_seed in enumerate(base)
+    ]

@@ -1,0 +1,109 @@
+"""Trace log files: the textual interchange format for call traces.
+
+The paper's toolchain materializes traces as ``strace``/``ltrace`` text
+output plus ``addr2line`` caller resolution.  This module defines the
+equivalent (already-resolved) log format so traces can leave the process —
+be archived, shipped to an analysis host, or scored by the CLI:
+
+    # trace program=<name> case=<case-id>
+    <kind> <call-name> @ <caller>
+    ...
+
+One event per line; ``#``-prefixed lines are headers/comments; blank lines
+separate traces, so one file can hold a whole workload.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from ..errors import TraceError
+from ..program.calls import CallKind
+from .events import CallEvent, Trace
+
+_HEADER_PREFIX = "# trace"
+
+
+def write_traces(traces: Iterable[Trace], path: str | Path) -> int:
+    """Write traces to ``path``; returns the number of traces written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for trace in traces:
+            _write_one(trace, handle)
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def _write_one(trace: Trace, handle: TextIO) -> None:
+    handle.write(f"{_HEADER_PREFIX} program={trace.program} case={trace.case_id}\n")
+    for event in trace.events:
+        handle.write(f"{event.kind.value} {event.name} @ {event.caller}\n")
+
+
+def read_traces(path: str | Path) -> list[Trace]:
+    """Parse a trace log file written by :func:`write_traces`.
+
+    Raises:
+        TraceError: on malformed lines, unknown event kinds, or events
+            appearing before any trace header.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace log {path} does not exist")
+    traces: list[Trace] = []
+    current: Trace | None = None
+    for line_number, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(_HEADER_PREFIX):
+            current = _parse_header(line, line_number)
+            traces.append(current)
+            continue
+        if line.startswith("#"):
+            continue
+        if current is None:
+            raise TraceError(f"{path}:{line_number}: event before any trace header")
+        current.append(_parse_event(line, line_number))
+    return traces
+
+
+def _parse_header(line: str, line_number: int) -> Trace:
+    fields = dict(
+        part.split("=", 1) for part in line[len(_HEADER_PREFIX):].split() if "=" in part
+    )
+    if "program" not in fields or "case" not in fields:
+        raise TraceError(f"line {line_number}: header missing program=/case=")
+    return Trace(program=fields["program"], case_id=fields["case"])
+
+
+def _parse_event(line: str, line_number: int) -> CallEvent:
+    parts = line.split()
+    if len(parts) != 4 or parts[2] != "@":
+        raise TraceError(
+            f"line {line_number}: expected '<kind> <name> @ <caller>', got {line!r}"
+        )
+    kind_text, name, _, caller = parts
+    try:
+        kind = CallKind(kind_text)
+    except ValueError:
+        raise TraceError(
+            f"line {line_number}: unknown event kind {kind_text!r}"
+        ) from None
+    if kind is CallKind.INTERNAL:
+        raise TraceError(f"line {line_number}: internal calls are not trace events")
+    return CallEvent(name=name, caller=caller, kind=kind)
+
+
+def iter_segment_lines(
+    traces: Iterable[Trace], kind: CallKind, context: bool, length: int
+) -> Iterator[str]:
+    """Render traces as space-separated segment lines (CLI ``score`` input)."""
+    from .segments import segment_symbols
+
+    for trace in traces:
+        for segment in segment_symbols(trace.symbols(kind, context), length=length):
+            yield " ".join(segment)

@@ -1,0 +1,73 @@
+"""Sampled tracing: the production-monitoring trade-off (Section V).
+
+The paper notes that full interception with ``strace``/``ltrace`` is a
+research-harness choice and that production systems would use lighter
+collectors (auditd, with ~10 % overhead).  Lighter collectors drop events.
+This module models that degradation so the cost/accuracy trade-off can be
+measured (see ``benchmarks/bench_ablation_sampling.py``):
+
+* :func:`sample_trace` — independent per-event retention (rate ``p``);
+* :func:`throttle_trace` — burst-drop: keep at most ``budget`` events per
+  window of ``period`` events, the back-pressure shape real collectors
+  exhibit under load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+from .events import Trace
+
+
+def sample_trace(trace: Trace, rate: float, seed: int = 0) -> Trace:
+    """Keep each event independently with probability ``rate``.
+
+    Args:
+        trace: the fully observed trace.
+        rate: retention probability in (0, 1]; 1.0 returns a copy.
+        seed: RNG seed (deterministic per trace/seed).
+
+    Returns:
+        A new :class:`Trace` with the surviving events, order preserved.
+    """
+    if not 0 < rate <= 1:
+        raise TraceError(f"sampling rate must be in (0, 1], got {rate}")
+    sampled = Trace(program=trace.program, case_id=f"{trace.case_id}@{rate}")
+    if rate == 1.0:
+        sampled.events = list(trace.events)
+        return sampled
+    rng = np.random.default_rng(seed ^ hash(trace.case_id) & 0x7FFFFFFF)
+    keep = rng.random(len(trace.events)) < rate
+    sampled.events = [e for e, kept in zip(trace.events, keep) if kept]
+    return sampled
+
+
+def throttle_trace(trace: Trace, budget: int, period: int, seed: int = 0) -> Trace:
+    """Keep at most ``budget`` events out of every ``period`` consecutive
+    events (uniformly chosen within the window) — collector back-pressure.
+    """
+    if budget <= 0 or period <= 0 or budget > period:
+        raise TraceError("need 0 < budget <= period")
+    throttled = Trace(
+        program=trace.program, case_id=f"{trace.case_id}@{budget}/{period}"
+    )
+    rng = np.random.default_rng(seed ^ hash(trace.case_id) & 0x7FFFFFFF)
+    for start in range(0, len(trace.events), period):
+        window = trace.events[start : start + period]
+        if len(window) <= budget:
+            throttled.events.extend(window)
+            continue
+        picks = sorted(rng.choice(len(window), size=budget, replace=False))
+        throttled.events.extend(window[i] for i in picks)
+    return throttled
+
+
+def sample_workload(
+    traces: list[Trace], rate: float, seed: int = 0
+) -> list[Trace]:
+    """Apply :func:`sample_trace` to a whole workload."""
+    return [
+        sample_trace(trace, rate, seed=seed + index)
+        for index, trace in enumerate(traces)
+    ]

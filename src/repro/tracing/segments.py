@@ -1,0 +1,169 @@
+"""Segmentation of traces into fixed-length n-grams (Section V-A).
+
+"Training and classification are on n-grams of program traces, where n = 15
+in our experiments."  Segments slide over each trace with stride 1, and
+"duplicate segments are removed in our training datasets in order to avoid
+bias" — we keep multiplicity counts so statistics can still be weighted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from ..program.calls import CallKind
+from .events import Trace
+
+#: The paper's segment length.
+DEFAULT_SEGMENT_LENGTH = 15
+
+Segment = tuple[str, ...]
+
+
+def segment_symbols(
+    symbols: Sequence[str], length: int = DEFAULT_SEGMENT_LENGTH, stride: int = 1
+) -> list[Segment]:
+    """Slide a window of ``length`` symbols over one trace's symbol stream."""
+    if length <= 0 or stride <= 0:
+        raise TraceError("segment length and stride must be positive")
+    return [
+        tuple(symbols[i : i + length])
+        for i in range(0, len(symbols) - length + 1, stride)
+    ]
+
+
+@dataclass
+class SegmentSet:
+    """A deduplicated collection of equal-length segments with counts."""
+
+    length: int
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, segment: Segment) -> None:
+        if len(segment) != self.length:
+            raise TraceError(
+                f"segment length {len(segment)} != {self.length}"
+            )
+        self.counts[segment] += 1
+
+    def update(self, segments: Iterable[Segment]) -> None:
+        for segment in segments:
+            self.add(segment)
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.counts)
+
+    @property
+    def n_total(self) -> int:
+        return sum(self.counts.values())
+
+    def segments(self) -> list[Segment]:
+        """Unique segments in deterministic (sorted) order."""
+        return sorted(self.counts)
+
+    def weights(self, segments: Sequence[Segment] | None = None) -> np.ndarray:
+        """Multiplicity per segment, aligned with :meth:`segments`."""
+        if segments is None:
+            segments = self.segments()
+        return np.array([self.counts[s] for s in segments], dtype=float)
+
+    def alphabet(self) -> list[str]:
+        """Sorted distinct symbols across all segments."""
+        symbols: set[str] = set()
+        for segment in self.counts:
+            symbols.update(segment)
+        return sorted(symbols)
+
+    def split(
+        self, fractions: Sequence[float], seed: int = 0
+    ) -> list["SegmentSet"]:
+        """Randomly partition the *unique* segments into parts.
+
+        Args:
+            fractions: part sizes; must sum to 1 (within tolerance).
+            seed: shuffle seed.
+
+        Returns:
+            One :class:`SegmentSet` per fraction, preserving counts.
+        """
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise TraceError("split fractions must sum to 1")
+        unique = self.segments()
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(unique))
+        boundaries = np.cumsum([round(f * len(unique)) for f in fractions])
+        boundaries[-1] = len(unique)
+        parts: list[SegmentSet] = []
+        start = 0
+        for end in boundaries:
+            part = SegmentSet(length=self.length)
+            for position in order[start:end]:
+                segment = unique[position]
+                part.counts[segment] = self.counts[segment]
+            parts.append(part)
+            start = int(end)
+        return parts
+
+    def folds(self, k: int, seed: int = 0) -> list[tuple["SegmentSet", "SegmentSet"]]:
+        """K-fold cross-validation splits over unique segments.
+
+        Returns ``k`` pairs ``(train, test)``.
+        """
+        if k < 2:
+            raise TraceError("k must be at least 2")
+        unique = self.segments()
+        if len(unique) < k:
+            raise TraceError(f"cannot make {k} folds from {len(unique)} segments")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(unique))
+        fold_of = np.empty(len(unique), dtype=int)
+        for position, index in enumerate(order):
+            fold_of[index] = position % k
+        pairs: list[tuple[SegmentSet, SegmentSet]] = []
+        for fold in range(k):
+            train = SegmentSet(length=self.length)
+            test = SegmentSet(length=self.length)
+            for index, segment in enumerate(unique):
+                target = test if fold_of[index] == fold else train
+                target.counts[segment] = self.counts[segment]
+            pairs.append((train, test))
+        return pairs
+
+
+def build_segment_set(
+    traces: Iterable[Trace],
+    kind: CallKind,
+    context: bool,
+    length: int = DEFAULT_SEGMENT_LENGTH,
+    stride: int = 1,
+) -> SegmentSet:
+    """Segment many traces for one model family (kind × context)."""
+    segment_set = SegmentSet(length=length)
+    for trace in traces:
+        symbols = trace.symbols(kind, context)
+        segment_set.update(segment_symbols(symbols, length=length, stride=stride))
+    return segment_set
+
+
+def build_segment_set_at_depth(
+    traces: Iterable[Trace],
+    kind: CallKind,
+    depth: int,
+    length: int = DEFAULT_SEGMENT_LENGTH,
+    stride: int = 1,
+) -> SegmentSet:
+    """Segment traces with k-level calling context (§II-C's rejected deeper
+    design; depth 0 = bare names, 1 = the paper's form, 2+ = call chains).
+    """
+    segment_set = SegmentSet(length=length)
+    for trace in traces:
+        symbols = [
+            event.symbol_at_depth(depth) for event in trace.filter(kind)
+        ]
+        segment_set.update(segment_symbols(symbols, length=length, stride=stride))
+    return segment_set

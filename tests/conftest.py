@@ -1,0 +1,67 @@
+"""Shared fixtures: small programs, workloads, and trained detectors.
+
+Session-scoped fixtures keep the expensive artifacts (corpus programs,
+workload traces, fitted models) shared across the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DetectorConfig
+from repro.hmm import TrainingConfig
+from repro.program import (
+    CallKind,
+    Program,
+    ProgramBuilder,
+    load_program,
+    make_paper_example,
+)
+from repro.tracing import WorkloadResult, run_workload
+
+
+@pytest.fixture(scope="session")
+def paper_example() -> Program:
+    """The Figure 1 / Section II-C running example (functions f, g, main)."""
+    return make_paper_example()
+
+
+@pytest.fixture(scope="session")
+def gzip_program() -> Program:
+    return load_program("gzip")
+
+
+@pytest.fixture(scope="session")
+def proftpd_program() -> Program:
+    return load_program("proftpd")
+
+
+@pytest.fixture(scope="session")
+def gzip_workload(gzip_program: Program) -> WorkloadResult:
+    return run_workload(gzip_program, n_cases=40, seed=11)
+
+
+@pytest.fixture()
+def tiny_program() -> Program:
+    """A minimal two-function program used by unit tests.
+
+    main: getenv -> helper() -> write
+    helper: read -> (write | <empty>)
+    """
+    pb = ProgramBuilder("tiny")
+    pb.function("helper").call("read").branch(["write"], empty_arm=True)
+    pb.function("main").seq("getenv", "helper", "write")
+    return pb.build()
+
+
+@pytest.fixture(scope="session")
+def fast_detector_config() -> DetectorConfig:
+    return DetectorConfig(
+        training=TrainingConfig(max_iterations=5),
+        max_training_segments=400,
+        seed=1,
+    )
+
+
+SYSCALL = CallKind.SYSCALL
+LIBCALL = CallKind.LIBCALL

@@ -1,0 +1,166 @@
+"""Tests for whole-program aggregation (Section IV) and the paper example."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    aggregate_program,
+    analyze_program,
+    build_label_space,
+    function_matrix,
+)
+from repro.errors import AnalysisError
+from repro.program import CallKind, ProgramBuilder
+
+
+class TestPaperExample:
+    """Exact numbers for Figure 1 / Section II-C (computed by hand)."""
+
+    @pytest.fixture()
+    def summary(self, paper_example):
+        return aggregate_program(
+            paper_example, CallKind.SYSCALL, context=True
+        ).program_summary
+
+    def test_label_universe(self, summary):
+        assert summary.space.labels == (
+            "execve@g",
+            "read@f",
+            "read@g",
+            "write@f",
+        )
+
+    def test_first_call_is_read_at_g(self, summary):
+        entry = {
+            summary.space.labels[i]: v for i, v in enumerate(summary.entry) if v > 0
+        }
+        assert entry == {"read@g": pytest.approx(1.0)}
+
+    def test_normal_sequence_transitions(self, summary):
+        space = summary.space
+        assert summary.trans[
+            space.index("read@g"), space.index("read@f")
+        ] == pytest.approx(1.0)
+        assert summary.trans[
+            space.index("read@f"), space.index("write@f")
+        ] == pytest.approx(1.0)
+        # The execve branch fires on one of two arms.
+        assert summary.trans[
+            space.index("write@f"), space.index("execve@g")
+        ] == pytest.approx(0.5)
+
+    def test_attack_transition_has_no_mass(self, summary):
+        """S2's wrong-context pairs carry zero statically-inferred mass."""
+        space = summary.space
+        assert summary.trans[
+            space.index("write@f"), space.index("read@g")
+        ] == pytest.approx(0.0)
+        assert summary.trans[
+            space.index("execve@g"), space.index("read@f")
+        ] == pytest.approx(0.0)
+
+    def test_exit_distribution(self, summary):
+        space = summary.space
+        assert summary.exit[space.index("execve@g")] == pytest.approx(0.5)
+        assert summary.exit[space.index("write@f")] == pytest.approx(0.5)
+
+
+class TestContextPreservation:
+    def test_callee_context_survives_inlining(self):
+        """'write@f continued to be represented as write@f' (Section IV)."""
+        pb = ProgramBuilder("p")
+        pb.function("f").call("write")
+        pb.function("g").seq("read", "f")
+        pb.function("main").call("g")
+        result = aggregate_program(pb.build(), CallKind.SYSCALL, context=True)
+        assert "write@f" in result.space.labels
+        assert "write@g" not in result.space.labels
+        space = result.space
+        assert result.program_summary.trans[
+            space.index("read@g"), space.index("write@f")
+        ] == pytest.approx(1.0)
+
+
+class TestAggregation:
+    def test_deep_chain_aggregates_through_levels(self):
+        pb = ProgramBuilder("p")
+        pb.function("level2").call("close")
+        pb.function("level1").seq("write", "level2")
+        pb.function("main").seq("read", "level1")
+        result = aggregate_program(pb.build(), CallKind.SYSCALL, context=True)
+        space = result.space
+        trans = result.program_summary.trans
+        assert trans[
+            space.index("read@main"), space.index("write@level1")
+        ] == pytest.approx(1.0)
+        assert trans[
+            space.index("write@level1"), space.index("close@level2")
+        ] == pytest.approx(1.0)
+
+    def test_shared_callee_counts_for_each_site(self):
+        pb = ProgramBuilder("p")
+        pb.function("util").call("write")
+        pb.function("main").seq("read", "util", "util")
+        result = aggregate_program(pb.build(), CallKind.SYSCALL, context=True)
+        space = result.space
+        trans = result.program_summary.trans
+        # write@util follows itself once: util called twice in a row.
+        assert trans[
+            space.index("write@util"), space.index("write@util")
+        ] == pytest.approx(1.0)
+
+    def test_recursion_is_passthrough(self):
+        pb = ProgramBuilder("p")
+        pb.function("rec").seq("read", "rec", "write")
+        pb.function("main").call("rec")
+        result = aggregate_program(pb.build(), CallKind.SYSCALL, context=True)
+        space = result.space
+        # The recursive call contributes nothing; read->write bridges it.
+        assert result.program_summary.trans[
+            space.index("read@rec"), space.index("write@rec")
+        ] == pytest.approx(1.0)
+
+    def test_function_summaries_cover_all_functions(self, gzip_program):
+        result = aggregate_program(gzip_program, CallKind.LIBCALL, context=True)
+        assert set(result.function_summaries) == set(gzip_program.functions)
+
+    def test_mismatched_space_raises(self, paper_example):
+        space = build_label_space(paper_example, CallKind.SYSCALL, context=False)
+        with pytest.raises(AnalysisError):
+            aggregate_program(paper_example, CallKind.SYSCALL, True, space=space)
+
+
+class TestFunctionMatrix:
+    def test_local_matrix_ignores_internal_calls(self):
+        pb = ProgramBuilder("p")
+        pb.function("helper").call("close")
+        pb.function("main").seq("read", "helper", "write")
+        program = pb.build()
+        summary = function_matrix(program, "main", CallKind.SYSCALL, context=True)
+        space = summary.space
+        # Locally, read@main -> write@main bridges the (unexpanded) helper.
+        assert summary.trans[
+            space.index("read@main"), space.index("write@main")
+        ] == pytest.approx(1.0)
+        assert summary.trans[:, space.index("close@helper")].sum() == 0.0
+
+
+class TestPipeline:
+    def test_timings_present(self, gzip_program):
+        analysis = analyze_program(gzip_program, CallKind.SYSCALL, context=True)
+        assert set(analysis.timings_s) == {
+            "context_identification",
+            "probability_estimation",
+            "aggregation",
+        }
+        assert all(v >= 0 for v in analysis.timings_s.values())
+
+    def test_program_summary_valid(self, gzip_program):
+        analysis = analyze_program(gzip_program, CallKind.LIBCALL, context=True)
+        analysis.program_summary.validate()
+        assert analysis.program_summary.emitting_mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_context_modes_differ(self, gzip_program):
+        ctx = analyze_program(gzip_program, CallKind.LIBCALL, context=True)
+        bare = analyze_program(gzip_program, CallKind.LIBCALL, context=False)
+        assert len(ctx.space) > len(bare.space)

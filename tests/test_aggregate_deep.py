@@ -1,0 +1,159 @@
+"""Exact-number aggregation tests on deeper hand-built programs.
+
+Each case works out the paper's Definition 4/5 mass by hand for a call-graph
+shape that stresses a different part of the splice algebra: diamonds, shared
+callees, probabilistic pass-through, entry/exit mixing, and loops around
+internal calls.
+"""
+
+import pytest
+
+from repro.analysis import aggregate_program
+from repro.program import CallKind, ProgramBuilder
+
+
+def _summary(pb, kind=CallKind.SYSCALL):
+    return aggregate_program(pb.build(), kind, context=True).program_summary
+
+
+def _cell(summary, src, dst):
+    return float(
+        summary.trans[summary.space.index(src), summary.space.index(dst)]
+    )
+
+
+class TestDiamondCallGraph:
+    """main -> {left, right} -> shared: context of shared stays 'shared'."""
+
+    @pytest.fixture()
+    def summary(self):
+        pb = ProgramBuilder("diamond")
+        pb.function("shared").call("close")
+        pb.function("left").seq("read", "shared")
+        pb.function("right").seq("write", "shared")
+        pb.function("main").branch(["left"], ["right"])
+        return _summary(pb)
+
+    def test_both_paths_reach_shared(self, summary):
+        assert _cell(summary, "read@left", "close@shared") == pytest.approx(0.5)
+        assert _cell(summary, "write@right", "close@shared") == pytest.approx(0.5)
+
+    def test_shared_occurrence_mass_sums(self, summary):
+        close_in = summary.trans[:, summary.space.index("close@shared")].sum()
+        assert close_in == pytest.approx(1.0)
+
+    def test_entry_split(self, summary):
+        assert summary.entry[summary.space.index("read@left")] == pytest.approx(0.5)
+        assert summary.entry[summary.space.index("write@right")] == pytest.approx(0.5)
+
+    def test_exit_is_always_shared(self, summary):
+        assert summary.exit[summary.space.index("close@shared")] == pytest.approx(1.0)
+
+
+class TestProbabilisticPassthrough:
+    """A callee that emits only half the time must split the caller's pair
+    mass between bridging and through-callee paths."""
+
+    @pytest.fixture()
+    def summary(self):
+        pb = ProgramBuilder("maybe")
+        pb.function("maybe_log").branch(["write"], empty_arm=True)
+        pb.function("main").seq("read", "maybe_log", "close")
+        return _summary(pb)
+
+    def test_through_path(self, summary):
+        assert _cell(summary, "read@main", "write@maybe_log") == pytest.approx(0.5)
+        assert _cell(summary, "write@maybe_log", "close@main") == pytest.approx(0.5)
+
+    def test_bridging_path(self, summary):
+        assert _cell(summary, "read@main", "close@main") == pytest.approx(0.5)
+
+    def test_total_outgoing_from_read(self, summary):
+        row = summary.trans[summary.space.index("read@main"), :]
+        assert row.sum() == pytest.approx(1.0)
+
+
+class TestNestedPassthrough:
+    """Two stacked maybe-emitting callees compose multiplicatively."""
+
+    def test_quarter_mass_through_both(self):
+        pb = ProgramBuilder("nested")
+        pb.function("inner").branch(["write"], empty_arm=True)
+        pb.function("outer").call("inner")
+        pb.function("main").seq("read", "outer", "close")
+        summary = _summary(pb)
+        # inner emits w.p. 1/2; outer inherits it exactly.
+        assert _cell(summary, "read@main", "write@inner") == pytest.approx(0.5)
+        assert _cell(summary, "read@main", "close@main") == pytest.approx(0.5)
+
+
+class TestLoopAroundCall:
+    """A loop whose body is an internal call multiplies the callee's mass
+    by the expected iteration count."""
+
+    def test_expected_iterations_scale_mass(self):
+        pb = ProgramBuilder("loopcall")
+        pb.function("work").call("read")
+        pb.function("main").loop(["work"], may_skip=False)
+        summary = _summary(pb)
+        read = summary.space.index("read@work")
+        # E[iterations] = 2 at uniform exit prob 1/2: read occurs twice,
+        # giving one read->read pair per extra iteration = mass 1.
+        assert summary.trans[read, read] == pytest.approx(1.0, rel=1e-6)
+        assert summary.entry[read] == pytest.approx(1.0, rel=1e-6)
+
+
+class TestSharedCalleeCalledTwice:
+    def test_pair_between_two_invocations(self):
+        pb = ProgramBuilder("twice")
+        pb.function("util").seq("read", "write")
+        pb.function("main").seq("util", "util")
+        summary = _summary(pb)
+        # Inside each invocation: read->write (mass 2: twice).
+        assert _cell(summary, "read@util", "write@util") == pytest.approx(2.0)
+        # Between invocations: write->read exactly once.
+        assert _cell(summary, "write@util", "read@util") == pytest.approx(1.0)
+
+
+class TestMixedKindsThroughCallGraph:
+    def test_libcall_view_bridges_syscall_only_callee(self):
+        pb = ProgramBuilder("mixed")
+        pb.function("sysonly").seq("read", "write")
+        pb.function("main").seq("malloc", "sysonly", "free")
+        summary = _summary(pb, kind=CallKind.LIBCALL)
+        assert _cell(summary, "malloc@main", "free@main") == pytest.approx(1.0)
+
+    def test_syscall_view_bridges_libcalls(self):
+        pb = ProgramBuilder("mixed2")
+        pb.function("libonly").seq("malloc", "free")
+        pb.function("main").seq("read", "libonly", "write")
+        summary = _summary(pb, kind=CallKind.SYSCALL)
+        assert _cell(summary, "read@main", "write@main") == pytest.approx(1.0)
+
+
+class TestDeepChainExactness:
+    def test_five_level_chain(self):
+        pb = ProgramBuilder("deep")
+        names = [f"level{i}" for i in range(5)]
+        for index, name in enumerate(names):
+            fb = pb.function(name)
+            fb.call("read" if index % 2 == 0 else "write")
+            if index + 1 < len(names):
+                fb.call(names[index + 1])
+        pb.function("main").call(names[0])
+        summary = _summary(pb)
+        # Consecutive levels are adjacent pairs with probability 1.
+        for index in range(4):
+            src = ("read" if index % 2 == 0 else "write") + f"@level{index}"
+            dst = ("read" if (index + 1) % 2 == 0 else "write") + f"@level{index + 1}"
+            assert _cell(summary, src, dst) == pytest.approx(1.0)
+
+    def test_chain_entry_and_exit(self):
+        pb = ProgramBuilder("deep2")
+        pb.function("a").seq("read", "b")
+        pb.function("b").call("write")
+        pb.function("main").call("a")
+        summary = _summary(pb)
+        assert summary.entry[summary.space.index("read@a")] == pytest.approx(1.0)
+        assert summary.exit[summary.space.index("write@b")] == pytest.approx(1.0)
+        assert summary.passthrough == pytest.approx(0.0, abs=1e-9)

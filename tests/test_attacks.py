@@ -1,0 +1,222 @@
+"""Tests for attack generation: Abnormal-S, ROP, exploit payloads, mimicry."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    EXPLOITS,
+    MISSING_CONTEXT,
+    Q1_NAMES,
+    Q2_NAMES,
+    abnormal_context_fraction,
+    abnormal_s_segments,
+    build_attack_events,
+    code_reuse_from_normal,
+    craft_mimicry,
+    gzip_q1_q2,
+    payloads_for,
+    rop_chain_events,
+)
+from repro.errors import TraceError
+from repro.program import CallKind, layout_program, load_program
+from repro.tracing import SegmentSet
+
+
+@pytest.fixture(scope="module")
+def gzip_image(gzip_program):
+    return layout_program(gzip_program)
+
+
+class TestAbnormalS:
+    def _normals(self, n=20, length=15):
+        return [tuple(f"c{i % 7}" for i in range(start, start + length)) for start in range(n)]
+
+    def test_count_and_length(self):
+        out = abnormal_s_segments(self._normals(), ["x", "y"], 10, seed=0)
+        assert len(out) == 10
+        assert all(len(s) == 15 for s in out)
+
+    def test_prefix_preserved_suffix_replaced(self):
+        normals = self._normals()
+        out = abnormal_s_segments(normals, ["x"], 5, replaced=4, seed=0)
+        for segment in out:
+            assert segment[-4:] == ("x", "x", "x", "x")
+            assert any(segment[:11] == normal[:11] for normal in normals)
+
+    def test_replacement_symbols_legitimate(self):
+        legit = ["a", "b", "c"]
+        out = abnormal_s_segments(self._normals(), legit, 20, seed=1)
+        for segment in out:
+            assert all(symbol in legit for symbol in segment[-4:])
+
+    def test_exclusion_respected(self):
+        normals = [("a",) * 15]
+        exclude = SegmentSet(length=15)
+        # Exclude the only possible single-symbol outcome.
+        exclude.add(("a",) * 15)
+        with pytest.raises(TraceError):
+            abnormal_s_segments(normals, ["a"], 5, seed=0, exclude=exclude)
+
+    def test_deterministic(self):
+        a = abnormal_s_segments(self._normals(), ["x", "y"], 8, seed=3)
+        b = abnormal_s_segments(self._normals(), ["x", "y"], 8, seed=3)
+        assert a == b
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(TraceError):
+            abnormal_s_segments([], ["x"], 1)
+        with pytest.raises(TraceError):
+            abnormal_s_segments(self._normals(), [], 1)
+
+    def test_bad_replaced_raises(self):
+        with pytest.raises(TraceError):
+            abnormal_s_segments(self._normals(), ["x"], 1, replaced=16)
+
+
+class TestRopChains:
+    def test_chain_length(self, gzip_image):
+        events = rop_chain_events(gzip_image, n_calls=20, seed=0)
+        assert len(events) == 20
+        assert all(e.kind is CallKind.SYSCALL for e in events)
+
+    def test_zero_fidelity_never_uses_legit_context(self, gzip_image, gzip_program):
+        legit = gzip_program.distinct_calls(CallKind.SYSCALL, context=True)
+        events = rop_chain_events(gzip_image, 50, seed=1, context_fidelity=0.0)
+        fraction = abnormal_context_fraction(events, legit)
+        assert fraction == 1.0
+
+    def test_full_fidelity_mostly_legit(self, gzip_image, gzip_program):
+        legit = gzip_program.distinct_calls(CallKind.SYSCALL, context=True)
+        events = rop_chain_events(gzip_image, 50, seed=1, context_fidelity=1.0)
+        fraction = abnormal_context_fraction(events, legit)
+        # Only names without any compatible gadget fall back to foreign
+        # contexts at fidelity 1.
+        assert fraction < 0.5
+
+    def test_deterministic(self, gzip_image):
+        a = rop_chain_events(gzip_image, 10, seed=5)
+        b = rop_chain_events(gzip_image, 10, seed=5)
+        assert [str(e) for e in a] == [str(e) for e in b]
+
+
+class TestCodeReuse:
+    def test_names_and_order_preserved(self, gzip_image):
+        segment = ("read", "write", "close", "brk", "read")
+        events = code_reuse_from_normal(segment, gzip_image, seed=0)
+        assert [e.name for e in events] == list(segment)
+
+    def test_rejects_non_syscall_symbols(self, gzip_image):
+        with pytest.raises(TraceError):
+            code_reuse_from_normal(("malloc",), gzip_image)
+
+    def test_contexts_mostly_wrong_at_default_fidelity(
+        self, gzip_image, gzip_program
+    ):
+        legit = gzip_program.distinct_calls(CallKind.SYSCALL, context=True)
+        segment = ("read", "write", "close", "brk") * 10
+        events = code_reuse_from_normal(segment, gzip_image, seed=2)
+        fraction = abnormal_context_fraction(events, legit)
+        assert 0.3 <= fraction <= 0.95  # the paper's observed band
+
+
+class TestQ1Q2:
+    def test_shapes_match_paper(self, gzip_image):
+        q1, q2 = gzip_q1_q2(gzip_image)
+        assert [e.name for e in q1] == list(Q1_NAMES)
+        assert [e.name for e in q2] == list(Q2_NAMES)
+        assert len(q1) == 15 and len(q2) == 18
+
+    def test_only_defined_for_gzip(self, proftpd_program):
+        image = layout_program(proftpd_program)
+        with pytest.raises(TraceError):
+            gzip_q1_q2(image)
+
+
+class TestExploitCatalog:
+    def test_table_iv_payloads_present(self):
+        expected = {
+            "rop",
+            "syscall_chain",
+            "bind_perl",
+            "bind_perl_ipv6",
+            "generic_cmd_execution",
+            "double_reverse_tcp",
+            "reverse_perl",
+            "reverse_perl_ssl",
+            "reverse_ssl_double_telnet",
+            "cve_2010_4221",
+        }
+        assert set(EXPLOITS) == expected
+
+    def test_payloads_for_victims(self):
+        assert {s.name for s in payloads_for("gzip")} == {"rop", "syscall_chain"}
+        assert len(payloads_for("proftpd")) == 8
+
+    def test_backdoor_payloads_spawn_shells(self):
+        for name in ("bind_perl", "reverse_perl", "double_reverse_tcp"):
+            assert "execve" in EXPLOITS[name].syscalls
+
+    def test_build_rejects_wrong_victim(self, gzip_program, gzip_image):
+        with pytest.raises(TraceError):
+            build_attack_events(EXPLOITS["bind_perl"], gzip_program, gzip_image)
+
+    def test_injected_payload_contexts_abnormal(self, proftpd_program):
+        image = layout_program(proftpd_program)
+        legit = proftpd_program.distinct_calls(CallKind.SYSCALL, context=True)
+        events = build_attack_events(
+            EXPLOITS["bind_perl"], proftpd_program, image, seed=0
+        )
+        assert abnormal_context_fraction(events, legit) >= 0.3
+        assert any(e.caller == MISSING_CONTEXT for e in events)
+
+    def test_rop_payload_builds_q1_q2(self, gzip_program, gzip_image):
+        events = build_attack_events(EXPLOITS["rop"], gzip_program, gzip_image)
+        assert len(events) == len(Q1_NAMES) + len(Q2_NAMES)
+
+    def test_abnormal_fraction_empty_raises(self):
+        with pytest.raises(TraceError):
+            abnormal_context_fraction([], set())
+
+
+class TestMimicry:
+    @pytest.fixture(scope="class")
+    def fitted(self, gzip_program):
+        from repro.core import CMarkovDetector, DetectorConfig
+        from repro.hmm import TrainingConfig
+        from repro.tracing import build_segment_set, run_workload
+
+        workload = run_workload(gzip_program, n_cases=20, seed=9)
+        segments = build_segment_set(
+            workload.traces, CallKind.SYSCALL, context=True
+        )
+        detector = CMarkovDetector(
+            gzip_program,
+            kind=CallKind.SYSCALL,
+            config=DetectorConfig(
+                training=TrainingConfig(max_iterations=4),
+                max_training_segments=400,
+                seed=2,
+            ),
+        )
+        detector.fit(segments)
+        return detector, segments
+
+    def test_required_symbol_present(self, fitted):
+        detector, segments = fitted
+        attempt = craft_mimicry(
+            detector, segments.segments()[:50], "execve@[unmapped]", seed=0
+        )
+        assert "execve@[unmapped]" in attempt.segment
+
+    def test_mimicry_scores_below_host(self, fitted):
+        detector, segments = fitted
+        hosts = segments.segments()[:50]
+        attempt = craft_mimicry(detector, hosts, "execve@[unmapped]", seed=0)
+        host_score = float(detector.score([attempt.host_segment])[0])
+        # Injecting an illegitimate symbol can only cost likelihood.
+        assert attempt.score <= host_score + 1e-9
+
+    def test_no_hosts_raises(self, fitted):
+        detector, _ = fitted
+        with pytest.raises(TraceError):
+            craft_mimicry(detector, [], "execve@x")

@@ -1,0 +1,116 @@
+"""Tests for batched Baum-Welch training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hmm import TrainingConfig, log_likelihood, random_model, train
+
+
+def _sample_sequences(n, length, seed=0):
+    """Sample from a structured ground-truth HMM."""
+    rng = np.random.default_rng(seed)
+    a = np.array([[0.85, 0.15], [0.1, 0.9]])
+    b = np.array([[0.95, 0.05], [0.1, 0.9]])
+    pi = np.array([0.5, 0.5])
+    out = np.zeros((n, length), dtype=int)
+    for i in range(n):
+        state = rng.choice(2, p=pi)
+        for t in range(length):
+            out[i, t] = rng.choice(2, p=b[state])
+            state = rng.choice(2, p=a[state])
+    return out
+
+
+class TestTraining:
+    def test_monitored_likelihood_never_collapses(self):
+        data = _sample_sequences(200, 12)
+        model = random_model(["a", "b"], n_states=2, seed=3)
+        trained, report = train(
+            model, data, config=TrainingConfig(max_iterations=20)
+        )
+        before = np.mean(log_likelihood(model, data))
+        after = np.mean(log_likelihood(trained, data))
+        assert after > before
+
+    def test_em_monotone_on_training_set(self):
+        data = _sample_sequences(150, 10, seed=5)
+        model = random_model(["a", "b"], n_states=2, seed=1)
+        _, report = train(
+            model,
+            data,
+            config=TrainingConfig(max_iterations=15, patience=100),
+        )
+        lls = report.train_log_likelihood
+        # EM guarantees monotone non-decreasing training likelihood (small
+        # tolerance for the parameter floors applied after each M-step).
+        for previous, current in zip(lls, lls[1:]):
+            assert current >= previous - 1e-6
+
+    def test_early_stopping_on_holdout(self):
+        data = _sample_sequences(200, 10, seed=2)
+        model = random_model(["a", "b"], n_states=2, seed=1)
+        _, report = train(
+            model,
+            data[:150],
+            holdout_obs=data[150:],
+            config=TrainingConfig(max_iterations=200, patience=2),
+        )
+        assert report.converged
+        assert report.iterations < 200
+
+    def test_best_model_returned_not_last(self):
+        data = _sample_sequences(120, 8, seed=9)
+        model = random_model(["a", "b"], n_states=2, seed=7)
+        trained, report = train(
+            model,
+            data[:100],
+            holdout_obs=data[100:],
+            config=TrainingConfig(max_iterations=30),
+        )
+        final_holdout = float(np.mean(log_likelihood(trained, data[100:])))
+        # The returned snapshot is within min_improvement of the best
+        # monitored value (snapshots are only taken on significant gains).
+        assert final_holdout >= max(report.holdout_log_likelihood) - 1e-3 - 1e-9
+
+    def test_weights_influence_training(self):
+        data = np.array([[0, 0, 0, 0], [1, 1, 1, 1]])
+        model = random_model(["a", "b"], n_states=1, seed=0)
+        heavy_a, _ = train(
+            model, data, weights=np.array([100.0, 1.0]),
+            config=TrainingConfig(max_iterations=5),
+        )
+        heavy_b, _ = train(
+            model, data, weights=np.array([1.0, 100.0]),
+            config=TrainingConfig(max_iterations=5),
+        )
+        assert heavy_a.emission[0, 0] > heavy_b.emission[0, 0]
+
+    def test_trained_model_still_valid(self):
+        data = _sample_sequences(80, 6)
+        model = random_model(["a", "b"], n_states=3, seed=0)
+        trained, _ = train(model, data, config=TrainingConfig(max_iterations=4))
+        trained.validate()
+
+    def test_update_initial_flag(self):
+        data = _sample_sequences(80, 6)
+        model = random_model(["a", "b"], n_states=2, seed=0)
+        frozen, _ = train(
+            model,
+            data,
+            config=TrainingConfig(max_iterations=3, update_initial=False),
+        )
+        assert np.allclose(frozen.initial, model.initial)
+
+
+class TestTrainingErrors:
+    def test_empty_training_set_raises(self):
+        model = random_model(["a"], seed=0)
+        with pytest.raises(ModelError):
+            train(model, np.empty((0, 5), dtype=int))
+
+    def test_misaligned_weights_raise(self):
+        model = random_model(["a", "b"], seed=0)
+        data = _sample_sequences(10, 5)
+        with pytest.raises(ModelError):
+            train(model, data, weights=np.ones(3))

@@ -1,0 +1,104 @@
+"""Tests for branch-probability policies (the paper's heuristic hook)."""
+
+import pytest
+
+from repro.analysis import (
+    UNIFORM,
+    BranchPolicy,
+    conditional_probabilities,
+    edge_probabilities,
+    loop_biased,
+    reachability,
+    summarize_function,
+)
+from repro.analysis.labels import LabelSpace
+from repro.errors import AnalysisError
+from repro.program import CallKind, FunctionCFG
+from repro.program.builder import FunctionBuilder
+
+
+def _loop_cfg():
+    builder = FunctionBuilder(FunctionCFG("f"))
+    return builder.loop(["read"]).finish()
+
+
+class TestPolicies:
+    def test_uniform_matches_conditional_probabilities(self):
+        cfg = _loop_cfg()
+        assert edge_probabilities(cfg, UNIFORM) == conditional_probabilities(cfg)
+
+    def test_loop_biased_weights_while_loop_head(self):
+        # while-loop shape: head chooses between the body and the exit.
+        cfg = FunctionCFG("f")
+        head = cfg.add_block()
+        body = cfg.add_block(call="read")
+        tail = cfg.add_block()
+        cfg.add_edge(head, body)
+        cfg.add_edge(head, tail)
+        cfg.add_edge(body, head)  # back edge from body
+        probs = edge_probabilities(cfg, loop_biased(0.9))
+        # body has only the back edge -> stays probability 1 regardless.
+        assert probs[(body, head)] == pytest.approx(1.0)
+        # the head's body successor carries the loop weight, the exit the rest.
+        assert probs[(head, body)] == pytest.approx(0.9)
+        assert probs[(head, tail)] == pytest.approx(0.1)
+
+    def test_loop_biased_splits_mixed_successors(self):
+        # A do-while tail: back edge + exit from the same node.
+        cfg = FunctionCFG("f")
+        entry = cfg.add_block()
+        body = cfg.add_block(call="read")
+        tail = cfg.add_block()
+        cfg.add_edge(entry, body)
+        cfg.add_edge(body, body)  # self back edge
+        cfg.add_edge(body, tail)
+        probs = edge_probabilities(cfg, loop_biased(0.8))
+        assert probs[(body, body)] == pytest.approx(0.8)
+        assert probs[(body, tail)] == pytest.approx(0.2)
+
+    def test_invalid_loop_weight(self):
+        with pytest.raises(AnalysisError):
+            BranchPolicy(name="bad", loop_weight=1.5)
+
+    def test_probabilities_sum_to_one_per_node(self):
+        cfg = _loop_cfg()
+        for policy in (UNIFORM, loop_biased(0.7)):
+            probs = edge_probabilities(cfg, policy)
+            for block in cfg.blocks:
+                successors = cfg.successors(block)
+                if successors:
+                    total = sum(probs[(block, d)] for d in successors)
+                    assert total == pytest.approx(1.0)
+
+
+class TestPolicyEffects:
+    def test_loop_bias_raises_expected_iterations(self):
+        cfg = FunctionCFG("f")
+        entry = cfg.add_block()
+        body = cfg.add_block(call="read")
+        tail = cfg.add_block()
+        cfg.add_edge(entry, body)
+        cfg.add_edge(body, body)
+        cfg.add_edge(body, tail)
+        uniform_visits = reachability(cfg)[body]  # exit prob 1/2 -> 2 visits
+        biased_visits = reachability(cfg, policy=loop_biased(0.8))[body]
+        assert biased_visits > uniform_visits
+        assert biased_visits == pytest.approx(5.0, rel=1e-6)  # 1/(1-0.8)
+
+    def test_loop_bias_raises_self_transition_mass(self):
+        cfg = _loop_cfg()
+        space = LabelSpace(
+            kind=CallKind.SYSCALL, context=True, labels=("read@f",)
+        )
+        uniform_summary = summarize_function(cfg, space)
+        biased_summary = summarize_function(cfg, space, policy=loop_biased(0.9))
+        assert biased_summary.trans[0, 0] > uniform_summary.trans[0, 0]
+
+    def test_invariants_hold_under_bias(self):
+        cfg = _loop_cfg()
+        space = LabelSpace(
+            kind=CallKind.SYSCALL, context=True, labels=("read@f",)
+        )
+        summary = summarize_function(cfg, space, policy=loop_biased(0.95))
+        summary.validate()
+        assert summary.entry.sum() + summary.passthrough == pytest.approx(1.0)

@@ -1,0 +1,118 @@
+"""Unit tests for the fluent CFG/program builder."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.program import FunctionCFG, ProgramBuilder
+from repro.program.builder import FunctionBuilder
+
+
+def _builder(name: str = "f") -> FunctionBuilder:
+    return FunctionBuilder(FunctionCFG(name))
+
+
+class TestSeq:
+    def test_sequence_order(self):
+        cfg = _builder().seq("read", "write", "close").finish()
+        assert [s.name for s in cfg.calls()] == ["read", "write", "close"]
+
+    def test_sequence_is_linear(self):
+        cfg = _builder().seq("read", "write").finish()
+        cfg.validate()
+        # entry -> read -> write -> exit: every block ≤ 1 successor
+        assert all(len(cfg.successors(b)) <= 1 for b in cfg.blocks)
+
+
+class TestBranch:
+    def test_all_arms_present(self):
+        cfg = _builder().branch(["read"], ["write", "close"]).finish()
+        assert {s.name for s in cfg.calls()} == {"read", "write", "close"}
+
+    def test_branch_head_has_one_successor_per_arm(self):
+        cfg = _builder().branch(["read"], ["write"], empty_arm=True).finish()
+        heads = [b for b in cfg.blocks if len(cfg.successors(b)) == 3]
+        assert len(heads) == 1
+
+    def test_empty_branch_raises(self):
+        with pytest.raises(ProgramStructureError):
+            _builder().branch()
+
+    def test_empty_arm_only_is_allowed(self):
+        cfg = _builder().branch(empty_arm=True).finish()
+        cfg.validate()
+
+    def test_arms_rejoin(self):
+        cfg = _builder().branch(["read"], ["write"]).seq("close").finish()
+        cfg.validate()
+        # close appears exactly once (after the join), not per-arm
+        assert [s.name for s in cfg.calls()].count("close") == 1
+
+
+class TestLoop:
+    def test_loop_creates_back_edge(self):
+        cfg = _builder().loop(["read"]).finish()
+        assert len(cfg.back_edges()) == 1
+
+    def test_loop_body_calls(self):
+        cfg = _builder().loop(["read", "write"]).finish()
+        assert [s.name for s in cfg.calls()] == ["read", "write"]
+
+    def test_empty_loop_raises(self):
+        with pytest.raises(ProgramStructureError):
+            _builder().loop([])
+
+    def test_do_while_shape(self):
+        cfg = _builder().loop(["read"], may_skip=False).finish()
+        cfg.validate()
+        assert len(cfg.back_edges()) == 1
+
+    def test_loop_terminates_graph_validates(self):
+        cfg = _builder().loop(["read"]).seq("close").finish()
+        cfg.validate()
+
+
+class TestLifecycle:
+    def test_finish_is_idempotent(self):
+        builder = _builder().seq("read")
+        cfg1 = builder.finish()
+        cfg2 = builder.finish()
+        assert cfg1 is cfg2
+        assert len(cfg1.exit_blocks()) == 1
+
+    def test_extend_after_finish_raises(self):
+        builder = _builder().seq("read")
+        builder.finish()
+        with pytest.raises(ProgramStructureError):
+            builder.seq("write")
+
+    def test_exit_block_is_weightless(self):
+        cfg = _builder().seq("read").finish()
+        exit_block = cfg.exit_blocks()[0]
+        assert cfg.block(exit_block).weight == 0
+
+
+class TestProgramBuilder:
+    def test_build_validates(self):
+        pb = ProgramBuilder("p")
+        pb.function("main").seq("read")
+        program = pb.build()
+        assert program.entry_function == "main"
+        assert "main" in program.functions
+
+    def test_function_reopen_returns_same_builder(self):
+        pb = ProgramBuilder("p")
+        first = pb.function("main")
+        second = pb.function("main")
+        assert first is second
+
+    def test_missing_entry_raises(self):
+        pb = ProgramBuilder("p")
+        pb.function("helper").seq("read")
+        with pytest.raises(ProgramStructureError):
+            pb.build()
+
+    def test_custom_entry_function(self):
+        pb = ProgramBuilder("p", entry_function="start")
+        pb.function("start").seq("read")
+        program = pb.build()
+        assert program.entry.name == "start"

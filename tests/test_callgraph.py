@@ -1,0 +1,81 @@
+"""Unit tests for call-graph derivation and aggregation ordering."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.program import ProgramBuilder, build_call_graph
+
+
+def _chain_program():
+    pb = ProgramBuilder("chain")
+    pb.function("main").call("a")
+    pb.function("a").call("b")
+    pb.function("b").call("read")
+    return pb.build()
+
+
+class TestDerivation:
+    def test_edges_follow_internal_calls(self):
+        cg = build_call_graph(_chain_program())
+        assert cg.callees("main") == ["a"]
+        assert cg.callees("a") == ["b"]
+        assert cg.callees("b") == []
+
+    def test_callers(self):
+        cg = build_call_graph(_chain_program())
+        assert cg.callers("b") == ["a"]
+        assert cg.callers("main") == []
+
+    def test_observable_calls_do_not_create_edges(self):
+        pb = ProgramBuilder("p")
+        pb.function("main").seq("read", "malloc")
+        cg = build_call_graph(pb.build())
+        assert cg.callees("main") == []
+
+    def test_undefined_callee_raises(self):
+        pb = ProgramBuilder("p")
+        pb.function("main").call("ghost_function")
+        with pytest.raises(ProgramStructureError, match="undefined function"):
+            build_call_graph(pb.build())
+
+
+class TestBottomUpOrder:
+    def test_callees_precede_callers(self):
+        cg = build_call_graph(_chain_program())
+        order = cg.bottom_up_order()
+        assert order.index("b") < order.index("a") < order.index("main")
+
+    def test_all_functions_present(self):
+        cg = build_call_graph(_chain_program())
+        assert set(cg.bottom_up_order()) == {"main", "a", "b"}
+
+
+class TestRecursion:
+    def test_self_recursion_marked(self):
+        pb = ProgramBuilder("p")
+        pb.function("main").call("rec")
+        pb.function("rec").seq("read", "rec")
+        cg = build_call_graph(pb.build())
+        assert cg.is_recursive_edge("rec", "rec")
+        assert not cg.is_recursive_edge("main", "rec")
+
+    def test_mutual_recursion_marked(self):
+        pb = ProgramBuilder("p")
+        pb.function("main").call("even")
+        pb.function("even").seq("read", "odd")
+        pb.function("odd").seq("write", "even")
+        cg = build_call_graph(pb.build())
+        assert cg.is_recursive_edge("even", "odd")
+        assert cg.is_recursive_edge("odd", "even")
+
+    def test_recursive_program_still_orders(self):
+        pb = ProgramBuilder("p")
+        pb.function("main").call("rec")
+        pb.function("rec").seq("read", "rec")
+        cg = build_call_graph(pb.build())
+        order = cg.bottom_up_order()
+        assert order.index("rec") < order.index("main")
+
+    def test_acyclic_program_has_no_recursive_edges(self):
+        cg = build_call_graph(_chain_program())
+        assert not cg.recursive_edges

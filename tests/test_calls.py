@@ -1,0 +1,64 @@
+"""Unit tests for the call tables and classification."""
+
+import pytest
+
+from repro.program import (
+    LIBCALLS,
+    SYSCALLS,
+    CallKind,
+    classify_call,
+    is_observable,
+    observable_names,
+)
+
+
+class TestCallTables:
+    def test_tables_are_disjoint(self):
+        assert not set(SYSCALLS) & set(LIBCALLS)
+
+    def test_tables_have_no_duplicates(self):
+        assert len(set(SYSCALLS)) == len(SYSCALLS)
+        assert len(set(LIBCALLS)) == len(LIBCALLS)
+
+    def test_core_syscalls_present(self):
+        for name in ("read", "write", "execve", "brk", "rt_sigaction", "socket"):
+            assert name in SYSCALLS
+
+    def test_core_libcalls_present(self):
+        for name in ("malloc", "free", "strlen", "printf", "regexec"):
+            assert name in LIBCALLS
+
+
+class TestClassifyCall:
+    def test_syscall(self):
+        assert classify_call("read") is CallKind.SYSCALL
+
+    def test_libcall(self):
+        assert classify_call("malloc") is CallKind.LIBCALL
+
+    def test_internal(self):
+        assert classify_call("my_helper_function") is CallKind.INTERNAL
+
+    def test_empty_name_is_internal(self):
+        assert classify_call("") is CallKind.INTERNAL
+
+
+class TestObservability:
+    def test_syscall_observable(self):
+        assert is_observable("execve")
+
+    def test_libcall_observable(self):
+        assert is_observable("memcpy")
+
+    def test_internal_not_observable(self):
+        assert not is_observable("main")
+
+    def test_observable_names_syscall(self):
+        assert observable_names(CallKind.SYSCALL) == SYSCALLS
+
+    def test_observable_names_libcall(self):
+        assert observable_names(CallKind.LIBCALL) == LIBCALLS
+
+    def test_observable_names_internal_raises(self):
+        with pytest.raises(ValueError):
+            observable_names(CallKind.INTERNAL)

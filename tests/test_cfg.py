@@ -1,0 +1,187 @@
+"""Unit tests for the CFG representation (Definition 1)."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.program import CallKind, FunctionCFG, linear_cfg
+from repro.program.cfg import CallSite, count_edges
+
+
+class TestCallSite:
+    def test_of_classifies(self):
+        assert CallSite.of("read").kind is CallKind.SYSCALL
+        assert CallSite.of("malloc").kind is CallKind.LIBCALL
+        assert CallSite.of("helper").kind is CallKind.INTERNAL
+
+    def test_observable(self):
+        assert CallSite.of("read").observable
+        assert not CallSite.of("helper").observable
+
+
+class TestConstruction:
+    def test_first_block_is_entry(self):
+        cfg = FunctionCFG("f")
+        first = cfg.add_block()
+        cfg.add_block()
+        assert cfg.entry == first
+
+    def test_set_entry_override(self):
+        cfg = FunctionCFG("f")
+        cfg.add_block()
+        second = cfg.add_block()
+        cfg.set_entry(second)
+        assert cfg.entry == second
+
+    def test_set_entry_unknown_block_raises(self):
+        cfg = FunctionCFG("f")
+        cfg.add_block()
+        with pytest.raises(ProgramStructureError):
+            cfg.set_entry(99)
+
+    def test_edge_to_unknown_block_raises(self):
+        cfg = FunctionCFG("f")
+        a = cfg.add_block()
+        with pytest.raises(ProgramStructureError):
+            cfg.add_edge(a, 42)
+
+    def test_duplicate_edge_ignored(self):
+        cfg = FunctionCFG("f")
+        a, b = cfg.add_block(), cfg.add_block()
+        cfg.add_edge(a, b)
+        cfg.add_edge(a, b)
+        assert cfg.successors(a) == [b]
+
+    def test_entry_of_empty_function_raises(self):
+        with pytest.raises(ProgramStructureError):
+            FunctionCFG("f").entry
+
+    def test_unknown_block_lookup_raises(self):
+        cfg = FunctionCFG("f")
+        cfg.add_block()
+        with pytest.raises(ProgramStructureError):
+            cfg.block(7)
+
+
+class TestStructure:
+    def test_linear_cfg_shape(self):
+        cfg = linear_cfg("f", ["read", "write"])
+        assert len(cfg) == 4  # head + 2 calls + tail
+        assert [s.name for s in cfg.calls()] == ["read", "write"]
+        assert len(cfg.exit_blocks()) == 1
+
+    def test_calls_filter_by_kind(self):
+        cfg = linear_cfg("f", ["read", "malloc", "write"])
+        assert [s.name for s in cfg.calls(CallKind.SYSCALL)] == ["read", "write"]
+        assert [s.name for s in cfg.calls(CallKind.LIBCALL)] == ["malloc"]
+
+    def test_exit_blocks(self):
+        cfg = FunctionCFG("f")
+        a = cfg.add_block()
+        b = cfg.add_block()
+        c = cfg.add_block()
+        cfg.add_edge(a, b)
+        cfg.add_edge(a, c)
+        assert set(cfg.exit_blocks()) == {b, c}
+
+    def test_count_edges(self):
+        cfg = linear_cfg("f", ["read"])
+        assert count_edges(cfg) == 2
+
+    def test_reachable_blocks(self):
+        cfg = FunctionCFG("f")
+        a = cfg.add_block()
+        b = cfg.add_block()
+        cfg.add_block()  # orphan
+        cfg.add_edge(a, b)
+        assert cfg.reachable_blocks() == {a, b}
+
+
+class TestBackEdges:
+    def test_acyclic_has_no_back_edges(self):
+        cfg = linear_cfg("f", ["read", "write"])
+        assert cfg.back_edges() == set()
+
+    def test_simple_loop_back_edge(self):
+        cfg = FunctionCFG("f")
+        head = cfg.add_block()
+        body = cfg.add_block(call="read")
+        tail = cfg.add_block()
+        cfg.add_edge(head, body)
+        cfg.add_edge(body, head)
+        cfg.add_edge(head, tail)
+        assert cfg.back_edges() == {(body, head)}
+
+    def test_self_loop_is_back_edge(self):
+        cfg = FunctionCFG("f")
+        a = cfg.add_block()
+        b = cfg.add_block()
+        cfg.add_edge(a, a)
+        cfg.add_edge(a, b)
+        assert (a, a) in cfg.back_edges()
+
+    def test_diamond_is_acyclic(self):
+        cfg = FunctionCFG("f")
+        a, b, c, d = (cfg.add_block() for _ in range(4))
+        cfg.add_edge(a, b)
+        cfg.add_edge(a, c)
+        cfg.add_edge(b, d)
+        cfg.add_edge(c, d)
+        assert cfg.back_edges() == set()
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        cfg = FunctionCFG("f")
+        a, b, c, d = (cfg.add_block() for _ in range(4))
+        cfg.add_edge(a, b)
+        cfg.add_edge(a, c)
+        cfg.add_edge(b, d)
+        cfg.add_edge(c, d)
+        order = cfg.forward_topological_order()
+        position = {block: i for i, block in enumerate(order)}
+        assert position[a] < position[b] < position[d]
+        assert position[a] < position[c] < position[d]
+
+    def test_loop_handled_via_back_edge_removal(self):
+        cfg = FunctionCFG("f")
+        head = cfg.add_block()
+        body = cfg.add_block(call="read")
+        tail = cfg.add_block()
+        cfg.add_edge(head, body)
+        cfg.add_edge(body, head)
+        cfg.add_edge(head, tail)
+        order = cfg.forward_topological_order()
+        assert set(order) == {head, body, tail}
+
+    def test_excludes_unreachable(self):
+        cfg = FunctionCFG("f")
+        a = cfg.add_block()
+        b = cfg.add_block()
+        cfg.add_block()  # orphan
+        cfg.add_edge(a, b)
+        assert set(cfg.forward_topological_order()) == {a, b}
+
+
+class TestValidate:
+    def test_valid_linear(self):
+        linear_cfg("f", ["read"]).validate()
+
+    def test_no_blocks(self):
+        with pytest.raises(ProgramStructureError):
+            FunctionCFG("f").validate()
+
+    def test_no_exit_block(self):
+        cfg = FunctionCFG("f")
+        a = cfg.add_block()
+        b = cfg.add_block()
+        cfg.add_edge(a, b)
+        cfg.add_edge(b, a)
+        with pytest.raises(ProgramStructureError, match="no exit"):
+            cfg.validate()
+
+    def test_unreachable_block(self):
+        cfg = FunctionCFG("f")
+        cfg.add_block()
+        cfg.add_block()  # orphan
+        with pytest.raises(ProgramStructureError, match="unreachable"):
+            cfg.validate()

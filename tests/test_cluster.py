@@ -1,0 +1,101 @@
+"""Tests for clustering-based state reduction (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import aggregate_program
+from repro.errors import ModelError
+from repro.program import CallKind
+from repro.reduction import cluster_calls, identity_clustering
+
+
+@pytest.fixture(scope="module")
+def gzip_summary():
+    from repro.program import load_program
+
+    program = load_program("gzip")
+    return aggregate_program(program, CallKind.LIBCALL, context=True).program_summary
+
+
+class TestIdentityClustering:
+    def test_one_state_per_label(self, gzip_summary):
+        clustering = identity_clustering(gzip_summary)
+        assert clustering.n_clusters == len(gzip_summary.space)
+
+    def test_reduced_summary_equals_original(self, gzip_summary):
+        clustering = identity_clustering(gzip_summary)
+        reduced = clustering.reduced_summary()
+        assert np.allclose(reduced.trans, gzip_summary.trans)
+        assert np.allclose(reduced.entry, gzip_summary.entry)
+
+
+class TestClusterCalls:
+    def test_target_ratio_respected(self, gzip_summary):
+        clustering = cluster_calls(gzip_summary, ratio=0.5, seed=0)
+        n = len(gzip_summary.space)
+        assert clustering.n_clusters == round(n * 0.5)
+
+    def test_explicit_k(self, gzip_summary):
+        clustering = cluster_calls(gzip_summary, n_clusters=10, seed=0)
+        assert clustering.n_clusters == 10
+
+    def test_every_label_assigned(self, gzip_summary):
+        clustering = cluster_calls(gzip_summary, ratio=1 / 3, seed=0)
+        assert clustering.assignments.shape == (len(gzip_summary.space),)
+        assert set(clustering.assignments) == set(clustering.members)
+
+    def test_members_partition_labels(self, gzip_summary):
+        clustering = cluster_calls(gzip_summary, ratio=1 / 3, seed=0)
+        all_members = sorted(
+            index for members in clustering.members.values() for index in members
+        )
+        assert all_members == list(range(len(gzip_summary.space)))
+
+    def test_deterministic(self, gzip_summary):
+        a = cluster_calls(gzip_summary, ratio=0.5, seed=4)
+        b = cluster_calls(gzip_summary, ratio=0.5, seed=4)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_invalid_ratio(self, gzip_summary):
+        with pytest.raises(ModelError):
+            cluster_calls(gzip_summary, ratio=0.0)
+
+    def test_member_labels_readable(self, gzip_summary):
+        clustering = cluster_calls(gzip_summary, ratio=0.5, seed=0)
+        labels = clustering.member_labels(0)
+        assert all(label in gzip_summary.space.labels for label in labels)
+
+
+class TestMassConservation:
+    """Algorithm 1's output must conserve the probability mass of the input
+    — merging states cannot create or destroy transition probability."""
+
+    def test_transition_mass_conserved(self, gzip_summary):
+        clustering = cluster_calls(gzip_summary, ratio=1 / 3, seed=0)
+        reduced = clustering.reduced_summary()
+        assert reduced.trans.sum() == pytest.approx(gzip_summary.trans.sum())
+
+    def test_entry_mass_conserved(self, gzip_summary):
+        clustering = cluster_calls(gzip_summary, ratio=1 / 3, seed=0)
+        reduced = clustering.reduced_summary()
+        assert reduced.entry.sum() == pytest.approx(gzip_summary.entry.sum())
+
+    def test_exit_mass_conserved(self, gzip_summary):
+        clustering = cluster_calls(gzip_summary, ratio=1 / 3, seed=0)
+        reduced = clustering.reduced_summary()
+        assert reduced.exit.sum() == pytest.approx(gzip_summary.exit.sum())
+
+    def test_reduced_shapes(self, gzip_summary):
+        clustering = cluster_calls(gzip_summary, n_clusters=12, seed=0)
+        reduced = clustering.reduced_summary()
+        assert reduced.trans.shape == (12, 12)
+        assert reduced.entry.shape == (12,)
+
+    def test_similar_calls_land_together(self, gzip_summary):
+        """Labels with identical transition vectors must share a cluster."""
+        vectors = gzip_summary.transition_vectors()
+        clustering = cluster_calls(gzip_summary, ratio=1 / 3, seed=0)
+        for i in range(len(vectors)):
+            for j in range(i + 1, len(vectors)):
+                if np.allclose(vectors[i], vectors[j]):
+                    assert clustering.assignments[i] == clustering.assignments[j]

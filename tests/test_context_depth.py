@@ -1,0 +1,94 @@
+"""Tests for k-level calling context (the deeper-context ablation support)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.program import CallKind, ProgramBuilder
+from repro.tracing import TraceExecutor, build_segment_set_at_depth
+from repro.tracing.events import CallEvent
+
+
+def _nested_program():
+    pb = ProgramBuilder("nested")
+    pb.function("inner").call("write")
+    pb.function("middle").seq("read", "inner")
+    pb.function("main").call("middle")
+    return pb.build()
+
+
+class TestSymbolAtDepth:
+    @pytest.fixture()
+    def event(self):
+        return CallEvent(
+            name="write",
+            caller="inner",
+            kind=CallKind.SYSCALL,
+            stack=("main", "middle", "inner"),
+        )
+
+    def test_depth_zero_is_bare_name(self, event):
+        assert event.symbol_at_depth(0) == "write"
+
+    def test_depth_one_matches_paper_form(self, event):
+        assert event.symbol_at_depth(1) == event.symbol(context=True)
+        assert event.symbol_at_depth(1) == "write@inner"
+
+    def test_depth_two_appends_grandcaller(self, event):
+        assert event.symbol_at_depth(2) == "write@middle/inner"
+
+    def test_depth_beyond_stack_truncates(self, event):
+        assert event.symbol_at_depth(9) == "write@main/middle/inner"
+
+    def test_missing_stack_falls_back_to_caller(self):
+        event = CallEvent("write", "inner", CallKind.SYSCALL)
+        assert event.symbol_at_depth(3) == "write@inner"
+
+    def test_negative_depth_raises(self, event):
+        with pytest.raises(TraceError):
+            event.symbol_at_depth(-1)
+
+
+class TestExecutorRecordsStacks:
+    def test_exact_call_chains(self):
+        result = TraceExecutor(_nested_program()).run("case", seed=0)
+        chains = {(e.name, e.stack) for e in result.trace.events}
+        assert ("read", ("main", "middle")) in chains
+        assert ("write", ("main", "middle", "inner")) in chains
+
+    def test_stack_ends_at_caller(self, gzip_program):
+        result = TraceExecutor(gzip_program, max_events=100).run("case", seed=1)
+        for event in result.trace.events:
+            assert event.stack[-1] == event.caller
+
+    def test_stack_functions_exist(self, gzip_program):
+        result = TraceExecutor(gzip_program, max_events=100).run("case", seed=2)
+        for event in result.trace.events:
+            for function in event.stack:
+                assert function in gzip_program.functions
+
+
+class TestDepthSegments:
+    def test_alphabet_grows_with_depth(self, gzip_program):
+        from repro.tracing import run_workload
+
+        workload = run_workload(gzip_program, n_cases=20, seed=5)
+        sizes = {}
+        for depth in (0, 1, 2):
+            segments = build_segment_set_at_depth(
+                workload.traces, CallKind.LIBCALL, depth, length=10
+            )
+            sizes[depth] = len(segments.alphabet())
+        # More context can only refine labels: alphabets grow monotonically.
+        assert sizes[0] < sizes[1] <= sizes[2]
+
+    def test_depth_one_matches_standard_builder(self, gzip_program):
+        from repro.tracing import build_segment_set, run_workload
+
+        workload = run_workload(gzip_program, n_cases=5, seed=6)
+        via_depth = build_segment_set_at_depth(
+            workload.traces, CallKind.SYSCALL, 1, length=10
+        )
+        via_standard = build_segment_set(
+            workload.traces, CallKind.SYSCALL, True, length=10
+        )
+        assert via_depth.counts == via_standard.counts

@@ -1,0 +1,121 @@
+"""Tests for the synthetic evaluation corpus.
+
+These verify the *structural properties the paper's results depend on*
+(DESIGN.md §2), not just that generation succeeds.
+"""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.program import (
+    ALL_PROGRAMS,
+    PROGRAM_SPECS,
+    SERVER_PROGRAMS,
+    UTILITY_PROGRAMS,
+    CallKind,
+    load_program,
+    make_paper_example,
+    wrapper_name,
+)
+
+
+class TestCatalog:
+    def test_eight_programs(self):
+        assert len(ALL_PROGRAMS) == 8
+        assert set(UTILITY_PROGRAMS) | set(SERVER_PROGRAMS) == set(ALL_PROGRAMS)
+
+    def test_specs_cover_all_programs(self):
+        assert set(PROGRAM_SPECS) == set(ALL_PROGRAMS)
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(ProgramStructureError):
+            load_program("emacs")
+
+
+@pytest.mark.parametrize("name", ALL_PROGRAMS)
+class TestEveryProgram:
+    def test_validates(self, name):
+        load_program(name).validate()
+
+    def test_deterministic(self, name):
+        a = load_program(name)
+        b = load_program(name)
+        assert set(a.functions) == set(b.functions)
+        assert a.distinct_calls(CallKind.LIBCALL) == b.distinct_calls(CallKind.LIBCALL)
+
+    def test_has_main(self, name):
+        assert load_program(name).entry.name == "main"
+
+    def test_context_multiplies_libcall_alphabet(self, name):
+        program = load_program(name)
+        ctx = len(program.distinct_calls(CallKind.LIBCALL, context=True))
+        bare = len(program.distinct_calls(CallKind.LIBCALL, context=False))
+        assert ctx >= 3 * bare, (
+            "libcalls must have diverse callers for the paper's headline "
+            f"result; got {ctx} context labels over {bare} names"
+        )
+
+    def test_syscalls_are_funnelled_through_wrappers(self, name):
+        program = load_program(name)
+        ctx = len(program.distinct_calls(CallKind.SYSCALL, context=True))
+        bare = len(program.distinct_calls(CallKind.SYSCALL, context=False))
+        # Wrapping keeps context syscall alphabet close to the name alphabet.
+        assert ctx <= 2 * bare
+
+    def test_metadata_populated(self, name):
+        metadata = load_program(name).metadata
+        assert metadata["loc"] > 0
+        assert metadata["size_kb"] > 0
+
+
+class TestScaling:
+    def test_scale_grows_function_count(self):
+        small = load_program("gzip", scale=0.5)
+        large = load_program("gzip", scale=2.0)
+        assert len(large.functions) > len(small.functions)
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ProgramStructureError):
+            load_program("gzip", scale=0)
+
+
+class TestWrappers:
+    def test_wrapper_naming(self):
+        assert wrapper_name("read") == "sys_read"
+        assert wrapper_name("read", 1) == "sys_read_1"
+
+    def test_wrapper_contains_its_syscall(self):
+        program = load_program("gzip")
+        wrapper = program.function(wrapper_name("read"))
+        assert "read" in {s.name for s in wrapper.calls(CallKind.SYSCALL)}
+
+    def test_double_wrapped_syscalls_have_two_wrappers(self):
+        program = load_program("bash")  # bash double-wraps read/write/open
+        assert wrapper_name("read", 1) in program.functions
+
+
+class TestServers:
+    @pytest.mark.parametrize("name", SERVER_PROGRAMS)
+    def test_servers_use_sockets(self, name):
+        program = load_program(name)
+        syscalls = program.distinct_calls(CallKind.SYSCALL, context=False)
+        assert "socket" in syscalls
+        assert "accept" in syscalls or "epoll_wait" in syscalls
+
+    @pytest.mark.parametrize("name", UTILITY_PROGRAMS)
+    def test_utilities_have_no_sockets(self, name):
+        program = load_program(name)
+        syscalls = program.distinct_calls(CallKind.SYSCALL, context=False)
+        assert "accept" not in syscalls
+
+
+class TestPaperExample:
+    def test_exact_context_labels(self):
+        program = make_paper_example()
+        labels = program.distinct_calls(CallKind.SYSCALL, context=True)
+        assert labels == {"read@g", "read@f", "write@f", "execve@g"}
+
+    def test_flow_insensitive_view_collapses(self):
+        program = make_paper_example()
+        names = program.distinct_calls(CallKind.SYSCALL, context=False)
+        assert names == {"read", "write", "execve"}

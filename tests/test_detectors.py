@@ -1,0 +1,237 @@
+"""Tests for the detector layer: base API, Regular, STILO, CMarkov."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusterPolicy,
+    CMarkovDetector,
+    DetectorConfig,
+    RegularDetector,
+    StiloDetector,
+    make_detector,
+    threshold_for_fp_budget,
+)
+from repro.errors import EvaluationError, NotFittedError, TraceError
+from repro.hmm import TrainingConfig
+from repro.program import CallKind
+from repro.tracing import build_segment_set
+
+
+@pytest.fixture(scope="module")
+def gzip_syscall_segments(gzip_program):
+    from repro.tracing import run_workload
+
+    workload = run_workload(gzip_program, n_cases=25, seed=4)
+    return build_segment_set(workload.traces, CallKind.SYSCALL, context=True)
+
+
+@pytest.fixture(scope="module")
+def fitted_cmarkov(gzip_program, gzip_syscall_segments):
+    detector = CMarkovDetector(
+        gzip_program,
+        kind=CallKind.SYSCALL,
+        config=DetectorConfig(
+            training=TrainingConfig(max_iterations=5),
+            max_training_segments=500,
+            seed=0,
+        ),
+    )
+    detector.fit(gzip_syscall_segments)
+    return detector
+
+
+class TestDetectorLifecycle:
+    def test_score_before_fit_raises(self, gzip_program):
+        detector = StiloDetector(gzip_program, kind=CallKind.SYSCALL)
+        with pytest.raises(NotFittedError):
+            detector.score([("read",) * 15])
+
+    def test_fit_result_before_fit_raises(self, gzip_program):
+        detector = StiloDetector(gzip_program, kind=CallKind.SYSCALL)
+        with pytest.raises(NotFittedError):
+            detector.fit_result
+
+    def test_empty_training_raises(self, gzip_program):
+        from repro.tracing import SegmentSet
+
+        detector = StiloDetector(gzip_program, kind=CallKind.SYSCALL)
+        with pytest.raises(TraceError):
+            detector.fit(SegmentSet(length=15))
+
+    def test_fit_populates_result(self, fitted_cmarkov):
+        result = fitted_cmarkov.fit_result
+        assert result.n_states > 0
+        assert result.train_seconds > 0
+        assert result.report.iterations >= 1
+
+    def test_is_fitted_flag(self, gzip_program, fitted_cmarkov):
+        assert fitted_cmarkov.is_fitted
+        assert not StiloDetector(gzip_program, kind=CallKind.SYSCALL).is_fitted
+
+
+class TestScoring:
+    def test_scores_shape(self, fitted_cmarkov, gzip_syscall_segments):
+        segments = gzip_syscall_segments.segments()[:10]
+        scores = fitted_cmarkov.score(segments)
+        assert scores.shape == (10,)
+
+    def test_scores_are_per_symbol(self, fitted_cmarkov, gzip_syscall_segments):
+        # Per-symbol normalization keeps scores in a narrow sane band.
+        scores = fitted_cmarkov.score(gzip_syscall_segments.segments()[:50])
+        assert np.all(scores <= 0.0)
+        assert np.all(scores > -200.0)
+
+    def test_empty_scores(self, fitted_cmarkov):
+        assert fitted_cmarkov.score([]).shape == (0,)
+
+    def test_normal_scores_above_garbage(self, fitted_cmarkov, gzip_syscall_segments):
+        normal = gzip_syscall_segments.segments()[:50]
+        garbage = [tuple(["<nonsense>"] * 15)] * 10
+        assert np.mean(fitted_cmarkov.score(normal)) > np.mean(
+            fitted_cmarkov.score(garbage)
+        )
+
+    def test_classify_uses_threshold(self, fitted_cmarkov, gzip_syscall_segments):
+        segments = gzip_syscall_segments.segments()[:20]
+        scores = fitted_cmarkov.score(segments)
+        threshold = float(np.median(scores))
+        verdicts = fitted_cmarkov.classify(segments, threshold)
+        assert verdicts.sum() == np.sum(scores < threshold)
+
+
+class TestRegularDetector:
+    def test_states_match_observed_alphabet(self, gzip_syscall_segments):
+        detector = RegularDetector(
+            kind=CallKind.SYSCALL,
+            context=True,
+            config=DetectorConfig(
+                training=TrainingConfig(max_iterations=2), seed=0
+            ),
+        )
+        detector.fit(gzip_syscall_segments)
+        train_part, _ = gzip_syscall_segments.split([0.8, 0.2], seed=0)
+        assert detector.fit_result.n_states == len(train_part.alphabet())
+
+    def test_names(self):
+        assert RegularDetector(CallKind.SYSCALL, context=False).name == "regular-basic"
+        assert RegularDetector(CallKind.SYSCALL, context=True).name == "regular-context"
+
+
+class TestStaticDetectors:
+    def test_stilo_is_context_insensitive(self, gzip_program):
+        detector = StiloDetector(gzip_program, kind=CallKind.SYSCALL)
+        assert not detector.context
+        assert detector.name == "stilo"
+
+    def test_cmarkov_is_context_sensitive(self, gzip_program):
+        detector = CMarkovDetector(gzip_program, kind=CallKind.SYSCALL)
+        assert detector.context
+        assert detector.name == "cmarkov"
+
+    def test_cmarkov_states_match_static_labels(self, fitted_cmarkov, gzip_program):
+        expected = len(gzip_program.distinct_calls(CallKind.SYSCALL, context=True))
+        assert fitted_cmarkov.fit_result.n_states == expected
+
+    def test_cluster_policy_triggers_reduction(
+        self, gzip_program, gzip_syscall_segments
+    ):
+        detector = CMarkovDetector(
+            gzip_program,
+            kind=CallKind.SYSCALL,
+            config=DetectorConfig(
+                training=TrainingConfig(max_iterations=2), seed=0
+            ),
+            cluster_policy=ClusterPolicy(ratio=0.5, min_states=5),
+        )
+        detector.fit(gzip_syscall_segments)
+        static = len(gzip_program.distinct_calls(CallKind.SYSCALL, context=True))
+        assert detector.fit_result.n_states == round(static * 0.5)
+        assert detector.clustering is not None
+
+    def test_cluster_policy_below_threshold_is_noop(self, fitted_cmarkov):
+        # Default policy has min_states=800; gzip stays unclustered.
+        assert fitted_cmarkov.clustering is None
+
+    def test_analysis_cached(self, gzip_program):
+        detector = StiloDetector(gzip_program, kind=CallKind.SYSCALL)
+        assert detector.analysis is detector.analysis
+
+
+class TestSubsampling:
+    def test_cap_marks_result(self, gzip_program, gzip_syscall_segments):
+        detector = CMarkovDetector(
+            gzip_program,
+            kind=CallKind.SYSCALL,
+            config=DetectorConfig(
+                training=TrainingConfig(max_iterations=2),
+                max_training_segments=10,
+                seed=0,
+            ),
+        )
+        result = detector.fit(gzip_syscall_segments)
+        assert result.subsampled
+        assert result.n_train_segments <= 10
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("cmarkov", CMarkovDetector),
+            ("stilo", StiloDetector),
+            ("regular-basic", RegularDetector),
+            ("regular-context", RegularDetector),
+        ],
+    )
+    def test_factory_types(self, gzip_program, name, cls):
+        detector = make_detector(name, gzip_program, CallKind.SYSCALL)
+        assert isinstance(detector, cls)
+        assert detector.name == name
+
+    def test_unknown_model_raises(self, gzip_program):
+        with pytest.raises(EvaluationError):
+            make_detector("svm", gzip_program, CallKind.SYSCALL)
+
+
+class TestThresholds:
+    def test_fp_budget_threshold(self):
+        scores = np.linspace(-10, -1, 100)
+        threshold = threshold_for_fp_budget(scores, 0.05)
+        assert np.mean(scores < threshold) <= 0.05
+
+    def test_zero_budget(self):
+        scores = np.array([-3.0, -1.0, -2.0])
+        threshold = threshold_for_fp_budget(scores, 0.0)
+        assert threshold == -3.0
+
+    def test_invalid_budget(self):
+        with pytest.raises(EvaluationError):
+            threshold_for_fp_budget(np.array([1.0]), -0.1)
+
+
+class TestPretrainedLoading:
+    def test_load_pretrained_enables_scoring(self, gzip_program, fitted_cmarkov, tmp_path):
+        from repro.core import CMarkovDetector
+        from repro.hmm import load_model, save_model
+        from repro.program import CallKind
+
+        path = tmp_path / "m.npz"
+        save_model(fitted_cmarkov.model, path)
+        fresh = CMarkovDetector(gzip_program, kind=CallKind.SYSCALL)
+        assert not fresh.is_fitted
+        fresh.load_pretrained(load_model(path))
+        assert fresh.is_fitted
+        segment = (("read",) * 15,)
+        assert fresh.score(list(segment)).shape == (1,)
+
+    def test_load_pretrained_validates(self, gzip_program, fitted_cmarkov):
+        from repro.core import CMarkovDetector
+        from repro.errors import ModelError
+        from repro.program import CallKind
+
+        broken = fitted_cmarkov.model.copy()
+        broken.transition[0, 0] += 1.0
+        fresh = CMarkovDetector(gzip_program, kind=CallKind.SYSCALL)
+        with pytest.raises(ModelError):
+            fresh.load_pretrained(broken)

@@ -1,0 +1,81 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.program import (
+    ProgramBuilder,
+    build_call_graph,
+    call_graph_to_dot,
+    cfg_to_dot,
+    load_program,
+)
+
+
+@pytest.fixture()
+def small_program():
+    pb = ProgramBuilder("dotted")
+    pb.function("helper").seq("read", "malloc")
+    pb.function("main").call("getenv").loop(["helper"]).indirect("helper")
+    return pb.build()
+
+
+class TestCfgDot:
+    def test_valid_digraph_syntax(self, small_program):
+        dot = cfg_to_dot(small_program.function("main"))
+        assert dot.startswith('digraph "main" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_every_block_and_edge_present(self, small_program):
+        cfg = small_program.function("helper")
+        dot = cfg_to_dot(cfg)
+        for block_id in cfg.blocks:
+            assert f"n{block_id} " in dot
+        for src, dst in cfg.edges():
+            assert f"n{src} -> n{dst}" in dot
+
+    def test_call_names_rendered(self, small_program):
+        dot = cfg_to_dot(small_program.function("helper"))
+        assert "read" in dot
+        assert "malloc" in dot
+
+    def test_back_edges_dashed(self, small_program):
+        dot = cfg_to_dot(small_program.function("main"))
+        assert "style=dashed" in dot
+
+    def test_indirect_site_rendered(self, small_program):
+        dot = cfg_to_dot(small_program.function("main"))
+        assert "(*ptr)(helper)" in dot
+
+    def test_kind_colors_differ(self, small_program):
+        dot = cfg_to_dot(small_program.function("helper"))
+        assert "#c62828" in dot  # syscall
+        assert "#1565c0" in dot  # libcall
+
+
+class TestCallGraphDot:
+    def test_valid_digraph(self, small_program):
+        dot = call_graph_to_dot(small_program)
+        assert dot.startswith('digraph "dotted" {')
+        assert '"main" -> "helper"' in dot
+
+    def test_entry_double_bordered(self, small_program):
+        dot = call_graph_to_dot(small_program)
+        assert '"main" [peripheries=2]' in dot
+
+    def test_recursive_edges_dashed(self):
+        pb = ProgramBuilder("rec")
+        pb.function("main").call("loop_fn")
+        pb.function("loop_fn").seq("read", "loop_fn")
+        program = pb.build()
+        dot = call_graph_to_dot(program)
+        assert '"loop_fn" -> "loop_fn" [style=dashed]' in dot
+
+    def test_wrappers_colored_on_corpus(self):
+        program = load_program("gzip")
+        dot = call_graph_to_dot(program, build_call_graph(program))
+        assert '"sys_read" [color="#c62828"]' in dot
+
+    def test_all_functions_listed(self, small_program):
+        dot = call_graph_to_dot(small_program)
+        for name in small_program.functions:
+            assert f'"{name}"' in dot

@@ -1,0 +1,107 @@
+"""Tests for model-drift comparison across program versions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import aggregate_program
+from repro.core.drift import compare_models, needs_retraining, symmetrized_kl
+from repro.errors import ModelError
+from repro.hmm import random_model
+from repro.program import CallKind, ProgramBuilder
+from repro.reduction import initialize_hmm
+
+
+def _version(extra_call: str | None = None, flip_branch: bool = False):
+    pb = ProgramBuilder("app")
+    fb = pb.function("worker")
+    fb.seq("read")
+    if flip_branch:
+        fb.branch(["write", "write"], ["close"])
+    else:
+        fb.branch(["write"], ["close"])
+    if extra_call:
+        fb.seq(extra_call)
+    pb.function("main").seq("brk", "worker", "exit_group")
+    return pb.build()
+
+
+def _model(program):
+    summary = aggregate_program(program, CallKind.SYSCALL, context=True).program_summary
+    return initialize_hmm(summary)
+
+
+class TestSymmetrizedKl:
+    def test_zero_for_identical(self):
+        p = np.array([0.2, 0.8])
+        assert symmetrized_kl(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different(self):
+        assert symmetrized_kl(np.array([0.9, 0.1]), np.array([0.1, 0.9])) > 0.5
+
+    def test_symmetric(self):
+        p = np.array([0.7, 0.3])
+        q = np.array([0.4, 0.6])
+        assert symmetrized_kl(p, q) == pytest.approx(symmetrized_kl(q, p))
+
+
+class TestCompareModels:
+    def test_identical_versions_have_zero_drift(self):
+        a = _model(_version())
+        b = _model(_version())
+        report = compare_models(a, b)
+        assert report.drift_score == pytest.approx(0.0, abs=1e-9)
+        assert not report.added_states and not report.removed_states
+
+    def test_new_call_reported_as_added_state(self):
+        old = _model(_version())
+        new = _model(_version(extra_call="unlink"))
+        report = compare_models(old, new)
+        assert "unlink@worker" in report.added_states
+        assert not report.removed_states
+
+    def test_removed_call_reported(self):
+        old = _model(_version(extra_call="unlink"))
+        new = _model(_version())
+        report = compare_models(old, new)
+        assert "unlink@worker" in report.removed_states
+
+    def test_behaviour_change_raises_drift(self):
+        old = _model(_version())
+        new = _model(_version(flip_branch=True))  # branch odds change
+        report = compare_models(old, new)
+        assert report.drift_score > 0.001
+        # The changed branch shows up among the most drifted states.
+        drifted = dict(report.most_drifted(top=3))
+        assert any("worker" in label for label in drifted)
+
+    def test_unlabeled_models_rejected(self):
+        a = random_model(["x"], seed=0)
+        b = random_model(["x"], seed=1)
+        with pytest.raises(ModelError, match="state-labeled"):
+            compare_models(a, b)
+
+    def test_disjoint_models_rejected(self):
+        a = _model(_version())
+        pb = ProgramBuilder("other")
+        pb.function("main").seq("socket", "accept")
+        b = _model(pb.build())
+        with pytest.raises(ModelError, match="share no state"):
+            compare_models(a, b)
+
+
+class TestRetrainingPolicy:
+    def test_no_change_no_retraining(self):
+        report = compare_models(_model(_version()), _model(_version()))
+        assert not needs_retraining(report)
+
+    def test_structural_churn_triggers(self):
+        old = _model(_version())
+        new = _model(_version(extra_call="unlink"))
+        report = compare_models(old, new)
+        assert needs_retraining(report, structure_threshold=0.05)
+
+    def test_parameter_drift_triggers(self):
+        report = compare_models(
+            _model(_version()), _model(_version(flip_branch=True))
+        )
+        assert needs_retraining(report, score_threshold=0.0001)

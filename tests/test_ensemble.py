@@ -1,0 +1,118 @@
+"""Tests for the libcall+syscall ensemble detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import CMarkovDetector, DetectorConfig, threshold_for_fp_budget
+from repro.core.ensemble import EnsembleDetector, EnsembleMember
+from repro.errors import EvaluationError, NotFittedError
+from repro.hmm import TrainingConfig
+from repro.program import CallKind
+from repro.tracing import build_segment_set, run_workload
+
+
+@pytest.fixture(scope="module")
+def ensemble_setup(gzip_program):
+    workload = run_workload(gzip_program, n_cases=40, seed=23)
+    config = DetectorConfig(
+        training=TrainingConfig(max_iterations=6),
+        max_training_segments=1200,
+        seed=4,
+    )
+    members = {}
+    holdouts = {}
+    for key, kind in (("libcall", CallKind.LIBCALL), ("syscall", CallKind.SYSCALL)):
+        segments = build_segment_set(workload.traces, kind, context=True)
+        train_part, holdout = segments.split([0.8, 0.2], seed=1)
+        detector = CMarkovDetector(gzip_program, kind=kind, config=config)
+        detector.fit(train_part)
+        calibration = detector.score(holdout.segments())
+        members[key] = EnsembleMember(
+            detector=detector,
+            calibration_scores=calibration,
+            threshold=threshold_for_fp_budget(calibration, 0.02),
+        )
+        holdouts[key] = holdout.segments()
+    n = min(len(v) for v in holdouts.values())
+    aligned = {key: segments[:n] for key, segments in holdouts.items()}
+    return members, aligned
+
+
+class TestConstruction:
+    def test_empty_members_rejected(self):
+        with pytest.raises(EvaluationError):
+            EnsembleDetector({})
+
+    def test_unknown_rule_rejected(self, ensemble_setup):
+        members, _ = ensemble_setup
+        with pytest.raises(EvaluationError):
+            EnsembleDetector(members, rule="majority")
+
+    def test_unfitted_member_rejected(self, gzip_program):
+        from repro.core import StiloDetector
+
+        member = EnsembleMember(
+            detector=StiloDetector(gzip_program, kind=CallKind.SYSCALL),
+            calibration_scores=np.array([0.0]),
+            threshold=-1.0,
+        )
+        with pytest.raises(NotFittedError):
+            EnsembleDetector({"syscall": member})
+
+
+class TestVerdicts:
+    def test_any_rule_unions_alarms(self, ensemble_setup):
+        members, aligned = ensemble_setup
+        ensemble = EnsembleDetector(members, rule="any")
+        verdicts = ensemble.classify(aligned)
+        # Individually computed union must match.
+        expected = np.zeros(len(next(iter(aligned.values()))), dtype=bool)
+        for key, member in members.items():
+            scores = member.detector.score(list(aligned[key]))
+            expected |= scores < member.threshold
+        assert np.array_equal(verdicts, expected)
+
+    def test_mean_rule_scores_in_unit_interval(self, ensemble_setup):
+        members, aligned = ensemble_setup
+        ensemble = EnsembleDetector(members, rule="mean")
+        scores = ensemble.score(aligned)
+        assert np.all(scores >= 0.0) and np.all(scores <= 1.0)
+
+    def test_anomalous_input_scores_lower(self, ensemble_setup):
+        members, aligned = ensemble_setup
+        ensemble = EnsembleDetector(members, rule="mean")
+        normal = ensemble.score(aligned)
+        garbage = {
+            key: [("<garbage>",) * 15] * len(segments)
+            for key, segments in aligned.items()
+        }
+        anomalous = ensemble.score(garbage)
+        assert anomalous.mean() < normal.mean()
+
+    def test_missing_family_rejected(self, ensemble_setup):
+        members, aligned = ensemble_setup
+        ensemble = EnsembleDetector(members)
+        with pytest.raises(EvaluationError, match="missing"):
+            ensemble.classify({"libcall": aligned["libcall"]})
+
+    def test_misaligned_lists_rejected(self, ensemble_setup):
+        members, aligned = ensemble_setup
+        ensemble = EnsembleDetector(members)
+        broken = dict(aligned)
+        broken["libcall"] = broken["libcall"][:-1]
+        with pytest.raises(EvaluationError, match="align"):
+            ensemble.classify(broken)
+
+    def test_empty_input(self, ensemble_setup):
+        members, _ = ensemble_setup
+        ensemble = EnsembleDetector(members)
+        verdicts = ensemble.classify({"libcall": [], "syscall": []})
+        assert verdicts.shape == (0,)
+
+    def test_any_rule_at_least_as_sensitive_as_members(self, ensemble_setup):
+        members, aligned = ensemble_setup
+        ensemble = EnsembleDetector(members, rule="any")
+        verdicts = ensemble.classify(aligned)
+        for key, member in members.items():
+            single = member.detector.score(list(aligned[key])) < member.threshold
+            assert verdicts[single].all()

@@ -1,0 +1,108 @@
+"""Tests for the evaluation harness: configs, tables, runners."""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    FAST_CONFIG,
+    ExperimentConfig,
+    format_factor,
+    format_rate,
+    render_table,
+    run_coverage_survey,
+    run_gadget_survey,
+    run_runtime_table,
+)
+from repro.program import ALL_PROGRAMS
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        ExperimentConfig()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(EvaluationError):
+            ExperimentConfig(n_cases=0)
+        with pytest.raises(EvaluationError):
+            ExperimentConfig(folds=1)
+
+    def test_scaled(self):
+        config = ExperimentConfig().scaled(2.0)
+        assert config.n_cases == ExperimentConfig().n_cases * 2
+
+    def test_scaled_invalid(self):
+        with pytest.raises(EvaluationError):
+            ExperimentConfig().scaled(0)
+
+    def test_detector_config_seed_offset(self):
+        config = ExperimentConfig(seed=10)
+        assert config.detector_config(3).seed == 13
+
+    def test_from_env(self):
+        with mock.patch.dict(os.environ, {"REPRO_SCALE": "0.5"}):
+            config = ExperimentConfig.from_env()
+        assert config.n_cases == round(ExperimentConfig().n_cases * 0.5)
+
+    def test_from_env_default(self):
+        with mock.patch.dict(os.environ, {}, clear=True):
+            assert ExperimentConfig.from_env() == ExperimentConfig()
+
+
+class TestTables:
+    def test_render_alignment(self):
+        table = render_table(["a", "long_header"], [["x", 1], ["yy", 22]])
+        lines = table.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_render_with_title(self):
+        assert render_table(["h"], [["v"]], title="T").startswith("T\n")
+
+    def test_format_rate(self):
+        assert format_rate(0.12345) == "0.1235"  # rounds to 4 decimals
+
+    def test_format_factor_bands(self):
+        assert format_factor(452.3) == "452x"
+        assert format_factor(31.2) == "31.2x"
+        assert format_factor(2.5) == "2.50x"
+
+
+class TestSurveyRunners:
+    def test_coverage_survey_rows(self):
+        reports = run_coverage_survey(FAST_CONFIG, program_names=("gzip", "sed"))
+        assert [r.program for r in reports] == ["gzip", "sed"]
+        assert all(0 < r.branch_coverage <= 1 for r in reports)
+
+    def test_gadget_survey_includes_libc(self):
+        surfaces = run_gadget_survey(program_names=("gzip",), include_libc=True)
+        assert [s.program for s in surfaces] == ["gzip", "libc.so"]
+
+    def test_gadget_survey_all_programs(self):
+        surfaces = run_gadget_survey(include_libc=False)
+        assert [s.program for s in surfaces] == list(ALL_PROGRAMS)
+        for surface in surfaces:
+            assert surface.compatible_by_length[10] <= surface.total_by_length[10]
+
+    def test_runtime_table_rows(self):
+        rows = run_runtime_table(program_names=("gzip",))
+        assert len(rows) == 2  # libcall + syscall
+        assert all(row.total_s > 0 for row in rows)
+
+
+class TestClusterPolicyDerivation:
+    def test_cluster_policy_fields(self):
+        config = ExperimentConfig(cluster_min_states=42, cluster_ratio=0.25)
+        policy = config.cluster_policy()
+        assert policy.min_states == 42
+        assert policy.ratio == 0.25
+
+    def test_policy_triggers_above_threshold(self):
+        policy = ExperimentConfig(cluster_min_states=100).cluster_policy()
+        assert policy.applies(101)
+        assert not policy.applies(100)
+
+    def test_paper_rule_documented_default(self):
+        # The default mirrors the paper's >800 rule at our corpus scale.
+        assert ExperimentConfig().cluster_min_states == 150

@@ -1,0 +1,54 @@
+"""Smoke tests for the example scripts.
+
+The quickstart is fast enough to execute fully; the heavier scenarios are
+compile-checked and their entry points imported, so a broken example fails
+the suite without costing minutes.
+"""
+
+import importlib.util
+import py_compile
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(path.stem, None)
+    return module
+
+
+class TestExampleInventory:
+    def test_at_least_three_examples(self):
+        assert len(ALL_EXAMPLES) >= 3
+
+    def test_quickstart_exists(self):
+        assert EXAMPLES_DIR / "quickstart.py" in ALL_EXAMPLES
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+    def test_example_has_main_and_docstring(self, path):
+        source = path.read_text()
+        assert "def main(" in source
+        assert source.lstrip().startswith(('"""', "#!"))
+
+
+class TestQuickstartExecution:
+    def test_quickstart_runs_and_separates_s1_s2(self, capsys):
+        module = _load_module(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "S1 (normal)" in out
+        assert "flagged as anomalous" in out

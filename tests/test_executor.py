@@ -1,0 +1,134 @@
+"""Tests for the trace executor and events."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.program import CallKind, ProgramBuilder, load_program
+from repro.tracing import CallEvent, Trace, TraceExecutor, collect_traces
+
+
+class TestCallEvent:
+    def test_symbol_with_context(self):
+        event = CallEvent(name="read", caller="f", kind=CallKind.SYSCALL)
+        assert event.symbol(context=True) == "read@f"
+        assert event.symbol(context=False) == "read"
+
+
+class TestTrace:
+    def test_filter_by_kind(self):
+        trace = Trace(program="p", case_id="c")
+        trace.append(CallEvent("read", "f", CallKind.SYSCALL))
+        trace.append(CallEvent("malloc", "f", CallKind.LIBCALL))
+        assert [e.name for e in trace.filter(CallKind.SYSCALL)] == ["read"]
+        assert [e.name for e in trace.filter(CallKind.LIBCALL)] == ["malloc"]
+
+    def test_internal_filter_raises(self):
+        with pytest.raises(TraceError):
+            Trace(program="p", case_id="c").filter(CallKind.INTERNAL)
+
+    def test_symbols_stream(self):
+        trace = Trace(program="p", case_id="c")
+        trace.append(CallEvent("read", "f", CallKind.SYSCALL))
+        trace.append(CallEvent("write", "g", CallKind.SYSCALL))
+        assert trace.symbols(CallKind.SYSCALL, context=True) == ["read@f", "write@g"]
+
+
+class TestExecutorBasics:
+    def test_linear_program_emits_in_order(self):
+        pb = ProgramBuilder("p")
+        pb.function("main").seq("read", "write", "close")
+        executor = TraceExecutor(pb.build())
+        result = executor.run("case", seed=0)
+        assert [e.name for e in result.trace.events] == ["read", "write", "close"]
+
+    def test_caller_attribution_follows_call_stack(self):
+        pb = ProgramBuilder("p")
+        pb.function("helper").call("write")
+        pb.function("main").seq("read", "helper", "close")
+        result = TraceExecutor(pb.build()).run("case", seed=0)
+        events = [(e.name, e.caller) for e in result.trace.events]
+        assert events == [("read", "main"), ("write", "helper"), ("close", "main")]
+
+    def test_nested_calls_return_correctly(self):
+        pb = ProgramBuilder("p")
+        pb.function("inner").call("write")
+        pb.function("outer").seq("read", "inner", "read")
+        pb.function("main").seq("outer", "close")
+        result = TraceExecutor(pb.build()).run("case", seed=0)
+        events = [(e.name, e.caller) for e in result.trace.events]
+        assert events == [
+            ("read", "outer"),
+            ("write", "inner"),
+            ("read", "outer"),
+            ("close", "main"),
+        ]
+
+    def test_deterministic_per_seed(self, gzip_program):
+        executor = TraceExecutor(gzip_program)
+        a = executor.run("case", seed=42)
+        b = executor.run("case", seed=42)
+        assert [str(e) for e in a.trace.events] == [str(e) for e in b.trace.events]
+
+    def test_different_seeds_differ(self, gzip_program):
+        executor = TraceExecutor(gzip_program)
+        a = executor.run("case", seed=1)
+        b = executor.run("case", seed=2)
+        assert [str(e) for e in a.trace.events] != [str(e) for e in b.trace.events]
+
+
+class TestExecutorSafety:
+    def test_event_cap_truncates(self, gzip_program):
+        executor = TraceExecutor(gzip_program, max_events=10)
+        result = executor.run("case", seed=0)
+        assert len(result.trace) <= 10
+        assert result.truncated
+
+    def test_step_cap_truncates(self, gzip_program):
+        executor = TraceExecutor(gzip_program, max_steps=50)
+        result = executor.run("case", seed=0)
+        assert result.steps <= 50
+
+    def test_recursion_depth_capped(self):
+        pb = ProgramBuilder("p")
+        pb.function("rec").seq("read", "rec")
+        pb.function("main").call("rec")
+        executor = TraceExecutor(pb.build(), max_depth=5, max_events=100)
+        result = executor.run("case", seed=0)
+        # Recursion stops at the depth cap instead of diverging.
+        assert len(result.trace) <= 10
+
+
+class TestStaticDynamicAgreement:
+    """Dynamic traces must stay inside the statically-identified label set —
+    the property that lets static analysis initialize the HMM."""
+
+    @pytest.mark.parametrize("kind", [CallKind.SYSCALL, CallKind.LIBCALL])
+    def test_trace_symbols_subset_of_static_labels(self, gzip_program, kind):
+        static = gzip_program.distinct_calls(kind, context=True)
+        for result in collect_traces(gzip_program, n_cases=10, seed=3):
+            dynamic = set(result.trace.symbols(kind, context=True))
+            assert dynamic <= static
+
+    def test_coverage_footprint_within_program(self, gzip_program):
+        result = TraceExecutor(gzip_program).run("case", seed=0)
+        for function, block in result.visited_blocks:
+            assert block in gzip_program.function(function).blocks
+
+
+class TestCollectTraces:
+    def test_case_count(self, gzip_program):
+        results = collect_traces(gzip_program, n_cases=5, seed=0)
+        assert len(results) == 5
+
+    def test_case_ids_unique(self, gzip_program):
+        results = collect_traces(gzip_program, n_cases=5, seed=0)
+        ids = [r.trace.case_id for r in results]
+        assert len(set(ids)) == 5
+
+    def test_deterministic_suite(self, gzip_program):
+        a = collect_traces(gzip_program, n_cases=3, seed=1)
+        b = collect_traces(gzip_program, n_cases=3, seed=1)
+        for ra, rb in zip(a, b):
+            assert [str(e) for e in ra.trace.events] == [
+                str(e) for e in rb.trace.events
+            ]

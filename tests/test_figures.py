@@ -1,0 +1,73 @@
+"""Tests for figure-series export (CSV + ASCII curves)."""
+
+import csv
+
+import pytest
+
+from repro.core.metrics import CurvePoint
+from repro.errors import EvaluationError
+from repro.eval import ascii_curve, write_curves_csv
+
+
+def _points():
+    return [
+        CurvePoint(threshold=-5.0, false_positive_rate=0.0, false_negative_rate=1.0),
+        CurvePoint(threshold=-3.0, false_positive_rate=0.2, false_negative_rate=0.4),
+        CurvePoint(threshold=-1.0, false_positive_rate=1.0, false_negative_rate=0.0),
+    ]
+
+
+class TestCsvExport:
+    def test_rows_and_header(self, tmp_path):
+        path = tmp_path / "curves.csv"
+        rows = write_curves_csv({"cmarkov": _points(), "stilo": _points()}, path)
+        assert rows == 6
+        with path.open() as handle:
+            parsed = list(csv.reader(handle))
+        assert parsed[0] == [
+            "model",
+            "threshold",
+            "false_positive_rate",
+            "false_negative_rate",
+        ]
+        assert len(parsed) == 7
+
+    def test_values_preserved(self, tmp_path):
+        path = tmp_path / "curves.csv"
+        write_curves_csv({"m": _points()}, path)
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert float(parsed[1]["false_positive_rate"]) == pytest.approx(0.2)
+        assert float(parsed[1]["false_negative_rate"]) == pytest.approx(0.4)
+
+
+class TestAsciiCurve:
+    def test_dimensions(self):
+        art = ascii_curve(_points(), width=40, height=8)
+        lines = art.splitlines()
+        assert len(lines) == 10  # label + 8 rows + axis
+        assert lines[-1].startswith("+")
+
+    def test_extreme_points_plotted(self):
+        art = ascii_curve(_points(), width=40, height=8)
+        lines = art.splitlines()[1:-1]
+        # (FP=0, FN=1) -> top-left; (FP=1, FN=0) -> bottom-right.
+        assert lines[0][1] == "*"
+        assert lines[-1][-1] == "*"
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            ascii_curve([])
+
+
+class TestCurvesOfIntegration:
+    def test_curves_from_comparison(self):
+        from repro.eval import FAST_CONFIG, curves_of, run_accuracy_comparison
+        from repro.program import CallKind
+
+        comparison = run_accuracy_comparison(
+            "sed", CallKind.SYSCALL, FAST_CONFIG, models=("stilo",)
+        )
+        curves = curves_of(comparison, n_points=25)
+        assert set(curves) == {"stilo"}
+        assert len(curves["stilo"]) == 25

@@ -1,0 +1,152 @@
+"""Tests for the gadget scanner and the context-compatibility filter."""
+
+import pytest
+
+from repro.analysis import build_label_space
+from repro.gadgets import (
+    TABLE_III_LENGTHS,
+    context_compatible,
+    count_by_length,
+    gadget_surface,
+    scan_gadgets,
+)
+from repro.program import CallKind, layout_program, load_program
+from repro.program.image import BinaryImage
+from repro.program.instructions import RET_OPCODE, SYSCALL_OPCODE
+
+
+def _image(data: bytes, extents=None, sites=None) -> BinaryImage:
+    return BinaryImage(
+        name="crafted",
+        data=data,
+        extents=extents or {},
+        syscall_sites=sites or [],
+    )
+
+
+BASE = 0x1000
+
+
+class TestScannerOnCraftedImages:
+    def test_minimal_gadget(self):
+        image = _image(bytes([SYSCALL_OPCODE, RET_OPCODE]))
+        gadgets = scan_gadgets(image)
+        assert len(gadgets) == 1
+        gadget = gadgets[0]
+        assert gadget.length == 2
+        assert gadget.syscall_address == BASE
+        assert gadget.ret_address == BASE + 1
+        assert not gadget.intended
+
+    def test_gadget_with_filler(self):
+        image = _image(bytes([SYSCALL_OPCODE, 0x90, 0x90, RET_OPCODE]))
+        gadgets = scan_gadgets(image)
+        assert len(gadgets) == 1
+        assert gadgets[0].length == 4
+
+    def test_length_bound_excludes_long_gadgets(self):
+        image = _image(bytes([SYSCALL_OPCODE] + [0x90] * 5 + [RET_OPCODE]))
+        assert scan_gadgets(image, max_length=3) == []
+        assert len(scan_gadgets(image, max_length=7)) == 1
+
+    def test_no_ret_no_gadget(self):
+        image = _image(bytes([SYSCALL_OPCODE, 0x90, 0x90]))
+        assert scan_gadgets(image) == []
+
+    def test_desync_kills_gadget(self):
+        # Invalid byte between syscall and ret.
+        image = _image(bytes([SYSCALL_OPCODE, 0xFF, RET_OPCODE]))
+        assert scan_gadgets(image) == []
+
+    def test_unintended_gadget_inside_operand(self):
+        # mov_imm 0x05; ret: offset 1 decodes as SYSCALL; RET — the classic
+        # unintended gadget.
+        image = _image(bytes([0xB8, SYSCALL_OPCODE, RET_OPCODE]))
+        gadgets = scan_gadgets(image)
+        assert len(gadgets) == 1
+        assert gadgets[0].syscall_address == BASE + 1
+        assert not gadgets[0].intended
+
+    def test_two_gadgets_share_ret(self):
+        image = _image(
+            bytes([SYSCALL_OPCODE, SYSCALL_OPCODE, RET_OPCODE])
+        )
+        gadgets = scan_gadgets(image)
+        assert len(gadgets) == 2
+        assert len({g.ret_address for g in gadgets}) == 1
+
+    def test_immediate_syscall_recovered(self):
+        # mov_imm 0 (=> SYSCALLS[0]); syscall; ret.
+        from repro.program import SYSCALLS
+
+        image = _image(bytes([0xB8, 0x00, SYSCALL_OPCODE, RET_OPCODE]))
+        gadgets = scan_gadgets(image)
+        assert gadgets[0].syscall_name == SYSCALLS[0]
+
+    def test_out_of_range_immediate_gives_none(self):
+        image = _image(bytes([0xB8, 0xFE, SYSCALL_OPCODE, RET_OPCODE]))
+        gadgets = scan_gadgets(image)
+        assert gadgets[0].syscall_name is None
+
+
+class TestCountByLength:
+    def test_cumulative_counts(self):
+        image = _image(
+            bytes([SYSCALL_OPCODE, RET_OPCODE])  # length 2
+            + bytes([SYSCALL_OPCODE, 0x90, 0x90, 0x90, RET_OPCODE])  # length 5
+        )
+        counts = count_by_length(scan_gadgets(image), lengths=(2, 6, 10))
+        assert counts == {2: 1, 6: 2, 10: 2}
+
+    def test_counts_monotone_in_length(self, gzip_program):
+        image = layout_program(gzip_program)
+        counts = count_by_length(scan_gadgets(image))
+        assert counts[2] <= counts[6] <= counts[10]
+
+
+class TestContextFilter:
+    def test_unintended_gadgets_filtered(self, gzip_program):
+        image = layout_program(gzip_program)
+        gadgets = scan_gadgets(image)
+        space = build_label_space(gzip_program, CallKind.SYSCALL, context=True)
+        compatible = context_compatible(gadgets, space)
+        assert all(g.intended for g in compatible)
+        assert all(
+            f"{g.syscall_name}@{g.function}" in space for g in compatible
+        )
+
+    def test_surface_counts_consistent(self, gzip_program):
+        image = layout_program(gzip_program)
+        surface = gadget_surface(gzip_program, scan_gadgets(image))
+        for length in TABLE_III_LENGTHS:
+            assert (
+                surface.compatible_by_length[length]
+                <= surface.total_by_length[length]
+            )
+
+    def test_reduction_fraction(self, gzip_program):
+        image = layout_program(gzip_program)
+        surface = gadget_surface(gzip_program, scan_gadgets(image))
+        for length in TABLE_III_LENGTHS:
+            reduction = surface.reduction_at(length)
+            assert 0.0 <= reduction <= 1.0
+
+    def test_every_program_has_bounded_gadget_surface(self):
+        """Table III's security claim: small usable gadget sets."""
+        for name in ("gzip", "grep", "nginx"):
+            program = load_program(name)
+            surface = gadget_surface(program, scan_gadgets(layout_program(program)))
+            assert surface.compatible_by_length[10] < 60
+
+
+class TestIntendedSites:
+    def test_wrapper_gadgets_are_intended(self, gzip_program):
+        image = layout_program(gzip_program)
+        gadgets = scan_gadgets(image)
+        intended = [g for g in gadgets if g.intended]
+        assert intended, "wrappers must yield intended syscall gadgets"
+        for gadget in intended:
+            site = image.intended_syscall_at(gadget.syscall_address)
+            assert site is not None
+            assert gadget.syscall_name == site.syscall
+            assert gadget.function == site.function

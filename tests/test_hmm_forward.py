@@ -1,0 +1,115 @@
+"""Tests for scaled forward/backward against brute-force enumeration."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hmm import (
+    HiddenMarkovModel,
+    backward,
+    forward,
+    log_likelihood,
+    posterior_states,
+)
+
+
+@pytest.fixture()
+def tiny_hmm() -> HiddenMarkovModel:
+    """2 states, 2 symbols, hand-set parameters."""
+    return HiddenMarkovModel(
+        transition=np.array([[0.7, 0.3], [0.4, 0.6]]),
+        emission=np.array([[0.9, 0.1], [0.2, 0.8]]),
+        initial=np.array([0.6, 0.4]),
+        symbols=("a", "b"),
+    )
+
+
+def brute_force_likelihood(model: HiddenMarkovModel, obs: list[int]) -> float:
+    """P(O | λ) by summing over every hidden-state path."""
+    total = 0.0
+    n = model.n_states
+    for path in itertools.product(range(n), repeat=len(obs)):
+        p = model.initial[path[0]] * model.emission[path[0], obs[0]]
+        for t in range(1, len(obs)):
+            p *= model.transition[path[t - 1], path[t]]
+            p *= model.emission[path[t], obs[t]]
+        total += p
+    return total
+
+
+class TestForwardCorrectness:
+    @pytest.mark.parametrize(
+        "obs", [[0], [1], [0, 1], [1, 1, 0], [0, 0, 1, 1], [1, 0, 1, 0, 1]]
+    )
+    def test_matches_brute_force(self, tiny_hmm, obs):
+        expected = brute_force_likelihood(tiny_hmm, obs)
+        computed = float(np.exp(log_likelihood(tiny_hmm, np.array([obs]))[0]))
+        assert computed == pytest.approx(expected, rel=1e-10)
+
+    def test_batch_matches_individual(self, tiny_hmm):
+        batch = np.array([[0, 1, 0], [1, 1, 1], [0, 0, 0]])
+        batched = log_likelihood(tiny_hmm, batch)
+        for row, expected in zip(batch, batched):
+            single = log_likelihood(tiny_hmm, row[None, :])[0]
+            assert single == pytest.approx(expected)
+
+    def test_alpha_rows_normalized(self, tiny_hmm):
+        obs = np.array([[0, 1, 1, 0]])
+        alpha, _ = forward(tiny_hmm, obs)
+        assert np.allclose(alpha.sum(axis=2), 1.0)
+
+    def test_one_dimensional_input_accepted(self, tiny_hmm):
+        assert log_likelihood(tiny_hmm, np.array([0, 1])).shape == (1,)
+
+    def test_out_of_range_observation_raises(self, tiny_hmm):
+        with pytest.raises(ModelError):
+            forward(tiny_hmm, np.array([[0, 5]]))
+
+    def test_bad_shape_raises(self, tiny_hmm):
+        with pytest.raises(ModelError):
+            forward(tiny_hmm, np.zeros((2, 2, 2), dtype=int))
+
+
+class TestBackwardConsistency:
+    def test_posterior_sums_to_one(self, tiny_hmm):
+        obs = np.array([[0, 1, 0, 1, 1]])
+        gamma = posterior_states(tiny_hmm, obs)
+        assert np.allclose(gamma.sum(axis=2), 1.0)
+
+    def test_alpha_beta_product_constant_over_time(self, tiny_hmm):
+        # Σ_i alpha_t(i) beta_t(i) must not depend on t (scaled identity).
+        obs = np.array([[0, 1, 1, 0, 1]])
+        alpha, scales = forward(tiny_hmm, obs)
+        beta = backward(tiny_hmm, obs, scales)
+        products = (alpha * beta).sum(axis=2)[0]
+        assert np.allclose(products, products[0])
+
+
+class TestDegenerateCases:
+    def test_impossible_observation_gets_floor_likelihood(self):
+        model = HiddenMarkovModel(
+            transition=np.array([[1.0]]),
+            emission=np.array([[1.0, 0.0]]),
+            initial=np.array([1.0]),
+            symbols=("a", "b"),
+        )
+        ll = log_likelihood(model, np.array([[1]]))  # emits only 'a'
+        assert np.isfinite(ll[0])
+        assert ll[0] < -500  # floored, effectively zero probability
+
+    def test_deterministic_chain_likelihood_one(self):
+        model = HiddenMarkovModel(
+            transition=np.array([[1.0]]),
+            emission=np.array([[1.0]]),
+            initial=np.array([1.0]),
+            symbols=("a",),
+        )
+        ll = log_likelihood(model, np.array([[0, 0, 0]]))
+        assert ll[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_loglik_never_positive(self, tiny_hmm):
+        rng = np.random.default_rng(0)
+        obs = rng.integers(0, 2, size=(50, 10))
+        assert np.all(log_likelihood(tiny_hmm, obs) <= 1e-12)

@@ -1,0 +1,143 @@
+"""Unit tests for the HMM parameter container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hmm import (
+    UNKNOWN_SYMBOL,
+    HiddenMarkovModel,
+    ensure_alphabet_with_unknown,
+    random_model,
+)
+
+
+def _valid_model(n=3, m=4) -> HiddenMarkovModel:
+    return random_model([f"s{i}" for i in range(m - 1)], n_states=n, seed=0)
+
+
+class TestValidation:
+    def test_valid_model_passes(self):
+        _valid_model().validate()
+
+    def test_transition_rows_must_sum_to_one(self):
+        model = _valid_model()
+        model.transition[0, 0] += 0.5
+        with pytest.raises(ModelError, match="transition"):
+            model.validate()
+
+    def test_emission_rows_must_sum_to_one(self):
+        model = _valid_model()
+        model.emission[0, 0] += 0.5
+        with pytest.raises(ModelError, match="emission"):
+            model.validate()
+
+    def test_initial_must_sum_to_one(self):
+        model = _valid_model()
+        model.initial[0] += 0.5
+        with pytest.raises(ModelError, match="initial"):
+            model.validate()
+
+    def test_negative_entries_rejected(self):
+        model = _valid_model()
+        model.transition[0, 0] = -0.1
+        model.transition[0, 1] += 0.1
+        with pytest.raises(ModelError):
+            model.validate()
+
+    def test_nan_rejected(self):
+        model = _valid_model()
+        model.emission[0, 0] = np.nan
+        with pytest.raises(ModelError):
+            model.validate()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            HiddenMarkovModel(
+                transition=np.eye(2),
+                emission=np.full((3, 2), 0.5),
+                initial=np.array([1.0, 0.0]),
+                symbols=("a", "b"),
+            )
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ModelError):
+            HiddenMarkovModel(
+                transition=np.eye(2),
+                emission=np.full((2, 2), 0.5),
+                initial=np.array([1.0, 0.0]),
+                symbols=("a", "a"),
+            )
+
+
+class TestEncoding:
+    def test_known_symbols(self):
+        model = _valid_model()
+        obs = model.encode([("s0", "s1"), ("s1", "s2")])
+        assert obs.shape == (2, 2)
+        assert obs.dtype == np.int64
+
+    def test_unknown_maps_to_unk(self):
+        model = _valid_model()
+        unk = model.unknown_index
+        assert unk is not None
+        obs = model.encode([("definitely_not_a_symbol", "s0")])
+        assert obs[0, 0] == unk
+
+    def test_unknown_without_unk_slot_raises(self):
+        model = HiddenMarkovModel(
+            transition=np.eye(2),
+            emission=np.full((2, 2), 0.5),
+            initial=np.array([1.0, 0.0]),
+            symbols=("a", "b"),
+        )
+        with pytest.raises(ModelError):
+            model.encode_symbol("zzz")
+
+    def test_ragged_sequences_rejected(self):
+        model = _valid_model()
+        with pytest.raises(ModelError):
+            model.encode([("s0",), ("s0", "s1")])
+
+    def test_empty_rejected(self):
+        model = _valid_model()
+        with pytest.raises(ModelError):
+            model.encode([])
+
+
+class TestAlphabetHelper:
+    def test_appends_unknown(self):
+        assert ensure_alphabet_with_unknown(["a"]) == ("a", UNKNOWN_SYMBOL)
+
+    def test_idempotent(self):
+        alphabet = ensure_alphabet_with_unknown(["a", UNKNOWN_SYMBOL])
+        assert alphabet.count(UNKNOWN_SYMBOL) == 1
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        model = _valid_model()
+        clone = model.copy()
+        clone.transition[0, 0] = 0.123
+        assert model.transition[0, 0] != 0.123
+
+
+class TestRandomInit:
+    def test_deterministic_per_seed(self):
+        a = random_model(["x", "y"], seed=4)
+        b = random_model(["x", "y"], seed=4)
+        assert np.array_equal(a.transition, b.transition)
+
+    def test_different_seeds_differ(self):
+        a = random_model(["x", "y"], seed=4)
+        b = random_model(["x", "y"], seed=5)
+        assert not np.array_equal(a.transition, b.transition)
+
+    def test_default_states_equal_symbols(self):
+        model = random_model(["x", "y", "z"])
+        assert model.n_states == 3
+        assert model.n_symbols == 4  # + UNK
+
+    def test_invalid_states_raises(self):
+        with pytest.raises(ModelError):
+            random_model(["x"], n_states=0)

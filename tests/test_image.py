@@ -1,0 +1,90 @@
+"""Unit tests for binary-image layout."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.program import (
+    ProgramBuilder,
+    layout_libc,
+    layout_program,
+    load_program,
+)
+from repro.program.image import SYSCALL_NUMBERS
+from repro.program.instructions import SYSCALL_OPCODE
+
+
+@pytest.fixture()
+def small_image():
+    pb = ProgramBuilder("img")
+    pb.function("main").seq("read", "helper")
+    pb.function("helper").seq("write")
+    return layout_program(pb.build(), data_bytes=64, seed=3)
+
+
+class TestLayout:
+    def test_extents_cover_all_functions(self, small_image):
+        assert set(small_image.extents) == {"main", "helper"}
+
+    def test_extents_are_disjoint(self, small_image):
+        spans = sorted(small_image.extents.values())
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    def test_function_at_resolves_inside_extent(self, small_image):
+        for name, (start, end) in small_image.extents.items():
+            assert small_image.function_at(start) == name
+            assert small_image.function_at(end - 1) == name
+
+    def test_function_at_data_region_is_none(self, small_image):
+        last_end = max(end for _, end in small_image.extents.values())
+        assert small_image.function_at(last_end + 10) is None
+
+    def test_function_at_before_base_is_none(self, small_image):
+        assert small_image.function_at(0) is None
+
+    def test_syscall_sites_recorded(self, small_image):
+        names = {(s.syscall, s.function) for s in small_image.syscall_sites}
+        assert names == {("read", "main"), ("write", "helper")}
+
+    def test_syscall_sites_decode_as_syscalls(self, small_image):
+        base = 0x1000
+        for site in small_image.syscall_sites:
+            assert small_image.data[site.address - base] == SYSCALL_OPCODE
+
+    def test_intended_syscall_lookup(self, small_image):
+        site = small_image.syscall_sites[0]
+        assert small_image.intended_syscall_at(site.address) is site
+        assert small_image.intended_syscall_at(site.address + 1) is None
+
+    def test_syscall_number_encoded_before_instruction(self, small_image):
+        base = 0x1000
+        for site in small_image.syscall_sites:
+            offset = site.address - base
+            assert small_image.data[offset - 2] == 0xB8  # mov_imm
+            assert small_image.data[offset - 1] == SYSCALL_NUMBERS[site.syscall]
+
+    def test_deterministic(self):
+        a = layout_program(load_program("gzip"))
+        b = layout_program(load_program("gzip"))
+        assert a.data == b.data
+
+    def test_negative_data_bytes_raises(self):
+        pb = ProgramBuilder("p")
+        pb.function("main").seq("read")
+        with pytest.raises(ProgramStructureError):
+            layout_program(pb.build(), data_bytes=-1)
+
+
+class TestLibcImage:
+    def test_has_wrapper_per_syscall(self):
+        from repro.program import SYSCALLS
+
+        libc = layout_libc()
+        for syscall in SYSCALLS:
+            assert f"__{syscall}" in libc.extents
+
+    def test_all_syscalls_have_sites(self):
+        from repro.program import SYSCALLS
+
+        libc = layout_libc()
+        assert {s.syscall for s in libc.syscall_sites} >= set(SYSCALLS)

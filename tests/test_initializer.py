@@ -1,0 +1,118 @@
+"""Tests for the static HMM initialization (STILO/CMarkov init)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import aggregate_program
+from repro.errors import ModelError
+from repro.hmm import UNKNOWN_SYMBOL
+from repro.program import CallKind, load_program, make_paper_example
+from repro.reduction import cluster_calls, initialize_hmm, mix_uniform
+
+
+@pytest.fixture(scope="module")
+def example_summary():
+    return aggregate_program(
+        make_paper_example(), CallKind.SYSCALL, context=True
+    ).program_summary
+
+
+@pytest.fixture(scope="module")
+def bash_summary():
+    program = load_program("bash")
+    return aggregate_program(program, CallKind.LIBCALL, context=True).program_summary
+
+
+class TestMixUniform:
+    def test_rows_remain_stochastic(self):
+        rows = np.array([[0.9, 0.1], [0.5, 0.5]])
+        mixed = mix_uniform(rows, 0.1)
+        assert np.allclose(mixed.sum(axis=1), 1.0)
+
+    def test_epsilon_zero_is_identity(self):
+        rows = np.array([[0.3, 0.7]])
+        assert np.allclose(mix_uniform(rows, 0.0), rows)
+
+    def test_no_zero_entries_after_mixing(self):
+        rows = np.array([[1.0, 0.0]])
+        assert np.all(mix_uniform(rows, 0.01) > 0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ModelError):
+            mix_uniform(np.ones((1, 1)), 1.0)
+
+
+class TestUnclusteredInit:
+    def test_one_state_per_label(self, example_summary):
+        model = initialize_hmm(example_summary)
+        assert model.n_states == len(example_summary.space)
+
+    def test_alphabet_has_unknown_slot(self, example_summary):
+        model = initialize_hmm(example_summary)
+        assert UNKNOWN_SYMBOL in model.symbols
+
+    def test_model_is_valid(self, example_summary):
+        initialize_hmm(example_summary).validate()
+
+    def test_state_emits_its_own_label(self, example_summary):
+        model = initialize_hmm(example_summary)
+        for state in range(model.n_states):
+            own = model.emission[state, state]  # same ordering by construction
+            others = np.delete(model.emission[state], state)
+            assert own > others.max()
+
+    def test_initial_follows_entry_distribution(self, example_summary):
+        model = initialize_hmm(example_summary)
+        # The paper example always starts with read@g.
+        read_g = example_summary.space.index("read@g")
+        assert model.initial[read_g] > 0.9
+
+    def test_transition_reflects_static_structure(self, example_summary):
+        model = initialize_hmm(example_summary)
+        space = example_summary.space
+        normal = model.transition[space.index("read@g"), space.index("read@f")]
+        # execve@g has no static successors: its row falls back to uniform,
+        # so any specific follow-up is far less likely than the known pair.
+        attack = model.transition[space.index("execve@g"), space.index("read@f")]
+        assert normal > 3 * attack
+
+    def test_state_labels_name_calls(self, example_summary):
+        model = initialize_hmm(example_summary)
+        assert model.state_labels == example_summary.space.labels
+
+
+class TestClusteredInit:
+    def test_state_count_is_cluster_count(self, bash_summary):
+        clustering = cluster_calls(bash_summary, ratio=1 / 3, seed=0)
+        model = initialize_hmm(bash_summary, clustering=clustering)
+        assert model.n_states == clustering.n_clusters
+        assert model.n_symbols == len(bash_summary.space) + 1  # + UNK
+
+    def test_cluster_state_emits_member_labels(self, bash_summary):
+        clustering = cluster_calls(bash_summary, ratio=1 / 3, seed=0)
+        model = initialize_hmm(bash_summary, clustering=clustering)
+        for cluster in range(min(clustering.n_clusters, 20)):
+            members = clustering.members[cluster]
+            member_mass = model.emission[cluster, members].sum()
+            assert member_mass > 0.9
+
+    def test_model_valid(self, bash_summary):
+        clustering = cluster_calls(bash_summary, ratio=0.5, seed=1)
+        initialize_hmm(bash_summary, clustering=clustering).validate()
+
+    def test_state_labels_join_members(self, bash_summary):
+        clustering = cluster_calls(bash_summary, ratio=1 / 3, seed=0)
+        model = initialize_hmm(bash_summary, clustering=clustering)
+        multi = [s for s in model.state_labels if "|" in s]
+        assert multi, "a 1/3 reduction must merge at least one pair of calls"
+
+    def test_foreign_clustering_rejected(self, bash_summary, example_summary):
+        clustering = cluster_calls(bash_summary, ratio=0.5, seed=0)
+        with pytest.raises(ModelError):
+            initialize_hmm(example_summary, clustering=clustering)
+
+
+class TestParameterValidation:
+    def test_bad_concentration(self, example_summary):
+        with pytest.raises(ModelError):
+            initialize_hmm(example_summary, emission_concentration=1.0)

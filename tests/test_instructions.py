@@ -1,0 +1,78 @@
+"""Unit tests for the toy ISA decoder."""
+
+from repro.program import decode_one, decode_window
+from repro.program.instructions import (
+    OPCODES,
+    RET_OPCODE,
+    SYSCALL_OPCODE,
+)
+
+
+class TestDecodeOne:
+    def test_zero_operand(self):
+        ins = decode_one(bytes([0x90]), 0)
+        assert ins is not None
+        assert ins.mnemonic == "nop"
+        assert ins.size == 1
+
+    def test_one_operand(self):
+        ins = decode_one(bytes([0xB8, 0x2A]), 0)
+        assert ins is not None
+        assert ins.mnemonic == "mov_imm"
+        assert ins.operands == bytes([0x2A])
+        assert ins.size == 2
+
+    def test_two_operand_call(self):
+        ins = decode_one(bytes([0xE8, 0x01, 0x02]), 0)
+        assert ins is not None
+        assert ins.mnemonic == "call"
+        assert ins.size == 3
+
+    def test_unknown_opcode_is_none(self):
+        assert decode_one(bytes([0xFF]), 0) is None
+
+    def test_truncated_operands_is_none(self):
+        assert decode_one(bytes([0xB8]), 0) is None  # mov_imm missing operand
+
+    def test_offset_past_end_is_none(self):
+        assert decode_one(bytes([0x90]), 5) is None
+
+    def test_flags(self):
+        assert decode_one(bytes([SYSCALL_OPCODE]), 0).is_syscall
+        assert decode_one(bytes([RET_OPCODE]), 0).is_ret
+
+    def test_every_opcode_decodes(self):
+        for opcode, (mnemonic, operand_count) in OPCODES.items():
+            data = bytes([opcode] + [0] * operand_count)
+            ins = decode_one(data, 0)
+            assert ins is not None and ins.mnemonic == mnemonic
+
+
+class TestDecodeWindow:
+    def test_stops_at_ret(self):
+        data = bytes([0x90, RET_OPCODE, 0x90, 0x90])
+        window = decode_window(data, 0, 10)
+        assert [i.mnemonic for i in window] == ["nop", "ret"]
+
+    def test_stops_at_invalid_byte(self):
+        data = bytes([0x90, 0xFF, 0x90])
+        window = decode_window(data, 0, 10)
+        assert len(window) == 1
+
+    def test_respects_max_instructions(self):
+        data = bytes([0x90] * 10)
+        assert len(decode_window(data, 0, 3)) == 3
+
+    def test_misaligned_start_desynchronizes(self):
+        # mov_imm 0xFF followed by ret: starting at the operand byte (0xFF)
+        # is not decodable.
+        data = bytes([0xB8, 0xFF, RET_OPCODE])
+        assert decode_window(data, 1, 10) == []
+
+    def test_unintended_gadget_at_operand_offset(self):
+        # mov_imm 0x05: the operand byte *is* the syscall opcode — decoding
+        # from offset 1 yields an unintended SYSCALL, the mechanism behind
+        # unintended gadgets.
+        data = bytes([0xB8, SYSCALL_OPCODE, RET_OPCODE])
+        window = decode_window(data, 1, 10)
+        assert [i.mnemonic for i in window] == ["syscall", "ret"]

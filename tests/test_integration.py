@@ -1,0 +1,212 @@
+"""Integration tests: the full pipeline end-to-end, at small scale.
+
+These are the repository's acceptance tests.  Each one exercises a complete
+path through the library the way the benchmarks (and the paper's evaluation)
+do, and asserts the *qualitative result the paper claims*, at a scale that
+runs in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import abnormal_s_segments, code_reuse_from_normal, gzip_q1_q2
+from repro.core import (
+    CMarkovDetector,
+    ClusterPolicy,
+    DetectorConfig,
+    StiloDetector,
+    auc_score,
+    cross_validate,
+    detector_factory,
+    threshold_for_fp_budget,
+)
+from repro.eval import FAST_CONFIG, run_accuracy_comparison, run_clustering_reduction
+from repro.hmm import TrainingConfig
+from repro.program import CallKind, layout_program, make_paper_example
+from repro.tracing import build_segment_set, run_workload, segment_symbols
+
+
+@pytest.fixture(scope="module")
+def detector_config():
+    return DetectorConfig(
+        training=TrainingConfig(max_iterations=8),
+        max_training_segments=1200,
+        seed=5,
+    )
+
+
+class TestPaperRunningExample:
+    """Section II-C end to end: S1 accepted, S2 flagged, with NO training —
+    pure static initialization must already separate them."""
+
+    def test_s1_normal_outscores_s2_attack(self):
+        from repro.analysis import aggregate_program
+        from repro.reduction import initialize_hmm
+        from repro.hmm import log_likelihood
+
+        program = make_paper_example()
+        summary = aggregate_program(
+            program, CallKind.SYSCALL, context=True
+        ).program_summary
+        model = initialize_hmm(summary)
+        s1 = [["read@g", "read@f", "write@f", "execve@g"]]
+        s2 = [["read@g", "read@f", "write@foo", "execve@bar"]]
+        normal = log_likelihood(model, model.encode(s1))[0]
+        attack = log_likelihood(model, model.encode(s2))[0]
+        assert normal > attack + 5  # orders of magnitude in probability
+
+    def test_s2_with_wrong_existing_contexts_also_flagged(self):
+        from repro.analysis import aggregate_program
+        from repro.reduction import initialize_hmm
+        from repro.hmm import log_likelihood
+
+        program = make_paper_example()
+        summary = aggregate_program(
+            program, CallKind.SYSCALL, context=True
+        ).program_summary
+        model = initialize_hmm(summary)
+        # Contexts swapped between existing functions (all labels known).
+        s2 = [["read@f", "read@g", "write@f", "execve@g"]]
+        s1 = [["read@g", "read@f", "write@f", "execve@g"]]
+        assert (
+            log_likelihood(model, model.encode(s1))[0]
+            > log_likelihood(model, model.encode(s2))[0]
+        )
+
+
+class TestDetectionPipeline:
+    @pytest.fixture(scope="class")
+    def gzip_setup(self, gzip_program, detector_config):
+        workload = run_workload(gzip_program, n_cases=60, seed=3)
+        segments = build_segment_set(workload.traces, CallKind.SYSCALL, context=True)
+        detector = CMarkovDetector(
+            gzip_program, kind=CallKind.SYSCALL, config=detector_config
+        )
+        train_part, test_part = segments.split([0.8, 0.2], seed=1)
+        detector.fit(train_part)
+        return workload, segments, detector, test_part
+
+    def test_cmarkov_separates_abnormal_s(self, gzip_setup):
+        _, segments, detector, test_part = gzip_setup
+        abnormal = abnormal_s_segments(
+            test_part.segments(), segments.alphabet(), 200, seed=2, exclude=segments
+        )
+        normal_scores = detector.score(test_part.segments())
+        abnormal_scores = detector.score(abnormal)
+        assert auc_score(normal_scores, abnormal_scores) > 0.8
+
+    def test_q1_q2_detected_by_cmarkov(self, gzip_program, gzip_setup):
+        _, _, detector, test_part = gzip_setup
+        image = layout_program(gzip_program)
+        q1, q2 = gzip_q1_q2(image, seed=1)
+        threshold = threshold_for_fp_budget(
+            detector.score(test_part.segments()), 0.02
+        )
+        for events in (q1, q2):
+            symbols = [e.symbol(True) for e in events]
+            windows = segment_symbols(symbols, length=15)
+            scores = detector.score(windows)
+            assert scores.min() < threshold
+
+    def test_stealth_code_reuse_splits_models(
+        self, gzip_program, detector_config
+    ):
+        """The S2 property at program scale: same names+order, wrong
+        contexts -> CMarkov flags, STILO does not."""
+        workload = run_workload(gzip_program, n_cases=60, seed=3)
+        image = layout_program(gzip_program)
+
+        ctx_segments = build_segment_set(workload.traces, CallKind.SYSCALL, True)
+        bare_segments = build_segment_set(workload.traces, CallKind.SYSCALL, False)
+        host = max(bare_segments.counts.items(), key=lambda kv: kv[1])[0]
+        events = code_reuse_from_normal(host, image, seed=4)
+
+        cmarkov = CMarkovDetector(
+            gzip_program, kind=CallKind.SYSCALL, config=detector_config
+        )
+        train_ctx, test_ctx = ctx_segments.split([0.8, 0.2], seed=1)
+        cmarkov.fit(train_ctx)
+        stilo = StiloDetector(
+            gzip_program, kind=CallKind.SYSCALL, config=detector_config
+        )
+        train_bare, test_bare = bare_segments.split([0.8, 0.2], seed=1)
+        stilo.fit(train_bare)
+
+        cmarkov_threshold = threshold_for_fp_budget(
+            cmarkov.score(test_ctx.segments()), 0.02
+        )
+        stilo_threshold = threshold_for_fp_budget(
+            stilo.score(test_bare.segments()), 0.02
+        )
+        cmarkov_score = cmarkov.score([tuple(e.symbol(True) for e in events)])[0]
+        stilo_score = stilo.score([tuple(e.symbol(False) for e in events)])[0]
+        assert cmarkov_score < cmarkov_threshold, "CMarkov must flag the attack"
+        assert stilo_score >= stilo_threshold, "STILO must accept the name stream"
+
+
+class TestCrossValidationIntegration:
+    def test_cross_validate_cmarkov(self, gzip_program, detector_config):
+        workload = run_workload(gzip_program, n_cases=30, seed=8)
+        segments = build_segment_set(workload.traces, CallKind.SYSCALL, True)
+        abnormal = abnormal_s_segments(
+            segments.segments(), segments.alphabet(), 100, seed=0, exclude=segments
+        )
+        factory = detector_factory(
+            "cmarkov", gzip_program, CallKind.SYSCALL, config=detector_config
+        )
+        result = cross_validate(factory, segments, abnormal, k=3, seed=0)
+        assert len(result.folds) == 3
+        assert 0.5 < result.mean_auc <= 1.0
+        normal, ab = result.pooled_scores()
+        assert normal.size == segments.n_unique  # every segment tested once
+        assert ab.size == 300  # abnormal set scored per fold
+
+
+class TestAccuracyComparisonIntegration:
+    def test_static_models_beat_random_on_syscalls(self):
+        comparison = run_accuracy_comparison("sed", CallKind.SYSCALL, FAST_CONFIG)
+        cmarkov_auc = comparison.results["cmarkov"].auc
+        regular_auc = comparison.results["regular-basic"].auc
+        assert cmarkov_auc > regular_auc
+
+    def test_improvement_factor_positive(self):
+        comparison = run_accuracy_comparison("sed", CallKind.SYSCALL, FAST_CONFIG)
+        factor = comparison.improvement_factor("regular-basic", 0.05)
+        assert factor > 0
+
+    def test_curve_available(self):
+        comparison = run_accuracy_comparison("sed", CallKind.SYSCALL, FAST_CONFIG)
+        points = comparison.results["cmarkov"].fp_fn_curve(n_points=20)
+        assert len(points) == 20
+
+
+class TestClusteringIntegration:
+    def test_reduction_cuts_training_time(self):
+        rows = run_clustering_reduction(("bash",), FAST_CONFIG, measure=True)
+        row = rows[0]
+        assert row.n_states_after < row.n_distinct_calls
+        assert row.estimated_time_reduction > 0.5
+        assert row.measured_time_reduction is not None
+        assert row.measured_time_reduction > 0.3
+
+
+class TestClusteredDetectorAccuracy:
+    def test_clustered_cmarkov_still_detects(self, gzip_program, detector_config):
+        """Table II's claim: reduction does not compromise accuracy."""
+        workload = run_workload(gzip_program, n_cases=40, seed=6)
+        segments = build_segment_set(workload.traces, CallKind.LIBCALL, True)
+        abnormal = abnormal_s_segments(
+            segments.segments(), segments.alphabet(), 150, seed=1, exclude=segments
+        )
+        detector = CMarkovDetector(
+            gzip_program,
+            kind=CallKind.LIBCALL,
+            config=detector_config,
+            cluster_policy=ClusterPolicy(ratio=0.5, min_states=10),
+        )
+        train_part, test_part = segments.split([0.8, 0.2], seed=2)
+        detector.fit(train_part)
+        assert detector.clustering is not None  # reduction actually applied
+        normal_scores = detector.score(test_part.segments())
+        abnormal_scores = detector.score(abnormal)
+        assert auc_score(normal_scores, abnormal_scores) > 0.85

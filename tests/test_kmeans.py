@@ -1,0 +1,90 @@
+"""Unit tests for the from-scratch K-means."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.reduction import kmeans
+
+
+def _blobs(seed=0, per=20, centers=((0, 0), (10, 10), (-10, 10))):
+    rng = np.random.default_rng(seed)
+    points = []
+    for cx, cy in centers:
+        points.append(rng.normal(loc=(cx, cy), scale=0.5, size=(per, 2)))
+    return np.concatenate(points)
+
+
+class TestClustering:
+    def test_recovers_separated_blobs(self):
+        data = _blobs()
+        result = kmeans(data, n_clusters=3, seed=1)
+        # Every blob must be pure: one cluster id per 20-point group.
+        for start in range(0, 60, 20):
+            assert len(set(result.labels[start : start + 20])) == 1
+
+    def test_blob_clusters_distinct(self):
+        data = _blobs()
+        result = kmeans(data, n_clusters=3, seed=1)
+        assert len({result.labels[0], result.labels[20], result.labels[40]}) == 3
+
+    def test_k_equals_one(self):
+        data = _blobs()
+        result = kmeans(data, n_clusters=1, seed=0)
+        assert set(result.labels) == {0}
+        assert np.allclose(result.centers[0], data.mean(axis=0))
+
+    def test_k_equals_n_zero_inertia(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(8, 3))
+        result = kmeans(data, n_clusters=8, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_per_seed(self):
+        data = _blobs(seed=5)
+        a = kmeans(data, n_clusters=3, seed=9)
+        b = kmeans(data, n_clusters=3, seed=9)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_all_clusters_nonempty(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(50, 4))
+        result = kmeans(data, n_clusters=10, seed=7)
+        assert set(result.labels) == set(range(10))
+
+    def test_duplicate_points_handled(self):
+        data = np.zeros((10, 2))
+        data[5:] = 1.0
+        result = kmeans(data, n_clusters=2, seed=0)
+        assert len(set(result.labels[:5])) == 1
+        assert len(set(result.labels[5:])) == 1
+
+    def test_labels_within_range(self):
+        data = _blobs()
+        result = kmeans(data, n_clusters=4, seed=0)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < 4
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data = _blobs(seed=8)
+        inertia_2 = kmeans(data, n_clusters=2, seed=0).inertia
+        inertia_5 = kmeans(data, n_clusters=5, seed=0).inertia
+        assert inertia_5 <= inertia_2
+
+
+class TestValidation:
+    def test_too_many_clusters(self):
+        with pytest.raises(ModelError):
+            kmeans(np.ones((3, 2)), n_clusters=4)
+
+    def test_zero_clusters(self):
+        with pytest.raises(ModelError):
+            kmeans(np.ones((3, 2)), n_clusters=0)
+
+    def test_empty_data(self):
+        with pytest.raises(ModelError):
+            kmeans(np.empty((0, 2)), n_clusters=1)
+
+    def test_one_dimensional_data_rejected(self):
+        with pytest.raises(ModelError):
+            kmeans(np.ones(5), n_clusters=1)

@@ -1,0 +1,124 @@
+"""Tests for trace log I/O (the strace/ltrace interchange format)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.program import CallKind
+from repro.tracing import (
+    CallEvent,
+    Trace,
+    iter_segment_lines,
+    read_traces,
+    run_workload,
+    write_traces,
+)
+
+
+def _trace(case="c0"):
+    trace = Trace(program="p", case_id=case)
+    trace.append(CallEvent("read", "f", CallKind.SYSCALL))
+    trace.append(CallEvent("malloc", "g", CallKind.LIBCALL))
+    trace.append(CallEvent("write", "f", CallKind.SYSCALL))
+    return trace
+
+
+class TestRoundTrip:
+    def test_single_trace(self, tmp_path):
+        path = tmp_path / "t.log"
+        assert write_traces([_trace()], path) == 1
+        loaded = read_traces(path)
+        assert len(loaded) == 1
+        assert loaded[0].program == "p"
+        assert loaded[0].case_id == "c0"
+        assert [str(e) for e in loaded[0].events] == [
+            "read@f",
+            "malloc@g",
+            "write@f",
+        ]
+
+    def test_multiple_traces(self, tmp_path):
+        path = tmp_path / "t.log"
+        write_traces([_trace("a"), _trace("b")], path)
+        loaded = read_traces(path)
+        assert [t.case_id for t in loaded] == ["a", "b"]
+
+    def test_kinds_preserved(self, tmp_path):
+        path = tmp_path / "t.log"
+        write_traces([_trace()], path)
+        loaded = read_traces(path)[0]
+        assert [e.kind for e in loaded.events] == [
+            CallKind.SYSCALL,
+            CallKind.LIBCALL,
+            CallKind.SYSCALL,
+        ]
+
+    def test_workload_round_trip(self, gzip_program, tmp_path):
+        workload = run_workload(gzip_program, n_cases=3, seed=2)
+        path = tmp_path / "w.log"
+        write_traces(workload.traces, path)
+        loaded = read_traces(path)
+        for original, parsed in zip(workload.traces, loaded):
+            assert [str(e) for e in original.events] == [
+                str(e) for e in parsed.events
+            ]
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="does not exist"):
+            read_traces(tmp_path / "nope.log")
+
+    def test_event_before_header(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("syscall read @ f\n")
+        with pytest.raises(TraceError, match="before any trace header"):
+            read_traces(path)
+
+    def test_malformed_event_line(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("# trace program=p case=c\nsyscall read f\n")
+        with pytest.raises(TraceError, match="expected"):
+            read_traces(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("# trace program=p case=c\nnetcall read @ f\n")
+        with pytest.raises(TraceError, match="unknown event kind"):
+            read_traces(path)
+
+    def test_internal_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("# trace program=p case=c\ninternal foo @ f\n")
+        with pytest.raises(TraceError, match="internal"):
+            read_traces(path)
+
+    def test_header_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("# trace program=p\n")
+        with pytest.raises(TraceError, match="header missing"):
+            read_traces(path)
+
+    def test_comment_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.log"
+        path.write_text(
+            "# a comment\n# trace program=p case=c\n# noise\nsyscall read @ f\n"
+        )
+        loaded = read_traces(path)
+        assert len(loaded) == 1
+        assert len(loaded[0].events) == 1
+
+
+class TestSegmentLines:
+    def test_lines_match_windows(self):
+        trace = _trace()
+        lines = list(
+            iter_segment_lines([trace], CallKind.SYSCALL, context=True, length=2)
+        )
+        assert lines == ["read@f write@f"]
+
+    def test_short_traces_yield_nothing(self):
+        trace = _trace()
+        lines = list(
+            iter_segment_lines([trace], CallKind.SYSCALL, context=True, length=5)
+        )
+        assert lines == []

@@ -1,0 +1,130 @@
+"""Tests for FP/FN metrics (Equations 3-4), curves, and AUC."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    auc_score,
+    curve,
+    detection_rate,
+    fn_at_fp,
+    rates_at_threshold,
+)
+from repro.errors import EvaluationError
+
+
+class TestRatesAtThreshold:
+    def test_hand_computed(self):
+        normal = np.array([-1.0, -2.0, -3.0, -4.0])
+        abnormal = np.array([-5.0, -2.5, -0.5])
+        fp, fn = rates_at_threshold(normal, abnormal, threshold=-2.75)
+        # normal below -2.75: {-3, -4} -> FP = 0.5
+        # abnormal above -2.75: {-2.5, -0.5} -> FN = 2/3
+        assert fp == pytest.approx(0.5)
+        assert fn == pytest.approx(2 / 3)
+
+    def test_extreme_thresholds(self):
+        normal = np.array([-1.0, -2.0])
+        abnormal = np.array([-3.0])
+        fp, fn = rates_at_threshold(normal, abnormal, threshold=-100.0)
+        assert (fp, fn) == (0.0, 1.0)
+        fp, fn = rates_at_threshold(normal, abnormal, threshold=100.0)
+        assert (fp, fn) == (1.0, 0.0)
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(EvaluationError):
+            rates_at_threshold(np.array([]), np.array([1.0]), 0.0)
+
+
+class TestCurve:
+    def test_fp_monotone_fn_antitone(self):
+        rng = np.random.default_rng(0)
+        normal = rng.normal(0, 1, 200)
+        abnormal = rng.normal(-3, 1, 200)
+        points = curve(normal, abnormal, n_points=50)
+        fps = [p.false_positive_rate for p in points]
+        fns = [p.false_negative_rate for p in points]
+        assert all(b >= a - 1e-12 for a, b in zip(fps, fps[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(fns, fns[1:]))
+
+    def test_identical_scores_single_point(self):
+        points = curve(np.array([1.0, 1.0]), np.array([1.0]))
+        assert len(points) == 1
+
+
+class TestFnAtFp:
+    def test_perfect_separation(self):
+        normal = np.array([-1.0, -1.1, -0.9, -1.05])
+        abnormal = np.array([-10.0, -9.0, -11.0])
+        result = fn_at_fp(normal, abnormal, [0.0, 0.01, 0.25])
+        assert result[0.0] == 0.0
+        assert result[0.25] == 0.0
+
+    def test_overlapping_distributions(self):
+        normal = np.array([-1.0, -2.0, -3.0, -4.0])
+        abnormal = np.array([-2.5, -3.5, -10.0])
+        # FP budget 0.25 allows one normal score below T -> T = -3.0.
+        # Abnormal above -3.0: only -2.5 -> FN = 1/3.
+        result = fn_at_fp(normal, abnormal, [0.25])
+        assert result[0.25] == pytest.approx(1 / 3)
+
+    def test_zero_budget_uses_minimum(self):
+        normal = np.array([-1.0, -5.0])
+        abnormal = np.array([-4.0, -6.0])
+        result = fn_at_fp(normal, abnormal, [0.0])
+        # T = min(normal) = -5; abnormal above it: -4 -> FN = 0.5
+        assert result[0.0] == pytest.approx(0.5)
+
+    def test_fp_budget_respected(self):
+        rng = np.random.default_rng(1)
+        normal = rng.normal(0, 1, 1000)
+        abnormal = rng.normal(-2, 1, 1000)
+        for target in (0.001, 0.01, 0.1):
+            result = fn_at_fp(normal, abnormal, [target])
+            # Recompute actual FP at the implied threshold.
+            sorted_normal = np.sort(normal)
+            allowed = int(np.floor(target * normal.size))
+            threshold = sorted_normal[allowed] if allowed else sorted_normal[0]
+            actual_fp = np.mean(normal < threshold)
+            assert actual_fp <= target
+            assert 0 <= result[target] <= 1
+
+    def test_invalid_target_raises(self):
+        with pytest.raises(EvaluationError):
+            fn_at_fp(np.array([1.0]), np.array([0.0]), [1.5])
+
+
+class TestAuc:
+    def test_perfect(self):
+        assert auc_score(np.array([1.0, 2.0]), np.array([-1.0, -2.0])) == 1.0
+
+    def test_inverted(self):
+        assert auc_score(np.array([-1.0, -2.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_random_near_half(self):
+        rng = np.random.default_rng(2)
+        normal = rng.normal(size=2000)
+        abnormal = rng.normal(size=2000)
+        assert auc_score(normal, abnormal) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_count_half(self):
+        assert auc_score(np.array([0.0]), np.array([0.0])) == pytest.approx(0.5)
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(3)
+        normal = rng.normal(1, 1, 30)
+        abnormal = rng.normal(0, 1, 40)
+        pairwise = np.mean(
+            [(n > a) + 0.5 * (n == a) for n in normal for a in abnormal]
+        )
+        assert auc_score(normal, abnormal) == pytest.approx(float(pairwise))
+
+
+class TestDetectionRate:
+    def test_counts_below_threshold(self):
+        scores = np.array([-1.0, -3.0, -5.0])
+        assert detection_rate(scores, -2.0) == pytest.approx(2 / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            detection_rate(np.array([]), 0.0)

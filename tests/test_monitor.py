@@ -1,0 +1,112 @@
+"""Tests for the online monitoring API."""
+
+import pytest
+
+from repro.core import CMarkovDetector, DetectorConfig, OnlineMonitor, StiloDetector
+from repro.core import threshold_for_fp_budget
+from repro.errors import NotFittedError, TraceError
+from repro.hmm import TrainingConfig
+from repro.program import CallKind, layout_program
+from repro.tracing import CallEvent, build_segment_set, run_workload
+
+
+@pytest.fixture(scope="module")
+def monitoring_setup(gzip_program):
+    workload = run_workload(gzip_program, n_cases=40, seed=17)
+    segments = build_segment_set(workload.traces, CallKind.SYSCALL, context=True)
+    detector = CMarkovDetector(
+        gzip_program,
+        kind=CallKind.SYSCALL,
+        config=DetectorConfig(
+            training=TrainingConfig(max_iterations=8),
+            max_training_segments=1000,
+            seed=3,
+        ),
+    )
+    train_part, holdout = segments.split([0.8, 0.2], seed=0)
+    detector.fit(train_part)
+    threshold = threshold_for_fp_budget(detector.score(holdout.segments()), 0.02)
+    return gzip_program, workload, detector, threshold
+
+
+class TestConstruction:
+    def test_unfitted_detector_rejected(self, gzip_program):
+        detector = StiloDetector(gzip_program, kind=CallKind.SYSCALL)
+        with pytest.raises(NotFittedError):
+            OnlineMonitor(detector, threshold=-5.0)
+
+    def test_bad_segment_length(self, monitoring_setup):
+        _, _, detector, threshold = monitoring_setup
+        with pytest.raises(TraceError):
+            OnlineMonitor(detector, threshold, segment_length=0)
+
+
+class TestStreaming:
+    def test_no_alerts_before_window_fills(self, monitoring_setup):
+        _, _, detector, threshold = monitoring_setup
+        monitor = OnlineMonitor(detector, threshold, segment_length=15)
+        for i in range(14):
+            assert monitor.observe_symbol(f"s{i}") is None
+        assert monitor.stats.windows_scored == 0
+
+    def test_normal_stream_is_quiet(self, monitoring_setup):
+        _, workload, detector, threshold = monitoring_setup
+        monitor = OnlineMonitor(detector, threshold)
+        # Feed a normal trace the detector trained on similar data from.
+        events = workload.traces[1].events
+        alerts = monitor.observe_many(events)
+        flagged = len(alerts) / max(monitor.stats.windows_scored, 1)
+        assert flagged < 0.1
+
+    def test_attack_stream_raises_alert(self, monitoring_setup):
+        program, workload, detector, threshold = monitoring_setup
+        from repro.attacks import rop_chain_events
+
+        monitor = OnlineMonitor(detector, threshold)
+        # Establish a normal prefix, then splice the ROP chain.
+        monitor.observe_many(workload.traces[2].events[:40])
+        baseline_alerts = monitor.stats.alerts
+        image = layout_program(program)
+        chain = rop_chain_events(image, n_calls=20, seed=1, context_fidelity=0.1)
+        alerts = monitor.observe_many(chain)
+        assert monitor.stats.alerts > baseline_alerts
+        assert alerts, "the ROP chain must raise at least one alert"
+        assert all(a.score < a.threshold for a in alerts)
+
+    def test_wrong_kind_events_ignored(self, monitoring_setup):
+        _, _, detector, threshold = monitoring_setup
+        monitor = OnlineMonitor(detector, threshold)
+        libcall_event = CallEvent("malloc", "main", CallKind.LIBCALL)
+        assert monitor.observe_event(libcall_event) is None
+        assert monitor.stats.events == 0
+
+    def test_cooldown_suppresses_alert_storm(self, monitoring_setup):
+        _, _, detector, threshold = monitoring_setup
+        monitor = OnlineMonitor(detector, threshold, segment_length=15)
+        # 30 garbage symbols -> ~16 bad windows, but cooldown batches them.
+        alerts = [
+            a
+            for a in (monitor.observe_symbol("<garbage>") for _ in range(30))
+            if a is not None
+        ]
+        assert monitor.stats.suppressed > 0
+        assert len(alerts) <= 2
+
+    def test_reset_clears_window(self, monitoring_setup):
+        _, _, detector, threshold = monitoring_setup
+        monitor = OnlineMonitor(detector, threshold, segment_length=5)
+        for i in range(4):
+            monitor.observe_symbol(f"s{i}")
+        monitor.reset()
+        assert monitor.observe_symbol("s4") is None  # window restarted
+        assert monitor.stats.windows_scored == 0
+
+    def test_alert_records_window(self, monitoring_setup):
+        _, _, detector, threshold = monitoring_setup
+        monitor = OnlineMonitor(detector, threshold, segment_length=15)
+        alert = None
+        for _ in range(15):
+            alert = monitor.observe_symbol("<garbage>") or alert
+        assert alert is not None
+        assert alert.window == ("<garbage>",) * 15
+        assert alert.threshold == threshold

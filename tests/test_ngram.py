@@ -1,0 +1,124 @@
+"""Tests for the n-gram (stide) baseline detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import NGramDetector, make_detector
+from repro.errors import NotFittedError, TraceError
+from repro.program import CallKind
+from repro.tracing import SegmentSet
+
+
+def _segment_set(segments, length=15):
+    out = SegmentSet(length=length)
+    out.update(segments)
+    return out
+
+
+@pytest.fixture()
+def fitted_ngram():
+    detector = NGramDetector(kind=CallKind.SYSCALL, context=False, window=3)
+    normal = _segment_set(
+        [
+            tuple("abcde" * 3),  # abc, bcd, cde, dea, eab ... windows
+            tuple("aabba" * 3),
+        ]
+    )
+    detector.fit(normal)
+    return detector
+
+
+class TestFit:
+    def test_database_contains_training_windows(self, fitted_ngram):
+        assert tuple("abc") in fitted_ngram.database
+        assert tuple("zzz") not in fitted_ngram.database
+
+    def test_fit_result_reports_database_size(self, fitted_ngram):
+        # n_states plays the "model size" role for the baseline.
+        assert fitted_ngram.is_fitted
+
+    def test_window_larger_than_segment_rejected(self):
+        detector = NGramDetector(kind=CallKind.SYSCALL, context=False, window=20)
+        with pytest.raises(TraceError):
+            detector.fit(_segment_set([("a",) * 15]))
+
+    def test_empty_training_rejected(self):
+        detector = NGramDetector(kind=CallKind.SYSCALL, context=False)
+        with pytest.raises(TraceError):
+            detector.fit(SegmentSet(length=15))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(TraceError):
+            NGramDetector(kind=CallKind.SYSCALL, context=False, window=0)
+
+
+class TestScoring:
+    def test_training_segment_scores_zero(self, fitted_ngram):
+        scores = fitted_ngram.score([tuple("abcde" * 3)])
+        assert scores[0] == 0.0
+
+    def test_foreign_segment_scores_minus_one(self, fitted_ngram):
+        scores = fitted_ngram.score([tuple("zzzzz" * 3)])
+        assert scores[0] == -1.0
+
+    def test_partial_mismatch_in_between(self, fitted_ngram):
+        # Mostly normal with a corrupted tail.
+        segment = tuple("abcde" * 2) + tuple("zzzzz")
+        score = fitted_ngram.score([segment])[0]
+        assert -1.0 < score < 0.0
+
+    def test_score_before_fit_raises(self):
+        detector = NGramDetector(kind=CallKind.SYSCALL, context=False)
+        with pytest.raises(NotFittedError):
+            detector.score([("a",) * 15])
+
+    def test_classify_consistent_with_score(self, fitted_ngram):
+        segments = [tuple("abcde" * 3), tuple("zzzzz" * 3)]
+        verdicts = fitted_ngram.classify(segments, threshold=-0.5)
+        assert list(verdicts) == [False, True]
+
+    def test_empty_scores(self, fitted_ngram):
+        assert fitted_ngram.score([]).shape == (0,)
+
+
+class TestRegistry:
+    def test_factory_builds_ngram_variants(self, gzip_program):
+        plain = make_detector("ngram", gzip_program, CallKind.SYSCALL)
+        ctx = make_detector("ngram-context", gzip_program, CallKind.SYSCALL)
+        assert isinstance(plain, NGramDetector) and not plain.context
+        assert isinstance(ctx, NGramDetector) and ctx.context
+
+
+class TestFlowVsContext:
+    def test_context_ngram_catches_wrong_context_reordering(self):
+        """The Section II-C argument replayed for the n-gram family: a
+        context-free database accepts S2's names, a context-labeled one
+        rejects them."""
+        normal_ctx = _segment_set(
+            [("read@g", "read@f", "write@f", "execve@g") * 3 + ("read@g",) * 3]
+        )
+        normal_bare = _segment_set(
+            [("read", "read", "write", "execve") * 3 + ("read",) * 3]
+        )
+        attack_ctx = ("read@g", "read@f", "write@foo", "execve@bar") * 3 + (
+            "read@g",
+        ) * 3
+        attack_bare = ("read", "read", "write", "execve") * 3 + ("read",) * 3
+
+        bare = NGramDetector(kind=CallKind.SYSCALL, context=False, window=4)
+        bare.fit(normal_bare)
+        ctx = NGramDetector(kind=CallKind.SYSCALL, context=True, window=4)
+        ctx.fit(normal_ctx)
+
+        assert bare.score([attack_bare])[0] == 0.0  # flow-only: looks normal
+        assert ctx.score([attack_ctx])[0] < -0.3  # context: flagged
+
+
+class TestShortSegments:
+    def test_segment_shorter_than_window_raises(self, fitted_ngram):
+        with pytest.raises(TraceError, match="no window"):
+            fitted_ngram.score([("a", "b")])  # window is 3
+
+    def test_segment_equal_to_window_scores(self, fitted_ngram):
+        scores = fitted_ngram.score([tuple("abc")])
+        assert scores[0] == 0.0

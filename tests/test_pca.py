@@ -1,0 +1,81 @@
+"""Unit tests for the from-scratch PCA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.reduction import PCA
+
+
+class TestFit:
+    def test_components_capture_dominant_direction(self):
+        rng = np.random.default_rng(0)
+        # Data stretched along (1, 1, 0).
+        base = rng.normal(size=(200, 1)) @ np.array([[1.0, 1.0, 0.0]])
+        data = base + rng.normal(scale=0.01, size=(200, 3))
+        pca = PCA(n_components=1).fit(data)
+        direction = pca.components_[0] / np.linalg.norm(pca.components_[0])
+        expected = np.array([1.0, 1.0, 0.0]) / np.sqrt(2)
+        assert abs(abs(direction @ expected) - 1.0) < 1e-3
+
+    def test_explained_variance_decreasing(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(100, 6)) * np.array([5, 4, 3, 2, 1, 0.5])
+        pca = PCA(n_components=6).fit(data)
+        variances = pca.explained_variance_
+        assert np.all(np.diff(variances) <= 1e-9)
+
+    def test_variance_ratio_selects_fewer_components(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(100, 10)) * np.array([10] + [0.01] * 9)
+        pca = PCA(variance_ratio=0.9).fit(data)
+        assert pca.components_.shape[0] == 1
+
+    def test_n_components_capped_by_rank(self):
+        data = np.ones((5, 3))  # rank-deficient
+        pca = PCA(n_components=10).fit(data)
+        assert pca.components_.shape[0] <= 3
+
+
+class TestTransform:
+    def test_shapes(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(40, 8))
+        projected = PCA(n_components=3).fit_transform(data)
+        assert projected.shape == (40, 3)
+
+    def test_full_projection_preserves_distances(self):
+        """With all components kept, pairwise distances are preserved —
+        the property the paper relies on before K-means."""
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(30, 5))
+        projected = PCA(n_components=5).fit_transform(data)
+        for i in range(0, 30, 7):
+            for j in range(0, 30, 5):
+                original = np.linalg.norm(data[i] - data[j])
+                mapped = np.linalg.norm(projected[i] - projected[j])
+                assert mapped == pytest.approx(original, rel=1e-9)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            PCA().transform(np.ones((2, 2)))
+
+    def test_transform_centers_with_training_mean(self):
+        data = np.array([[1.0, 0.0], [3.0, 0.0]])
+        pca = PCA(n_components=1).fit(data)
+        projected = pca.transform(np.array([[2.0, 0.0]]))
+        assert projected[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestValidation:
+    def test_bad_n_components(self):
+        with pytest.raises(ModelError):
+            PCA(n_components=0)
+
+    def test_bad_variance_ratio(self):
+        with pytest.raises(ModelError):
+            PCA(variance_ratio=1.5)
+
+    def test_empty_input(self):
+        with pytest.raises(ModelError):
+            PCA().fit(np.empty((0, 3)))

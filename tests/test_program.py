@@ -1,0 +1,88 @@
+"""Unit tests for the Program container and label helpers."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.program import (
+    CallKind,
+    Program,
+    ProgramBuilder,
+    context_label,
+    linear_cfg,
+    split_label,
+)
+
+
+@pytest.fixture()
+def two_function_program() -> Program:
+    pb = ProgramBuilder("demo")
+    pb.function("main").seq("read", "malloc", "helper")
+    pb.function("helper").seq("read", "free")
+    return pb.build()
+
+
+class TestDistinctCalls:
+    def test_context_sensitive_labels(self, two_function_program):
+        labels = two_function_program.distinct_calls(CallKind.SYSCALL, context=True)
+        assert labels == {"read@main", "read@helper"}
+
+    def test_context_insensitive_names(self, two_function_program):
+        labels = two_function_program.distinct_calls(CallKind.SYSCALL, context=False)
+        assert labels == {"read"}
+
+    def test_libcall_labels(self, two_function_program):
+        labels = two_function_program.distinct_calls(CallKind.LIBCALL, context=True)
+        assert labels == {"malloc@main", "free@helper"}
+
+    def test_context_multiplies_alphabet(self, two_function_program):
+        ctx = two_function_program.distinct_calls(CallKind.SYSCALL, context=True)
+        bare = two_function_program.distinct_calls(CallKind.SYSCALL, context=False)
+        assert len(ctx) > len(bare)
+
+
+class TestStructureCounts:
+    def test_total_blocks(self, two_function_program):
+        total = sum(len(f) for f in two_function_program.functions.values())
+        assert two_function_program.total_blocks() == total
+
+    def test_total_branches_counts_multi_successor_edges(self):
+        pb = ProgramBuilder("b")
+        pb.function("main").branch(["read"], ["write"])
+        program = pb.build()
+        assert program.total_branches() == 2
+
+    def test_linear_program_has_no_branches(self, two_function_program):
+        assert two_function_program.total_branches() == 0
+
+
+class TestValidation:
+    def test_duplicate_function_raises(self):
+        program = Program(name="p")
+        program.add_function(linear_cfg("main", ["read"]))
+        with pytest.raises(ProgramStructureError):
+            program.add_function(linear_cfg("main", ["write"]))
+
+    def test_unknown_function_lookup_raises(self, two_function_program):
+        with pytest.raises(ProgramStructureError):
+            two_function_program.function("nope")
+
+    def test_missing_entry_function(self):
+        program = Program(name="p", entry_function="main")
+        program.add_function(linear_cfg("other", ["read"]))
+        with pytest.raises(ProgramStructureError):
+            program.validate()
+
+
+class TestLabels:
+    def test_context_label(self):
+        assert context_label("read", "f") == "read@f"
+
+    def test_split_label_with_context(self):
+        assert split_label("read@f") == ("read", "f")
+
+    def test_split_label_bare(self):
+        assert split_label("read") == ("read", None)
+
+    def test_roundtrip(self):
+        name, caller = split_label(context_label("execve", "g"))
+        assert (name, caller) == ("execve", "g")

@@ -1,0 +1,84 @@
+"""Tests for program complexity metrics."""
+
+import pytest
+
+from repro.program import CallKind, FunctionCFG, ProgramBuilder, load_program
+from repro.program.builder import FunctionBuilder
+from repro.program.metrics import function_metrics, program_metrics
+
+
+def _fn(build) -> FunctionCFG:
+    builder = FunctionBuilder(FunctionCFG("f"))
+    build(builder)
+    return builder.finish()
+
+
+class TestFunctionMetrics:
+    def test_straight_line_complexity_is_one(self):
+        cfg = _fn(lambda b: b.seq("read", "write"))
+        metrics = function_metrics(cfg)
+        # Linear chain: E = N - 1 -> complexity = 1.
+        assert metrics.cyclomatic_complexity == 1
+        assert metrics.n_loops == 0
+        assert metrics.n_branches == 0
+
+    def test_branch_adds_one(self):
+        cfg = _fn(lambda b: b.branch(["read"], ["write"]))
+        metrics = function_metrics(cfg)
+        assert metrics.cyclomatic_complexity == 2
+        assert metrics.n_branches == 1
+
+    def test_loop_counted(self):
+        cfg = _fn(lambda b: b.loop(["read"]))
+        metrics = function_metrics(cfg)
+        assert metrics.n_loops == 1
+        assert metrics.cyclomatic_complexity >= 2
+
+    def test_call_kind_counts(self):
+        pb = ProgramBuilder("p")
+        pb.function("helper").seq("read")
+        pb.function("main").seq("read", "malloc", "helper").indirect("helper")
+        program = pb.build()
+        metrics = function_metrics(program.function("main"))
+        assert metrics.calls_by_kind == {
+            "syscall": 1,
+            "libcall": 1,
+            "internal": 1,
+            "indirect": 1,
+        }
+        assert metrics.total_call_sites == 4
+
+
+class TestProgramMetrics:
+    @pytest.fixture(scope="class")
+    def gzip_metrics(self):
+        return program_metrics(load_program("gzip"))
+
+    def test_every_function_measured(self, gzip_metrics):
+        program = load_program("gzip")
+        assert set(gzip_metrics.functions) == set(program.functions)
+
+    def test_aggregates_positive(self, gzip_metrics):
+        assert gzip_metrics.total_complexity > len(gzip_metrics.functions)
+        assert gzip_metrics.mean_complexity > 1.0
+        assert gzip_metrics.max_complexity >= 2
+
+    def test_caller_diversity_counts(self):
+        pb = ProgramBuilder("p")
+        pb.function("a").seq("malloc")
+        pb.function("b").seq("malloc")
+        pb.function("main").seq("a", "b", "malloc", "read")
+        metrics = program_metrics(pb.build())
+        assert metrics.caller_diversity["malloc"] == 3
+        assert metrics.caller_diversity["read"] == 1
+
+    def test_paper_asymmetry_on_corpus(self, gzip_metrics):
+        """The corpus realism check the results rest on: libcalls have more
+        diverse callers than (wrapped) syscalls."""
+        libcall = gzip_metrics.mean_caller_diversity(CallKind.LIBCALL)
+        syscall = gzip_metrics.mean_caller_diversity(CallKind.SYSCALL)
+        assert libcall > 1.5 * syscall
+
+    def test_realistic_complexity_band(self, gzip_metrics):
+        # Generated functions are program-shaped: nontrivial but bounded.
+        assert 1.0 < gzip_metrics.mean_complexity < 20.0

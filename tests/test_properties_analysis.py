@@ -1,0 +1,110 @@
+"""Property-based tests: static-analysis invariants on random programs.
+
+Strategy: generate random (but structurally valid) single-function CFGs out
+of the builder's three elements, then check the conservation laws that
+Section IV's probability forecast must obey on *every* program:
+
+* entry mass + pass-through = 1 (each path has exactly one first call or none);
+* exit mass = emitting mass (each emitting path has exactly one last call);
+* all probability mass is non-negative;
+* reachability mass at the exits sums to 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LabelSpace, reachability, summarize_function
+from repro.program import CallKind, FunctionCFG
+from repro.program.builder import FunctionBuilder
+
+CALLS = ["read", "write", "close", "open", "brk"]
+
+call_lists = st.lists(st.sampled_from(CALLS), min_size=1, max_size=3)
+
+element = st.one_of(
+    st.tuples(st.just("seq"), call_lists),
+    st.tuples(
+        st.just("branch"),
+        st.lists(call_lists, min_size=1, max_size=3),
+        st.booleans(),
+    ),
+    st.tuples(st.just("loop"), call_lists, st.booleans()),
+)
+
+
+@st.composite
+def random_cfg(draw) -> FunctionCFG:
+    builder = FunctionBuilder(FunctionCFG("f"))
+    for item in draw(st.lists(element, min_size=1, max_size=6)):
+        if item[0] == "seq":
+            builder.seq(*item[1])
+        elif item[0] == "branch":
+            builder.branch(*item[1], empty_arm=item[2])
+        else:
+            builder.loop(item[1], may_skip=item[2])
+    return builder.finish()
+
+
+def _space_for(cfg: FunctionCFG) -> LabelSpace:
+    labels = sorted({f"{s.name}@f" for s in cfg.calls(CallKind.SYSCALL)})
+    return LabelSpace(kind=CallKind.SYSCALL, context=True, labels=tuple(labels))
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_cfg())
+def test_entry_mass_conservation(cfg: FunctionCFG):
+    summary = summarize_function(cfg, _space_for(cfg))
+    assert summary.entry.sum() + summary.passthrough == np.float64(1.0).item() or abs(
+        summary.entry.sum() + summary.passthrough - 1.0
+    ) < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_cfg())
+def test_exit_mass_matches_emitting_mass(cfg: FunctionCFG):
+    summary = summarize_function(cfg, _space_for(cfg))
+    assert abs(summary.exit.sum() - summary.emitting_mass) < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_cfg())
+def test_all_mass_nonnegative(cfg: FunctionCFG):
+    summary = summarize_function(cfg, _space_for(cfg))
+    assert np.all(summary.trans >= -1e-12)
+    assert np.all(summary.entry >= -1e-12)
+    assert np.all(summary.exit >= -1e-12)
+    assert summary.passthrough >= -1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_cfg())
+def test_reachability_exit_mass_is_one(cfg: FunctionCFG):
+    visits = reachability(cfg)
+    exit_mass = sum(visits[b] for b in cfg.exit_blocks())
+    assert abs(exit_mass - 1.0) < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_cfg())
+def test_entry_block_visited_exactly_once_unless_looped(cfg: FunctionCFG):
+    visits = reachability(cfg)
+    # The entry is visited at least once; more only if a back edge targets it.
+    back_targets = {dst for _, dst in cfg.back_edges()}
+    if cfg.entry not in back_targets:
+        assert abs(visits[cfg.entry] - 1.0) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_cfg())
+def test_transition_vectors_shape(cfg: FunctionCFG):
+    space = _space_for(cfg)
+    if len(space) == 0:
+        return
+    summary = summarize_function(cfg, space)
+    vectors = summary.transition_vectors()
+    assert vectors.shape == (len(space), 2 * len(space))
+    for index in range(len(space)):
+        assert np.allclose(vectors[index], summary.transition_vector(index))

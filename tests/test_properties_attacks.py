@@ -1,0 +1,89 @@
+"""Property-based tests: attack-generator invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import abnormal_s_segments
+from repro.tracing import SegmentSet
+
+SYMBOLS = [f"sym{i}" for i in range(12)]
+
+segments_strategy = st.lists(
+    st.lists(st.sampled_from(SYMBOLS), min_size=15, max_size=15).map(tuple),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    segments_strategy,
+    st.lists(st.sampled_from(SYMBOLS), min_size=1, max_size=6, unique=True),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=14),
+    st.integers(min_value=0, max_value=999),
+)
+def test_abnormal_s_invariants(normals, legit, count, replaced, seed):
+    out = abnormal_s_segments(
+        normals, legit, count, replaced=replaced, seed=seed
+    )
+    assert len(out) == count
+    for segment in out:
+        assert len(segment) == 15
+        # Suffix drawn from the legitimate alphabet.
+        assert all(symbol in legit for symbol in segment[-replaced:])
+        # Prefix inherited from one of the hosts.
+        prefix_len = 15 - replaced
+        assert any(
+            segment[:prefix_len] == normal[:prefix_len] for normal in normals
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    segments_strategy,
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=999),
+)
+def test_abnormal_s_deterministic(normals, count, seed):
+    a = abnormal_s_segments(normals, SYMBOLS[:4], count, seed=seed)
+    b = abnormal_s_segments(normals, SYMBOLS[:4], count, seed=seed)
+    assert a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    segments_strategy,
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=999),
+)
+def test_abnormal_s_respects_exclusion(normals, count, seed):
+    exclude = SegmentSet(length=15)
+    exclude.update(normals)
+    out = abnormal_s_segments(
+        normals, SYMBOLS, count, seed=seed, exclude=exclude
+    )
+    for segment in out:
+        assert segment not in exclude.counts
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=500))
+def test_rop_chain_context_fidelity_ordering(seed):
+    """More context control never yields a *smaller* share of legitimate
+    contexts, on average over the chain."""
+    from repro.attacks import abnormal_context_fraction, rop_chain_events
+    from repro.program import CallKind, layout_program, load_program
+
+    program = load_program("gzip")
+    image = layout_program(program)
+    legit = program.distinct_calls(CallKind.SYSCALL, context=True)
+    low = abnormal_context_fraction(
+        rop_chain_events(image, 40, seed=seed, context_fidelity=0.1), legit
+    )
+    high = abnormal_context_fraction(
+        rop_chain_events(image, 40, seed=seed, context_fidelity=0.9), legit
+    )
+    assert high <= low + 0.25  # allow sampling noise; the trend must hold

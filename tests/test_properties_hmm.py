@@ -1,0 +1,90 @@
+"""Property-based tests: HMM inference invariants on random models."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmm import (
+    TrainingConfig,
+    backward,
+    forward,
+    log_likelihood,
+    posterior_states,
+    random_model,
+    train,
+)
+
+
+@st.composite
+def model_and_obs(draw):
+    n_states = draw(st.integers(min_value=1, max_value=5))
+    n_symbols = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    symbols = [f"s{i}" for i in range(n_symbols)]
+    model = random_model(symbols, n_states=n_states, seed=seed)
+    batch = draw(st.integers(min_value=1, max_value=8))
+    length = draw(st.integers(min_value=1, max_value=12))
+    rng = np.random.default_rng(seed + 1)
+    obs = rng.integers(0, model.n_symbols, size=(batch, length))
+    return model, obs
+
+
+@settings(max_examples=60, deadline=None)
+@given(model_and_obs())
+def test_loglik_finite_and_nonpositive(case):
+    model, obs = case
+    ll = log_likelihood(model, obs)
+    assert np.all(np.isfinite(ll))
+    assert np.all(ll <= 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(model_and_obs())
+def test_alpha_normalized(case):
+    model, obs = case
+    alpha, scales = forward(model, obs)
+    assert np.allclose(alpha.sum(axis=2), 1.0)
+    assert np.all(scales > 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(model_and_obs())
+def test_posteriors_are_distributions(case):
+    model, obs = case
+    gamma = posterior_states(model, obs)
+    assert np.allclose(gamma.sum(axis=2), 1.0)
+    assert np.all(gamma >= 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(model_and_obs())
+def test_alpha_beta_product_time_invariant(case):
+    model, obs = case
+    alpha, scales = forward(model, obs)
+    beta = backward(model, obs, scales)
+    products = (alpha * beta).sum(axis=2)
+    for row in products:
+        assert np.allclose(row, row[0], rtol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(model_and_obs())
+def test_one_em_step_never_decreases_training_likelihood(case):
+    model, obs = case
+    before = float(np.mean(log_likelihood(model, obs)))
+    trained, _ = train(
+        model,
+        obs,
+        config=TrainingConfig(
+            max_iterations=1,
+            patience=100,
+            emission_floor=1e-12,
+            transition_floor=1e-12,
+        ),
+    )
+    # train() returns the better of {initial, updated} snapshots, so the
+    # resulting likelihood cannot be lower than the starting point.
+    after = float(np.mean(log_likelihood(trained, obs)))
+    assert after >= before - 1e-6

@@ -1,0 +1,80 @@
+"""Property-based tests: PCA, K-means, and clustering invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.reduction import PCA, kmeans
+
+finite_floats = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def data_matrix(draw):
+    rows = draw(st.integers(min_value=2, max_value=30))
+    cols = draw(st.integers(min_value=1, max_value=8))
+    return draw(arrays(np.float64, (rows, cols), elements=finite_floats))
+
+
+class TestPcaProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data_matrix())
+    def test_projection_shape_and_finiteness(self, data):
+        projected = PCA(n_components=min(3, data.shape[1])).fit_transform(data)
+        assert projected.shape[0] == data.shape[0]
+        assert np.all(np.isfinite(projected))
+
+    @settings(max_examples=50, deadline=None)
+    @given(data_matrix())
+    def test_full_rank_projection_preserves_distances(self, data):
+        k = min(data.shape)  # keep every possible component
+        pca = PCA(n_components=k)
+        projected = pca.fit_transform(data)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            i, j = rng.integers(0, data.shape[0], size=2)
+            original = np.linalg.norm(data[i] - data[j])
+            mapped = np.linalg.norm(projected[i] - projected[j])
+            assert abs(original - mapped) < 1e-6 * max(1.0, original)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data_matrix())
+    def test_variance_ordering(self, data):
+        pca = PCA(n_components=min(data.shape)).fit(data)
+        variances = pca.explained_variance_
+        assert np.all(np.diff(variances) <= 1e-9)
+
+
+class TestKMeansProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data_matrix(), st.integers(min_value=1, max_value=5), st.integers(0, 99))
+    def test_result_invariants(self, data, k, seed):
+        k = min(k, data.shape[0])
+        result = kmeans(data, n_clusters=k, seed=seed)
+        # Labels in range, centers finite, inertia non-negative.
+        assert result.labels.shape == (data.shape[0],)
+        assert result.labels.min() >= 0 and result.labels.max() < k
+        assert np.all(np.isfinite(result.centers))
+        assert result.inertia >= 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(data_matrix(), st.integers(0, 99))
+    def test_assignment_is_nearest_center(self, data, seed):
+        k = min(3, data.shape[0])
+        result = kmeans(data, n_clusters=k, seed=seed)
+        distances = ((data[:, None, :] - result.centers[None, :, :]) ** 2).sum(axis=2)
+        chosen = distances[np.arange(data.shape[0]), result.labels]
+        assert np.all(chosen <= distances.min(axis=1) + 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data_matrix(), st.integers(0, 99))
+    def test_deterministic(self, data, seed):
+        k = min(2, data.shape[0])
+        a = kmeans(data, n_clusters=k, seed=seed)
+        b = kmeans(data, n_clusters=k, seed=seed)
+        assert np.array_equal(a.labels, b.labels)

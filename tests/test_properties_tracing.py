@@ -1,0 +1,115 @@
+"""Property-based tests: tracing invariants on random multi-function programs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.program import CallKind, Program, ProgramBuilder
+from repro.tracing import SegmentSet, TraceExecutor, build_segment_set
+
+OBSERVABLE = ["read", "write", "close", "malloc", "free", "strlen"]
+
+
+@st.composite
+def random_program(draw) -> Program:
+    """A random 2-4 function program with a guaranteed-valid call DAG."""
+    n_helpers = draw(st.integers(min_value=1, max_value=3))
+    pb = ProgramBuilder("hyp")
+    helper_names = [f"helper_{i}" for i in range(n_helpers)]
+    for index, name in enumerate(helper_names):
+        fb = pb.function(name)
+        calls = draw(
+            st.lists(st.sampled_from(OBSERVABLE), min_size=1, max_size=3)
+        )
+        # Helpers may call strictly-later helpers, keeping the graph acyclic.
+        callees = helper_names[index + 1 :]
+        if callees and draw(st.booleans()):
+            calls.append(draw(st.sampled_from(callees)))
+        if draw(st.booleans()):
+            fb.branch(calls, empty_arm=True)
+        else:
+            fb.seq(*calls)
+    main = pb.function("main")
+    main_calls = draw(
+        st.lists(
+            st.sampled_from(OBSERVABLE + helper_names), min_size=1, max_size=4
+        )
+    )
+    if draw(st.booleans()):
+        main.loop(main_calls)
+    else:
+        main.seq(*main_calls)
+    return pb.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_program(), st.integers(min_value=0, max_value=1000))
+def test_executor_emits_only_observable_calls(program: Program, seed: int):
+    result = TraceExecutor(program, max_events=200).run("case", seed=seed)
+    for event in result.trace.events:
+        assert event.kind in (CallKind.SYSCALL, CallKind.LIBCALL)
+        assert event.caller in program.functions
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_program(), st.integers(min_value=0, max_value=1000))
+def test_trace_symbols_within_static_labels(program: Program, seed: int):
+    result = TraceExecutor(program, max_events=200).run("case", seed=seed)
+    for kind in (CallKind.SYSCALL, CallKind.LIBCALL):
+        static = program.distinct_calls(kind, context=True)
+        dynamic = set(result.trace.symbols(kind, context=True))
+        assert dynamic <= static
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_program(), st.integers(min_value=0, max_value=1000))
+def test_executor_is_deterministic(program: Program, seed: int):
+    executor = TraceExecutor(program, max_events=200)
+    a = executor.run("case", seed=seed)
+    b = executor.run("case", seed=seed)
+    assert [str(e) for e in a.trace.events] == [str(e) for e in b.trace.events]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_program(), st.integers(min_value=0, max_value=1000))
+def test_coverage_footprint_is_valid(program: Program, seed: int):
+    result = TraceExecutor(program, max_events=200).run("case", seed=seed)
+    for function, block in result.visited_blocks:
+        assert block in program.function(function).blocks
+    for function, src, dst in result.visited_edges:
+        assert dst in program.function(function).successors(src)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.sampled_from(OBSERVABLE), min_size=4, max_size=12),
+        min_size=1,
+        max_size=6,
+    ),
+    st.integers(min_value=2, max_value=4),
+)
+def test_segmentation_window_count(symbol_streams, length):
+    """Sliding segmentation yields exactly max(0, len - n + 1) windows."""
+    from repro.tracing import segment_symbols
+
+    for stream in symbol_streams:
+        windows = segment_symbols(stream, length=length)
+        assert len(windows) == max(0, len(stream) - length + 1)
+        for window in windows:
+            assert len(window) == length
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=4, max_size=40),
+    st.integers(min_value=0, max_value=99),
+)
+def test_segment_split_is_partition(symbols, seed):
+    segments = SegmentSet(length=1)
+    segments.update([(s,) for s in symbols])
+    train, test = segments.split([0.7, 0.3], seed=seed)
+    assert train.n_unique + test.n_unique == segments.n_unique
+    assert not set(train.counts) & set(test.counts)
+    assert set(train.counts) | set(test.counts) == set(segments.counts)

@@ -1,0 +1,131 @@
+"""Tests for conditional/reachability probabilities (Defs 2-3, Eq 1)."""
+
+import pytest
+
+from repro.analysis import conditional_probabilities, reachability
+from repro.errors import AnalysisError
+from repro.program import FunctionCFG, linear_cfg
+
+
+class TestConditionalProbabilities:
+    def test_single_successor_is_certain(self):
+        cfg = linear_cfg("f", ["read"])
+        cond = conditional_probabilities(cfg)
+        assert all(p == 1.0 for p in cond.values())
+
+    def test_uniform_over_branches(self):
+        cfg = FunctionCFG("f")
+        a, b, c, d = (cfg.add_block() for _ in range(4))
+        cfg.add_edge(a, b)
+        cfg.add_edge(a, c)
+        cfg.add_edge(a, d)
+        cond = conditional_probabilities(cfg)
+        assert cond[(a, b)] == pytest.approx(1 / 3)
+        assert cond[(a, c)] == pytest.approx(1 / 3)
+        assert cond[(a, d)] == pytest.approx(1 / 3)
+
+    def test_exit_block_has_no_entries(self):
+        cfg = linear_cfg("f", [])
+        cond = conditional_probabilities(cfg)
+        exit_block = cfg.exit_blocks()[0]
+        assert not any(src == exit_block for src, _ in cond)
+
+
+class TestReachabilityAcyclic:
+    def test_linear_chain_all_one(self):
+        cfg = linear_cfg("f", ["read", "write"])
+        visits = reachability(cfg)
+        assert all(v == pytest.approx(1.0) for v in visits.values())
+
+    def test_diamond_split(self):
+        cfg = FunctionCFG("f")
+        a, b, c, d = (cfg.add_block() for _ in range(4))
+        cfg.add_edge(a, b)
+        cfg.add_edge(a, c)
+        cfg.add_edge(b, d)
+        cfg.add_edge(c, d)
+        visits = reachability(cfg)
+        assert visits[a] == pytest.approx(1.0)
+        assert visits[b] == pytest.approx(0.5)
+        assert visits[c] == pytest.approx(0.5)
+        assert visits[d] == pytest.approx(1.0)  # Eq 1: sums over parents
+
+    def test_nested_branches(self):
+        cfg = FunctionCFG("f")
+        a = cfg.add_block()
+        b, c = cfg.add_block(), cfg.add_block()
+        d, e = cfg.add_block(), cfg.add_block()
+        tail = cfg.add_block()
+        cfg.add_edge(a, b)
+        cfg.add_edge(a, c)
+        cfg.add_edge(b, d)
+        cfg.add_edge(b, e)
+        cfg.add_edge(d, tail)
+        cfg.add_edge(e, tail)
+        cfg.add_edge(c, tail)
+        visits = reachability(cfg)
+        assert visits[d] == pytest.approx(0.25)
+        assert visits[tail] == pytest.approx(1.0)
+
+    def test_unreachable_block_zero(self):
+        cfg = FunctionCFG("f")
+        a = cfg.add_block()
+        b = cfg.add_block()
+        orphan = cfg.add_block()
+        cfg.add_edge(a, b)
+        visits = reachability(cfg)
+        assert visits[orphan] == 0.0
+
+
+class TestReachabilityLoops:
+    def test_while_loop_expected_visits(self):
+        # head -> body -> head (back), head -> exit; uniform: each visit to
+        # head continues with prob 1/2, so head's expected visits = 2 and
+        # the body's = 1 (geometric series).
+        cfg = FunctionCFG("f")
+        head = cfg.add_block()
+        body = cfg.add_block(call="read")
+        tail = cfg.add_block()
+        cfg.add_edge(head, body)
+        cfg.add_edge(head, tail)
+        cfg.add_edge(body, head)
+        visits = reachability(cfg)
+        assert visits[head] == pytest.approx(2.0, rel=1e-6)
+        assert visits[body] == pytest.approx(1.0, rel=1e-6)
+        assert visits[tail] == pytest.approx(1.0, rel=1e-6)
+
+    def test_do_while_expected_visits(self):
+        # entry -> body; body -> body (back) | exit: body visits = 2.
+        cfg = FunctionCFG("f")
+        entry = cfg.add_block()
+        body = cfg.add_block(call="read")
+        tail = cfg.add_block()
+        cfg.add_edge(entry, body)
+        cfg.add_edge(body, body)
+        cfg.add_edge(body, tail)
+        visits = reachability(cfg)
+        assert visits[body] == pytest.approx(2.0, rel=1e-6)
+        assert visits[tail] == pytest.approx(1.0, rel=1e-6)
+
+    def test_nonleaking_cycle_raises(self):
+        cfg = FunctionCFG("f")
+        a = cfg.add_block()
+        b = cfg.add_block()
+        c = cfg.add_block()
+        cfg.add_edge(a, b)
+        cfg.add_edge(b, c)
+        cfg.add_edge(c, b)  # b <-> c never exits
+        with pytest.raises(AnalysisError, match="converge"):
+            reachability(cfg, max_sweeps=50)
+
+    def test_mass_conservation_at_exits(self):
+        cfg = FunctionCFG("f")
+        head = cfg.add_block()
+        body = cfg.add_block(call="read")
+        exit_a = cfg.add_block()
+        cfg.add_edge(head, body)
+        cfg.add_edge(head, exit_a)
+        cfg.add_edge(body, head)
+        visits = reachability(cfg)
+        exits = cfg.exit_blocks()
+        assert sum(visits[e] for e in exits) == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,70 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.eval import FAST_CONFIG, ReportSpec, build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def small_report() -> str:
+    spec = ReportSpec(
+        accuracy_programs=("sed",),
+        clustering_programs=("sed",),
+        exploit_victims=(),
+        include_gadgets=True,
+        include_runtime=True,
+    )
+    return build_report(config=FAST_CONFIG, spec=spec)
+
+
+class TestBuildReport:
+    def test_is_markdown_document(self, small_report):
+        assert small_report.startswith("# CMarkov reproduction report")
+
+    def test_all_requested_sections_present(self, small_report):
+        for heading in (
+            "## Workload coverage",
+            "## Model accuracy",
+            "## State reduction",
+            "## ROP gadget surface",
+            "## Static-analysis runtime",
+        ):
+            assert heading in small_report
+
+    def test_skipped_sections_absent(self, small_report):
+        assert "## Exploit detection" not in small_report
+
+    def test_all_four_models_in_accuracy_tables(self, small_report):
+        for model in ("cmarkov", "stilo", "regular-basic", "regular-context"):
+            assert model in small_report
+
+    def test_tables_are_valid_markdown(self, small_report):
+        for line in small_report.splitlines():
+            if line.startswith("|") and not line.startswith("|---"):
+                # Same column count as its separator requires at least one |.
+                assert line.endswith("|")
+
+    def test_config_echoed(self, small_report):
+        assert f"{FAST_CONFIG.folds}-fold" in small_report
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path, small_report):
+        # Reuse the module fixture's spec for speed by writing directly.
+        path = tmp_path / "report.md"
+        path.write_text(small_report)
+        assert path.read_text().startswith("# CMarkov reproduction report")
+
+    def test_write_report_roundtrip(self, tmp_path):
+        spec = ReportSpec(
+            accuracy_programs=("sed",),
+            clustering_programs=("sed",),
+            exploit_victims=(),
+            include_coverage=False,
+            include_gadgets=False,
+            include_runtime=False,
+        )
+        path = write_report(tmp_path / "r.md", config=FAST_CONFIG, spec=spec)
+        content = path.read_text()
+        assert "## Model accuracy" in content
+        assert "## Workload coverage" not in content

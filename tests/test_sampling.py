@@ -1,0 +1,131 @@
+"""Tests for sampled/throttled tracing (production-collector degradation)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.program import CallKind
+from repro.tracing import (
+    CallEvent,
+    Trace,
+    sample_trace,
+    sample_workload,
+    throttle_trace,
+)
+
+
+def _trace(n=100, case="c"):
+    trace = Trace(program="p", case_id=case)
+    for index in range(n):
+        trace.append(CallEvent(f"call{index % 5}", "f", CallKind.SYSCALL))
+    return trace
+
+
+class TestSampleTrace:
+    def test_rate_one_keeps_everything(self):
+        trace = _trace(50)
+        sampled = sample_trace(trace, 1.0)
+        assert len(sampled) == 50
+
+    def test_rate_controls_expected_retention(self):
+        trace = _trace(2000)
+        sampled = sample_trace(trace, 0.5, seed=1)
+        assert 0.4 * 2000 < len(sampled) < 0.6 * 2000
+
+    def test_order_preserved(self):
+        trace = _trace(200)
+        sampled = sample_trace(trace, 0.5, seed=2)
+        names = [e.name for e in sampled.events]
+        original = [e.name for e in trace.events]
+        iterator = iter(original)
+        assert all(any(name == candidate for candidate in iterator) for name in names)
+
+    def test_deterministic(self):
+        trace = _trace(100)
+        a = sample_trace(trace, 0.3, seed=5)
+        b = sample_trace(trace, 0.3, seed=5)
+        assert [str(e) for e in a.events] == [str(e) for e in b.events]
+
+    def test_case_id_tagged(self):
+        sampled = sample_trace(_trace(10, case="orig"), 0.5)
+        assert sampled.case_id.startswith("orig@")
+
+    def test_invalid_rate(self):
+        with pytest.raises(TraceError):
+            sample_trace(_trace(), 0.0)
+        with pytest.raises(TraceError):
+            sample_trace(_trace(), 1.5)
+
+    def test_original_untouched(self):
+        trace = _trace(100)
+        sample_trace(trace, 0.2, seed=0)
+        assert len(trace) == 100
+
+
+class TestThrottleTrace:
+    def test_budget_respected_per_window(self):
+        trace = _trace(100)
+        throttled = throttle_trace(trace, budget=3, period=10, seed=0)
+        assert len(throttled) == 30
+
+    def test_under_budget_windows_untouched(self):
+        trace = _trace(5)
+        throttled = throttle_trace(trace, budget=10, period=20)
+        assert len(throttled) == 5
+
+    def test_order_within_window_preserved(self):
+        trace = _trace(20)
+        throttled = throttle_trace(trace, budget=5, period=10, seed=1)
+        # Event indices (recoverable from names mod 5 cycle) never go
+        # backwards within a window because picks are sorted.
+        positions = []
+        cursor = 0
+        originals = [str(e) for e in trace.events]
+        for event in throttled.events:
+            cursor = originals.index(str(event), cursor)
+            positions.append(cursor)
+        assert positions == sorted(positions)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TraceError):
+            throttle_trace(_trace(), budget=0, period=5)
+        with pytest.raises(TraceError):
+            throttle_trace(_trace(), budget=6, period=5)
+
+
+class TestSampleWorkload:
+    def test_per_trace_seeds_differ(self):
+        traces = [_trace(100, case=f"c{i}") for i in range(3)]
+        sampled = sample_workload(traces, 0.5, seed=0)
+        assert len(sampled) == 3
+        lengths = {len(t) for t in sampled}
+        assert lengths  # all produced
+
+    def test_detection_survives_moderate_sampling(self, gzip_program):
+        """The deployment claim: a 70%-retention collector still supports
+        detection, with graceful degradation."""
+        from repro.attacks import abnormal_s_segments
+        from repro.core import CMarkovDetector, DetectorConfig, auc_score
+        from repro.hmm import TrainingConfig
+        from repro.tracing import build_segment_set, run_workload
+
+        workload = run_workload(gzip_program, n_cases=50, seed=11)
+        sampled = sample_workload(workload.traces, 0.7, seed=3)
+        segments = build_segment_set(sampled, CallKind.LIBCALL, context=True)
+        train_part, test_part = segments.split([0.8, 0.2], seed=1)
+        detector = CMarkovDetector(
+            gzip_program,
+            kind=CallKind.LIBCALL,
+            config=DetectorConfig(
+                training=TrainingConfig(max_iterations=8),
+                max_training_segments=1500,
+                seed=2,
+            ),
+        )
+        detector.fit(train_part)
+        abnormal = abnormal_s_segments(
+            test_part.segments(), segments.alphabet(), 200, seed=4, exclude=segments
+        )
+        auc = auc_score(
+            detector.score(test_part.segments()), detector.score(abnormal)
+        )
+        assert auc > 0.9

@@ -1,0 +1,159 @@
+"""Tests for n-gram segmentation, dedup, splits, and folds."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.program import CallKind
+from repro.tracing import (
+    CallEvent,
+    SegmentSet,
+    Trace,
+    build_segment_set,
+    segment_symbols,
+)
+
+
+class TestSegmentSymbols:
+    def test_sliding_windows(self):
+        segments = segment_symbols(["a", "b", "c", "d"], length=2)
+        assert segments == [("a", "b"), ("b", "c"), ("c", "d")]
+
+    def test_stride(self):
+        segments = segment_symbols(["a", "b", "c", "d", "e"], length=2, stride=2)
+        assert segments == [("a", "b"), ("c", "d")]
+
+    def test_short_trace_yields_nothing(self):
+        assert segment_symbols(["a", "b"], length=15) == []
+
+    def test_exact_length_yields_one(self):
+        assert segment_symbols(list("abc"), length=3) == [("a", "b", "c")]
+
+    def test_invalid_length(self):
+        with pytest.raises(TraceError):
+            segment_symbols(["a"], length=0)
+
+
+class TestSegmentSet:
+    def test_dedup_with_counts(self):
+        segments = SegmentSet(length=2)
+        segments.update([("a", "b"), ("a", "b"), ("b", "c")])
+        assert segments.n_unique == 2
+        assert segments.n_total == 3
+        assert segments.counts[("a", "b")] == 2
+
+    def test_wrong_length_rejected(self):
+        segments = SegmentSet(length=3)
+        with pytest.raises(TraceError):
+            segments.add(("a", "b"))
+
+    def test_alphabet(self):
+        segments = SegmentSet(length=2)
+        segments.update([("b", "a"), ("c", "a")])
+        assert segments.alphabet() == ["a", "b", "c"]
+
+    def test_segments_sorted_deterministic(self):
+        segments = SegmentSet(length=1)
+        segments.update([("z",), ("a",), ("m",)])
+        assert segments.segments() == [("a",), ("m",), ("z",)]
+
+    def test_weights_align(self):
+        segments = SegmentSet(length=1)
+        segments.update([("a",), ("a",), ("b",)])
+        ordered = segments.segments()
+        weights = segments.weights(ordered)
+        assert list(weights) == [2.0, 1.0]
+
+
+class TestSplit:
+    def _populated(self, n=100):
+        segments = SegmentSet(length=1)
+        segments.update([(f"s{i}",) for i in range(n)])
+        return segments
+
+    def test_partition_is_exact(self):
+        segments = self._populated()
+        train, test = segments.split([0.8, 0.2], seed=0)
+        assert train.n_unique + test.n_unique == 100
+        assert not set(train.counts) & set(test.counts)
+
+    def test_fraction_sizes(self):
+        segments = self._populated()
+        train, test = segments.split([0.8, 0.2], seed=0)
+        assert train.n_unique == 80
+        assert test.n_unique == 20
+
+    def test_counts_preserved(self):
+        segments = SegmentSet(length=1)
+        segments.update([("a",)] * 5 + [("b",)] * 3)
+        parts = segments.split([0.5, 0.5], seed=1)
+        total = sum(p.n_total for p in parts)
+        assert total == 8
+
+    def test_deterministic(self):
+        segments = self._populated()
+        a1, _ = segments.split([0.5, 0.5], seed=7)
+        a2, _ = segments.split([0.5, 0.5], seed=7)
+        assert set(a1.counts) == set(a2.counts)
+
+    def test_bad_fractions(self):
+        with pytest.raises(TraceError):
+            self._populated().split([0.5, 0.6])
+
+
+class TestFolds:
+    def _populated(self, n=50):
+        segments = SegmentSet(length=1)
+        segments.update([(f"s{i}",) for i in range(n)])
+        return segments
+
+    def test_fold_count(self):
+        pairs = self._populated().folds(k=5, seed=0)
+        assert len(pairs) == 5
+
+    def test_each_pair_partitions(self):
+        segments = self._populated()
+        for train, test in segments.folds(k=5, seed=0):
+            assert train.n_unique + test.n_unique == 50
+            assert not set(train.counts) & set(test.counts)
+
+    def test_test_folds_cover_everything_once(self):
+        segments = self._populated()
+        seen: list[tuple] = []
+        for _, test in segments.folds(k=5, seed=0):
+            seen.extend(test.counts)
+        assert sorted(seen) == segments.segments()
+
+    def test_too_few_segments_raises(self):
+        segments = self._populated(3)
+        with pytest.raises(TraceError):
+            segments.folds(k=5)
+
+    def test_k_below_two_raises(self):
+        with pytest.raises(TraceError):
+            self._populated().folds(k=1)
+
+
+class TestBuildSegmentSet:
+    def _trace(self, names_with_callers):
+        trace = Trace(program="p", case_id="c")
+        for name, caller in names_with_callers:
+            trace.append(CallEvent(name, caller, CallKind.SYSCALL))
+        return trace
+
+    def test_context_symbols(self):
+        trace = self._trace([("read", "f"), ("write", "f"), ("close", "g")])
+        segments = build_segment_set([trace], CallKind.SYSCALL, True, length=2)
+        assert ("read@f", "write@f") in segments.counts
+
+    def test_bare_symbols(self):
+        trace = self._trace([("read", "f"), ("write", "f")])
+        segments = build_segment_set([trace], CallKind.SYSCALL, False, length=2)
+        assert ("read", "write") in segments.counts
+
+    def test_multiple_traces_merge(self):
+        traces = [
+            self._trace([("read", "f"), ("write", "f")]),
+            self._trace([("read", "f"), ("write", "f")]),
+        ]
+        segments = build_segment_set(traces, CallKind.SYSCALL, True, length=2)
+        assert segments.counts[("read@f", "write@f")] == 2

@@ -1,0 +1,86 @@
+"""Tests for HMM persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hmm import load_model, random_model, save_model
+
+
+class TestRoundTrip:
+    def test_parameters_preserved(self, tmp_path):
+        model = random_model(["a", "b", "c"], seed=3)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert np.array_equal(loaded.transition, model.transition)
+        assert np.array_equal(loaded.emission, model.emission)
+        assert np.array_equal(loaded.initial, model.initial)
+        assert loaded.symbols == model.symbols
+
+    def test_state_labels_preserved(self, tmp_path):
+        from repro.analysis import aggregate_program
+        from repro.program import CallKind, make_paper_example
+        from repro.reduction import initialize_hmm
+
+        summary = aggregate_program(
+            make_paper_example(), CallKind.SYSCALL, context=True
+        ).program_summary
+        model = initialize_hmm(summary)
+        path = tmp_path / "cmarkov.npz"
+        save_model(model, path)
+        assert load_model(path).state_labels == model.state_labels
+
+    def test_none_state_labels_roundtrip(self, tmp_path):
+        model = random_model(["x"], seed=0)
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        assert load_model(path).state_labels is None
+
+    def test_loaded_model_scores_identically(self, tmp_path):
+        from repro.hmm import log_likelihood
+
+        model = random_model(["a", "b"], seed=1)
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        obs = np.array([[0, 1, 0, 1, 1]])
+        assert log_likelihood(loaded, obs)[0] == pytest.approx(
+            log_likelihood(model, obs)[0]
+        )
+
+    def test_npz_suffix_fallback(self, tmp_path):
+        # numpy appends .npz on save when missing; load must find it.
+        model = random_model(["a"], seed=0)
+        save_model(model, tmp_path / "model")
+        loaded = load_model(tmp_path / "model")
+        assert loaded.symbols == model.symbols
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelError, match="does not exist"):
+            load_model(tmp_path / "nope.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a real npz")
+        with pytest.raises(ModelError):
+            load_model(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        import json
+
+        model = random_model(["a"], seed=0)
+        path = tmp_path / "m.npz"
+        header = {"format_version": 99, "symbols": list(model.symbols),
+                  "state_labels": None}
+        np.savez_compressed(
+            path,
+            transition=model.transition,
+            emission=model.emission,
+            initial=model.initial,
+            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ModelError, match="version"):
+            load_model(path)

@@ -1,0 +1,88 @@
+"""Tests for bootstrap CIs and the paired sign test."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import bootstrap_ci, paired_sign_test
+
+
+class TestBootstrapCi:
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(0)
+        ci = bootstrap_ci(rng.normal(5.0, 1.0, 200), seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_mean_recovered(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(3.0, 0.5, 500)
+        ci = bootstrap_ci(data, seed=2)
+        assert ci.estimate == pytest.approx(float(np.mean(data)))
+        assert 3.0 in ci
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_ci(rng.normal(0, 1, 20), seed=3)
+        large = bootstrap_ci(rng.normal(0, 1, 2000), seed=3)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_custom_statistic(self):
+        data = np.array([1.0, 2.0, 3.0, 100.0])
+        ci = bootstrap_ci(data, statistic=np.median, seed=4)
+        assert ci.estimate == pytest.approx(2.5)
+
+    def test_deterministic_per_seed(self):
+        data = np.arange(50, dtype=float)
+        a = bootstrap_ci(data, seed=9)
+        b = bootstrap_ci(data, seed=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([1.0], confidence=1.0)
+
+
+class TestPairedSignTest:
+    def test_clear_winner(self):
+        a = [0.1] * 10
+        b = [0.5] * 10
+        result = paired_sign_test(a, b, alternative="less")
+        assert result.wins == 10
+        assert result.p_value == pytest.approx(0.5**10)
+
+    def test_no_difference(self):
+        a = [0.3] * 8
+        result = paired_sign_test(a, a, alternative="less")
+        assert result.ties == 8
+        assert result.p_value == 1.0
+
+    def test_coin_flip_not_significant(self):
+        a = [0.1, 0.5, 0.1, 0.5]
+        b = [0.5, 0.1, 0.5, 0.1]
+        result = paired_sign_test(a, b, alternative="two-sided")
+        assert result.p_value > 0.5
+
+    def test_exact_binomial_value(self):
+        # 4 wins, 1 loss, alternative "less": P[Wins >= 4 | n=5] = 6/32.
+        a = [0, 0, 0, 0, 1]
+        b = [1, 1, 1, 1, 0]
+        result = paired_sign_test(a, b, alternative="less")
+        assert result.p_value == pytest.approx(6 / 32)
+
+    def test_greater_alternative(self):
+        a = [1.0] * 6
+        b = [0.0] * 6
+        result = paired_sign_test(a, b, alternative="greater")
+        assert result.p_value == pytest.approx(0.5**6)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(EvaluationError):
+            paired_sign_test([1.0], [1.0, 2.0])
+
+    def test_unknown_alternative_raises(self):
+        with pytest.raises(EvaluationError):
+            paired_sign_test([1.0], [2.0], alternative="sideways")

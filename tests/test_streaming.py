@@ -1,0 +1,121 @@
+"""Tests for the incremental streaming scorer."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingScorer
+from repro.errors import ModelError
+from repro.hmm import HiddenMarkovModel, log_likelihood, random_model
+
+
+@pytest.fixture()
+def simple_model() -> HiddenMarkovModel:
+    return HiddenMarkovModel(
+        transition=np.array([[0.8, 0.2], [0.3, 0.7]]),
+        emission=np.array([[0.9, 0.1], [0.2, 0.8]]),
+        initial=np.array([0.5, 0.5]),
+        symbols=("a", "b"),
+    )
+
+
+class TestEquivalence:
+    def test_cumulative_surprise_equals_batch_loglik(self, simple_model):
+        """The stream's total surprise must equal -log P(O | λ) computed by
+        the batch forward pass — the scaled-forward identity."""
+        sequence = ["a", "b", "b", "a", "b", "a", "a"]
+        scorer = StreamingScorer(simple_model)
+        total_surprise = sum(scorer.observe(s) for s in sequence)
+        obs = simple_model.encode([sequence])
+        batch = float(log_likelihood(simple_model, obs)[0])
+        assert total_surprise == pytest.approx(-batch, rel=1e-10)
+
+    def test_equivalence_on_random_models(self):
+        rng = np.random.default_rng(4)
+        for seed in range(5):
+            model = random_model(["x", "y", "z"], n_states=4, seed=seed)
+            sequence = [
+                ["x", "y", "z"][i] for i in rng.integers(0, 3, size=20)
+            ]
+            scorer = StreamingScorer(model)
+            streaming = sum(scorer.observe(s) for s in sequence)
+            batch = float(log_likelihood(model, model.encode([sequence]))[0])
+            assert streaming == pytest.approx(-batch, rel=1e-9)
+
+
+class TestWindowedScore:
+    def test_windowed_score_scale(self, simple_model):
+        scorer = StreamingScorer(simple_model, window=3)
+        for symbol in ["a", "a", "a"]:
+            scorer.observe(symbol)
+        assert scorer.window_full
+        assert scorer.windowed_score <= 0.0
+
+    def test_window_not_full_initially(self, simple_model):
+        scorer = StreamingScorer(simple_model, window=5)
+        scorer.observe("a")
+        assert not scorer.window_full
+
+    def test_score_before_events_raises(self, simple_model):
+        with pytest.raises(ModelError):
+            StreamingScorer(simple_model).windowed_score
+
+    def test_anomalous_burst_drops_windowed_score(self, simple_model):
+        scorer = StreamingScorer(simple_model, window=4)
+        for _ in range(8):
+            scorer.observe("a")
+        calm = scorer.windowed_score
+        # 'b' after a long run of 'a' is surprising under this model.
+        for _ in range(4):
+            scorer.observe("b")
+        assert scorer.windowed_score < calm
+
+
+class TestLifecycle:
+    def test_reset_restores_initial_behaviour(self, simple_model):
+        scorer = StreamingScorer(simple_model)
+        first = scorer.observe("a")
+        scorer.observe("b")
+        scorer.reset()
+        assert scorer.events == 0
+        assert scorer.observe("a") == pytest.approx(first)
+
+    def test_unknown_symbol_uses_unk_slot(self):
+        model = random_model(["a", "b"], seed=0)
+        scorer = StreamingScorer(model)
+        surprise = scorer.observe("never_seen_before")
+        assert np.isfinite(surprise)
+
+    def test_bad_window_rejected(self, simple_model):
+        with pytest.raises(ModelError):
+            StreamingScorer(simple_model, window=0)
+
+
+class TestCostAdvantage:
+    def test_streaming_is_cheaper_than_rescoring(self, gzip_program):
+        """Sanity check of the complexity claim: per-event streaming update
+        beats re-scoring a full window (both produce usable scores)."""
+        import time
+
+        from repro.analysis import aggregate_program
+        from repro.program import CallKind
+        from repro.reduction import initialize_hmm
+
+        summary = aggregate_program(
+            gzip_program, CallKind.LIBCALL, context=True
+        ).program_summary
+        model = initialize_hmm(summary)
+        symbols = list(summary.space.labels[:15])
+
+        scorer = StreamingScorer(model)
+        started = time.perf_counter()
+        for _ in range(30):
+            for symbol in symbols:
+                scorer.observe(symbol)
+        streaming_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        window = [tuple(symbols)]
+        for _ in range(30 * len(symbols)):
+            log_likelihood(model, model.encode(window))
+        rescoring_time = time.perf_counter() - started
+        assert streaming_time < rescoring_time

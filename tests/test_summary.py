@@ -1,0 +1,190 @@
+"""Tests for function summarization (Defs 4-5, Eq 2) with hand-worked cases."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LabelSpace, build_label_space, summarize_function
+from repro.program import CallKind, FunctionCFG, ProgramBuilder, linear_cfg
+from repro.program.builder import FunctionBuilder
+
+
+def _fn(name: str = "f") -> FunctionBuilder:
+    return FunctionBuilder(FunctionCFG(name))
+
+
+def _space(*labels: str, kind=CallKind.SYSCALL, context=True) -> LabelSpace:
+    return LabelSpace(kind=kind, context=context, labels=tuple(sorted(labels)))
+
+
+def _cell(summary, src: str, dst: str) -> float:
+    i = summary.space.index(src)
+    j = summary.space.index(dst)
+    return float(summary.trans[i, j])
+
+
+class TestLinearFunction:
+    def test_sequence_transitions(self):
+        cfg = linear_cfg("f", ["read", "write"])
+        space = _space("read@f", "write@f")
+        summary = summarize_function(cfg, space)
+        assert _cell(summary, "read@f", "write@f") == pytest.approx(1.0)
+        assert _cell(summary, "write@f", "read@f") == 0.0
+
+    def test_entry_exit_passthrough(self):
+        cfg = linear_cfg("f", ["read", "write"])
+        space = _space("read@f", "write@f")
+        summary = summarize_function(cfg, space)
+        assert summary.entry[space.index("read@f")] == pytest.approx(1.0)
+        assert summary.exit[space.index("write@f")] == pytest.approx(1.0)
+        assert summary.passthrough == pytest.approx(0.0)
+
+    def test_callfree_function_is_pure_passthrough(self):
+        cfg = linear_cfg("f", [])
+        space = _space("read@f")
+        summary = summarize_function(cfg, space)
+        assert summary.passthrough == pytest.approx(1.0)
+        assert summary.emitting_mass == pytest.approx(0.0)
+
+
+class TestBranching:
+    def test_branch_splits_transition_mass(self):
+        # read -> (write | close): each pair gets probability 1/2.
+        cfg = _fn().call("read").branch(["write"], ["close"]).finish()
+        space = _space("read@f", "write@f", "close@f")
+        summary = summarize_function(cfg, space)
+        assert _cell(summary, "read@f", "write@f") == pytest.approx(0.5)
+        assert _cell(summary, "read@f", "close@f") == pytest.approx(0.5)
+
+    def test_empty_arm_skips_call(self):
+        # read -> (write | nothing) -> close
+        cfg = _fn().call("read").branch(["write"], empty_arm=True).call("close").finish()
+        space = _space("read@f", "write@f", "close@f")
+        summary = summarize_function(cfg, space)
+        assert _cell(summary, "read@f", "write@f") == pytest.approx(0.5)
+        assert _cell(summary, "read@f", "close@f") == pytest.approx(0.5)
+        assert _cell(summary, "write@f", "close@f") == pytest.approx(0.5)
+
+    def test_entry_distribution_splits(self):
+        cfg = _fn().branch(["read"], ["write"]).finish()
+        space = _space("read@f", "write@f")
+        summary = summarize_function(cfg, space)
+        assert summary.entry[space.index("read@f")] == pytest.approx(0.5)
+        assert summary.entry[space.index("write@f")] == pytest.approx(0.5)
+
+
+class TestLoops:
+    def test_loop_generates_self_transition_mass(self):
+        # while (...) { read(); }: read -> read pairs from repeated
+        # iterations.  Expected iterations = 1, consecutive pairs = 1/2
+        # (geometric: sum_{k>=2} P[k iterations] * (k-1) with p=1/2 exit).
+        cfg = _fn().loop(["read"]).finish()
+        space = _space("read@f")
+        summary = summarize_function(cfg, space)
+        assert _cell(summary, "read@f", "read@f") == pytest.approx(0.5, rel=1e-6)
+
+    def test_do_while_emits_at_least_once(self):
+        cfg = _fn().loop(["read"], may_skip=False).finish()
+        space = _space("read@f")
+        summary = summarize_function(cfg, space)
+        assert summary.entry[space.index("read@f")] == pytest.approx(1.0, rel=1e-6)
+        assert summary.passthrough == pytest.approx(0.0, abs=1e-9)
+
+    def test_loop_body_pair_order(self):
+        cfg = _fn().loop(["read", "write"], may_skip=False).finish()
+        space = _space("read@f", "write@f")
+        summary = summarize_function(cfg, space)
+        # With exit probability 1/2 per iteration, E[iterations] = 2, so the
+        # within-iteration pair carries mass 2 and the wrap-around pair
+        # (one fewer occurrence) carries mass 1.
+        assert _cell(summary, "read@f", "write@f") == pytest.approx(2.0, rel=1e-6)
+        assert _cell(summary, "write@f", "read@f") == pytest.approx(1.0, rel=1e-6)
+
+
+class TestKindFiltering:
+    def test_other_kind_calls_are_invisible(self):
+        cfg = linear_cfg("f", ["read", "malloc", "write"])
+        space = _space("read@f", "write@f")
+        summary = summarize_function(cfg, space)
+        # malloc (libcall) must be transparent in the syscall view.
+        assert _cell(summary, "read@f", "write@f") == pytest.approx(1.0)
+
+    def test_libcall_view(self):
+        cfg = linear_cfg("f", ["read", "malloc", "free", "write"])
+        space = _space("malloc@f", "free@f", kind=CallKind.LIBCALL)
+        summary = summarize_function(cfg, space)
+        assert _cell(summary, "malloc@f", "free@f") == pytest.approx(1.0)
+
+
+class TestContextModes:
+    def test_context_insensitive_labels(self):
+        cfg = linear_cfg("f", ["read", "write"])
+        space = _space("read", "write", context=False)
+        summary = summarize_function(cfg, space)
+        i, j = space.index("read"), space.index("write")
+        assert summary.trans[i, j] == pytest.approx(1.0)
+
+
+class TestSplicing:
+    def test_callee_summary_inlined(self):
+        # f: read; g: f(); write  =>  read@f -> write@g
+        pb = ProgramBuilder("p")
+        pb.function("f").call("read")
+        pb.function("g").seq("f", "write")
+        pb.function("main").call("g")
+        program = pb.build()
+        space = build_label_space(program, CallKind.SYSCALL, context=True)
+        f_summary = summarize_function(program.function("f"), space)
+        g_summary = summarize_function(
+            program.function("g"), space, {"f": f_summary}
+        )
+        assert _cell(g_summary, "read@f", "write@g") == pytest.approx(1.0)
+        assert g_summary.entry[space.index("read@f")] == pytest.approx(1.0)
+
+    def test_passthrough_callee_is_transparent(self):
+        # callee makes no observable call; caller pair must bridge it.
+        pb = ProgramBuilder("p")
+        pb.function("noop").seq("malloc")  # libcall only: invisible here
+        pb.function("g").seq("read", "noop", "write")
+        pb.function("main").call("g")
+        program = pb.build()
+        space = build_label_space(program, CallKind.SYSCALL, context=True)
+        noop = summarize_function(program.function("noop"), space)
+        assert noop.passthrough == pytest.approx(1.0)
+        g_summary = summarize_function(
+            program.function("g"), space, {"noop": noop}
+        )
+        assert _cell(g_summary, "read@g", "write@g") == pytest.approx(1.0)
+
+    def test_unknown_callee_treated_as_passthrough(self):
+        pb = ProgramBuilder("p")
+        pb.function("rec").seq("read", "rec", "write")
+        pb.function("main").call("rec")
+        program = pb.build()
+        space = build_label_space(program, CallKind.SYSCALL, context=True)
+        # No summary provided for the recursive self-call.
+        summary = summarize_function(program.function("rec"), space, {})
+        assert _cell(summary, "read@rec", "write@rec") == pytest.approx(1.0)
+
+
+class TestInvariants:
+    def test_entry_mass_bounded(self, gzip_program):
+        space = build_label_space(gzip_program, CallKind.LIBCALL, context=True)
+        for function in gzip_program.iter_functions():
+            summary = summarize_function(function, space)
+            assert summary.entry.sum() + summary.passthrough == pytest.approx(
+                1.0, abs=1e-6
+            )
+
+    def test_exit_mass_matches_emitting_mass(self, gzip_program):
+        space = build_label_space(gzip_program, CallKind.SYSCALL, context=True)
+        for function in gzip_program.iter_functions():
+            summary = summarize_function(function, space)
+            assert summary.exit.sum() == pytest.approx(
+                summary.emitting_mass, abs=1e-6
+            )
+
+    def test_all_mass_nonnegative(self, gzip_program):
+        space = build_label_space(gzip_program, CallKind.LIBCALL, context=True)
+        for function in gzip_program.iter_functions():
+            summary = summarize_function(function, space)
+            assert np.all(summary.trans >= -1e-12)

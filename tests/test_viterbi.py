@@ -1,0 +1,131 @@
+"""Tests for Viterbi decoding and anomaly explanation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hmm import (
+    HiddenMarkovModel,
+    explain_segment,
+    most_suspicious_positions,
+    viterbi,
+)
+
+
+@pytest.fixture()
+def deterministic_hmm() -> HiddenMarkovModel:
+    """Two states that cycle deterministically, each emitting its symbol."""
+    return HiddenMarkovModel(
+        transition=np.array([[0.0, 1.0], [1.0, 0.0]]),
+        emission=np.array([[1.0, 0.0], [0.0, 1.0]]),
+        initial=np.array([1.0, 0.0]),
+        symbols=("a", "b"),
+        state_labels=("state-a", "state-b"),
+    )
+
+
+@pytest.fixture()
+def noisy_hmm() -> HiddenMarkovModel:
+    return HiddenMarkovModel(
+        transition=np.array([[0.9, 0.1], [0.2, 0.8]]),
+        emission=np.array([[0.8, 0.2], [0.3, 0.7]]),
+        initial=np.array([0.7, 0.3]),
+        symbols=("a", "b"),
+    )
+
+
+class TestViterbi:
+    def test_deterministic_path_recovered(self, deterministic_hmm):
+        obs = np.array([[0, 1, 0, 1]])
+        path = viterbi(deterministic_hmm, obs)[0]
+        assert list(path.states) == [0, 1, 0, 1]
+        assert path.log_probability == pytest.approx(0.0, abs=1e-9)
+
+    def test_impossible_sequence_has_floor_probability(self, deterministic_hmm):
+        obs = np.array([[0, 0]])  # state 0 cannot follow itself
+        path = viterbi(deterministic_hmm, obs)[0]
+        assert path.log_probability < -1e20
+
+    def test_path_probability_matches_manual(self, noisy_hmm):
+        obs = np.array([[0, 1]])
+        path = viterbi(noisy_hmm, obs)[0]
+        # Manually enumerate all 4 paths and take the best.
+        best = max(
+            np.log(noisy_hmm.initial[s0])
+            + np.log(noisy_hmm.emission[s0, 0])
+            + np.log(noisy_hmm.transition[s0, s1])
+            + np.log(noisy_hmm.emission[s1, 1])
+            for s0 in range(2)
+            for s1 in range(2)
+        )
+        assert path.log_probability == pytest.approx(best)
+
+    def test_batch_decoding(self, noisy_hmm):
+        obs = np.array([[0, 1, 0], [1, 1, 1]])
+        paths = viterbi(noisy_hmm, obs)
+        assert len(paths) == 2
+        assert all(p.states.shape == (3,) for p in paths)
+
+    def test_single_sequence_input(self, noisy_hmm):
+        paths = viterbi(noisy_hmm, np.array([0, 1, 0]))
+        assert len(paths) == 1
+
+
+@pytest.fixture()
+def near_deterministic_hmm() -> HiddenMarkovModel:
+    """Like ``deterministic_hmm`` but with soft zeros, so Viterbi has no
+    degenerate ties between impossible-transition and impossible-emission
+    paths."""
+    return HiddenMarkovModel(
+        transition=np.array([[0.01, 0.99], [0.99, 0.01]]),
+        emission=np.array([[0.99, 0.01], [0.01, 0.99]]),
+        initial=np.array([0.99, 0.01]),
+        symbols=("a", "b"),
+        state_labels=("state-a", "state-b"),
+    )
+
+
+class TestExplanation:
+    def test_positions_align_with_segment(self, deterministic_hmm):
+        explanations = explain_segment(deterministic_hmm, ["a", "b", "a"])
+        assert [e.position for e in explanations] == [0, 1, 2]
+        assert [e.symbol for e in explanations] == ["a", "b", "a"]
+
+    def test_state_labels_exposed(self, deterministic_hmm):
+        explanations = explain_segment(deterministic_hmm, ["a", "b"])
+        assert explanations[0].state_label == "state-a"
+        assert explanations[1].state_label == "state-b"
+
+    def test_out_of_place_symbol_has_low_local_prob(self, near_deterministic_hmm):
+        # In "a a" the second 'a' is out of place: the decoded path pays
+        # either a low-emission or a low-transition price there, captured by
+        # the combined local cost.
+        explanations = explain_segment(near_deterministic_hmm, ["a", "a"])
+        assert explanations[1].local_log_prob < np.log(0.05)
+        assert explanations[0].local_log_prob > np.log(0.5)
+
+    def test_most_suspicious_ranks_bad_position_first(self, near_deterministic_hmm):
+        suspicious = most_suspicious_positions(
+            near_deterministic_hmm, ["a", "b", "a", "a"], top=1
+        )
+        assert suspicious[0].position == 3
+
+    def test_empty_segment_raises(self, deterministic_hmm):
+        with pytest.raises(ModelError):
+            explain_segment(deterministic_hmm, [])
+
+
+class TestExplanationOnRealModel:
+    def test_wrong_context_call_is_most_suspicious(self, paper_example):
+        from repro.analysis import aggregate_program
+        from repro.program import CallKind
+        from repro.reduction import initialize_hmm
+
+        summary = aggregate_program(
+            paper_example, CallKind.SYSCALL, context=True
+        ).program_summary
+        model = initialize_hmm(summary)
+        attack = ["read@g", "read@f", "write@f", "execve@nonexistent"]
+        suspicious = most_suspicious_positions(model, attack, top=1)
+        assert suspicious[0].position == 3
+        assert suspicious[0].symbol == "execve@nonexistent"

@@ -1,0 +1,56 @@
+"""Tests for workload generation and coverage accounting (Table I role)."""
+
+import pytest
+
+from repro.program import load_program
+from repro.tracing import PAPER_CASE_COUNTS, run_workload
+
+
+class TestCoverage:
+    def test_coverage_in_unit_interval(self, gzip_program, gzip_workload):
+        report = gzip_workload.coverage(gzip_program)
+        assert 0.0 <= report.branch_coverage <= 1.0
+        assert 0.0 <= report.line_coverage <= 1.0
+
+    def test_more_cases_never_reduce_coverage(self, gzip_program):
+        small = run_workload(gzip_program, n_cases=5, seed=2).coverage(gzip_program)
+        # Same seed => the first 5 cases are a prefix of the larger suite.
+        large = run_workload(gzip_program, n_cases=40, seed=2).coverage(gzip_program)
+        assert large.branch_coverage >= small.branch_coverage
+        assert large.line_coverage >= small.line_coverage
+
+    def test_substantial_coverage_at_table1_scale(self, gzip_program):
+        report = run_workload(gzip_program, n_cases=60, seed=0).coverage(gzip_program)
+        # Table I reports 31-99% branch coverage; the suite must land in a
+        # comparable band, not at a degenerate extreme.
+        assert report.branch_coverage > 0.3
+        assert report.line_coverage > 0.3
+
+    def test_report_row_format(self, gzip_program, gzip_workload):
+        row = gzip_workload.coverage(gzip_program).row()
+        assert row[0] == "gzip"
+        assert row[1] == len(gzip_workload.results)
+        assert row[2].endswith("%")
+
+    def test_visited_blocks_bounded(self, gzip_program, gzip_workload):
+        report = gzip_workload.coverage(gzip_program)
+        assert report.visited_blocks <= report.total_blocks
+
+
+class TestWorkloadResult:
+    def test_traces_property(self, gzip_workload):
+        assert len(gzip_workload.traces) == len(gzip_workload.results)
+
+    def test_traces_nonempty(self, gzip_workload):
+        assert all(len(t) > 0 for t in gzip_workload.traces)
+
+    def test_paper_case_counts_catalogued(self):
+        assert set(PAPER_CASE_COUNTS) >= {"flex", "grep", "gzip", "sed", "bash", "vim"}
+
+
+class TestDeterminism:
+    def test_same_seed_same_coverage(self):
+        program = load_program("sed")
+        a = run_workload(program, n_cases=10, seed=5).coverage(program)
+        b = run_workload(program, n_cases=10, seed=5).coverage(program)
+        assert a == b
