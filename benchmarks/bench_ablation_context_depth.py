@@ -20,7 +20,6 @@ Shapes checked:
    budget — the diminishing return that justifies stopping at 1 level.
 """
 
-import numpy as np
 from common import BENCH_CONFIG, print_block, shape_line
 
 from repro.attacks import abnormal_s_segments

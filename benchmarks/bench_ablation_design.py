@@ -18,7 +18,6 @@ Shapes checked:
    policy).
 """
 
-import numpy as np
 from common import BENCH_CONFIG, print_block, shape_line
 
 from repro.analysis import aggregate_program, loop_biased

@@ -19,7 +19,6 @@ Absolute factors depend on test-set size and trace volume (the paper pools
 """
 
 from common import (
-    BENCH_CONFIG,
     accuracy_figure,
     print_block,
     shape_line,

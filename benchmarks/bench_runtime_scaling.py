@@ -1,0 +1,187 @@
+"""Runtime scaling — parallel fan-out and artifact-cache effectiveness.
+
+Not a paper table: this bench tracks the *execution layer* added on top of
+the reproduction (see ``repro.runtime``).  It runs the same model × program
+accuracy grid four ways —
+
+* serial (the reference path),
+* parallel (``ParallelExecutor``, default 2 jobs, ``REPRO_JOBS`` overrides),
+* cold cache (serial, populating a fresh ``ArtifactCache``),
+* warm cache (serial, reloading every trained model),
+
+— verifies all four produce identical numbers, and writes the wall-clocks
+plus cache counters to ``BENCH_runtime.json`` so CI can chart the perf
+trajectory across PRs.
+
+Shapes asserted: parallel beats serial, warm cache beats cold cache, and
+results are bit-identical across execution strategies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from common import print_block, shape_line
+
+from repro.eval import ExperimentConfig, run_accuracy_grid
+from repro.program import CallKind
+from repro.runtime import ArtifactCache, ParallelExecutor
+
+#: Sized so each (program, model) cell is coarse enough to amortise
+#: process fan-out while the whole bench stays CI-friendly.
+SCALING_CONFIG = ExperimentConfig(
+    n_cases=80,
+    folds=2,
+    n_abnormal=300,
+    max_training_segments=1500,
+    training_iterations=12,
+    seed=7,
+)
+
+PROGRAMS = ("flex", "grep", "gzip", "sed")
+KIND = CallKind.SYSCALL
+
+
+def _bench_jobs() -> int:
+    value = os.environ.get("REPRO_JOBS", "").strip()
+    return max(2, int(value)) if value else 2
+
+
+def _cpus_available() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _grid(executor=None, cache=None):
+    return run_accuracy_grid(
+        PROGRAMS, KIND, SCALING_CONFIG, executor=executor, cache=cache
+    )
+
+
+def _grids_identical(left, right) -> bool:
+    for name in PROGRAMS:
+        for model, ours in left[name].results.items():
+            theirs = right[name].results[model]
+            if ours.fn_by_fp != theirs.fn_by_fp or ours.auc != theirs.auc:
+                return False
+            if ours.n_states != theirs.n_states:
+                return False
+            for fold_a, fold_b in zip(
+                ours.cross_validation.folds, theirs.cross_validation.folds
+            ):
+                if not np.array_equal(fold_a.normal_scores, fold_b.normal_scores):
+                    return False
+                if not np.array_equal(
+                    fold_a.abnormal_scores, fold_b.abnormal_scores
+                ):
+                    return False
+    return True
+
+
+def test_runtime_scaling():
+    jobs = _bench_jobs()
+    cpus = _cpus_available()
+    # A process pool cannot beat serial without a second CPU to run on;
+    # on starved runners the speedup shape is reported as not applicable.
+    can_scale = cpus >= 2
+
+    started = time.perf_counter()
+    serial = _grid()
+    serial_s = time.perf_counter() - started
+
+    executor = ParallelExecutor(jobs=jobs)
+    started = time.perf_counter()
+    parallel = _grid(executor=executor)
+    parallel_s = time.perf_counter() - started
+
+    identical = _grids_identical(serial, parallel)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cache = ArtifactCache(Path(cache_dir))
+        started = time.perf_counter()
+        cold = _grid(cache=cache)
+        cold_s = time.perf_counter() - started
+        cold_stats = cache.stats.as_dict()
+
+        started = time.perf_counter()
+        warm = _grid(cache=cache)
+        warm_s = time.perf_counter() - started
+        warm_stats = cache.stats.as_dict()
+        n_entries = cache.n_entries
+
+    identical = identical and _grids_identical(serial, cold)
+    identical = identical and _grids_identical(serial, warm)
+
+    payload = {
+        "bench": "runtime_scaling",
+        "unix_time": time.time(),
+        "grid": {
+            "programs": list(PROGRAMS),
+            "kind": KIND.value,
+            "n_cells": len(PROGRAMS) * 4,
+        },
+        "jobs": jobs,
+        "cpus_available": cpus,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "cache_cold_s": round(cold_s, 3),
+        "cache_warm_s": round(warm_s, 3),
+        "warm_speedup": round(cold_s / warm_s, 3),
+        "cache_stats_after_cold": cold_stats,
+        "cache_stats_after_warm": warm_stats,
+        "cache_entries": n_entries,
+        "bit_identical": identical,
+    }
+    output = Path(os.environ.get("REPRO_BENCH_OUTPUT", "BENCH_runtime.json"))
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    warm_hits = warm_stats["hits"] - cold_stats["hits"]
+    body = "\n".join(
+        [
+            f"  grid: {len(PROGRAMS)} programs x 4 models, {KIND.value}",
+            f"  serial          {serial_s:7.2f} s",
+            f"  parallel (x{jobs})   {parallel_s:7.2f} s "
+            f"({serial_s / parallel_s:.2f}x)",
+            f"  cache cold      {cold_s:7.2f} s "
+            f"({cold_stats['writes']} artifacts written)",
+            f"  cache warm      {warm_s:7.2f} s "
+            f"({warm_hits} hits, {cold_s / warm_s:.2f}x)",
+            f"  -> {output}",
+            shape_line(
+                "results are bit-identical across execution strategies",
+                identical,
+            ),
+            (
+                shape_line(
+                    "parallel execution beats serial",
+                    parallel_s < serial_s,
+                )
+                if can_scale
+                else f"  shape [N/A]: parallel speedup needs >= 2 CPUs "
+                f"(this runner has {cpus})"
+            ),
+            shape_line(
+                "a warm artifact cache beats a cold one",
+                warm_s < cold_s,
+            ),
+        ]
+    )
+    print_block("Runtime scaling — ParallelExecutor + ArtifactCache", body)
+
+    assert identical, "execution strategy changed experiment results"
+    if can_scale:
+        assert parallel_s < serial_s, (
+            f"parallel ({parallel_s:.2f}s) not faster than serial "
+            f"({serial_s:.2f}s) on {cpus} CPUs"
+        )
+    assert warm_s < cold_s, (
+        f"warm cache ({warm_s:.2f}s) not faster than cold ({cold_s:.2f}s)"
+    )

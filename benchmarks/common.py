@@ -16,6 +16,7 @@ Scale up toward paper size with ``REPRO_SCALE=2 pytest benchmarks/ ...``.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 from repro.core import MODEL_NAMES
 from repro.eval import (
@@ -23,13 +24,16 @@ from repro.eval import (
     ExperimentConfig,
     format_rate,
     render_table,
-    run_accuracy_comparison,
+    run_accuracy_grid,
 )
 from repro.program import CallKind
+from repro.runtime import ArtifactCache, ParallelExecutor, default_jobs
 
 __all__ = [
     "BENCH_CONFIG",
     "accuracy_figure",
+    "bench_cache",
+    "bench_executor",
     "print_block",
     "render_comparisons",
     "shape_line",
@@ -55,6 +59,21 @@ def _bench_config() -> ExperimentConfig:
 BENCH_CONFIG = _bench_config()
 
 
+def bench_executor() -> ParallelExecutor:
+    """Fan-out width for the suite: ``REPRO_JOBS`` (default 1 = serial).
+
+    Results are bit-identical at any job count; parallelism only changes
+    wall-clock.
+    """
+    return ParallelExecutor(jobs=default_jobs())
+
+
+def bench_cache() -> ArtifactCache | None:
+    """Artifact cache from ``REPRO_CACHE_DIR`` (default: disabled)."""
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return ArtifactCache(Path(cache_dir)) if cache_dir else None
+
+
 def shape_line(claim: str, holds: bool) -> str:
     """One-line verdict for a paper-claimed qualitative shape."""
     verdict = "REPRODUCED" if holds else "NOT REPRODUCED"
@@ -70,11 +89,19 @@ def print_block(title: str, body: str) -> None:
 def accuracy_figure(
     programs: tuple[str, ...], kind: CallKind
 ) -> dict[str, AccuracyComparison]:
-    """Run the four-model comparison on each program (a Figures 2-5 panel)."""
-    return {
-        name: run_accuracy_comparison(name, kind, BENCH_CONFIG)
-        for name in programs
-    }
+    """Run the four-model comparison on each program (a Figures 2-5 panel).
+
+    The (program × model) cells fan out over ``REPRO_JOBS`` worker
+    processes and memoise trained models in ``REPRO_CACHE_DIR``; both
+    default off, preserving the serial reference behaviour.
+    """
+    return run_accuracy_grid(
+        programs,
+        kind,
+        BENCH_CONFIG,
+        executor=bench_executor(),
+        cache=bench_cache(),
+    )
 
 
 def render_comparisons(comparisons: dict[str, AccuracyComparison]) -> str:

@@ -15,7 +15,6 @@ Run: ``python examples/state_reduction_study.py``
 
 import time
 
-import numpy as np
 
 from repro.analysis import analyze_program
 from repro.attacks import abnormal_s_segments

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..program.calls import CallKind
 from ..program.program import Program
@@ -17,6 +18,9 @@ from .branching import UNIFORM, BranchPolicy
 from .labels import LabelSpace, build_label_space
 from .matrix import CallSummary
 from .reachability import reachability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.cache import ArtifactCache
 
 
 @dataclass
@@ -48,13 +52,36 @@ def analyze_program(
     kind: CallKind,
     context: bool,
     policy: BranchPolicy = UNIFORM,
+    cache: "ArtifactCache | None" = None,
 ) -> StaticAnalysis:
     """Run the static pipeline and time each stage.
+
+    Args:
+        cache: optional :class:`repro.runtime.ArtifactCache`.  The analysis
+            is keyed by the program's structural fingerprint plus (kind,
+            context, policy); a hit returns the stored result — including
+            the timings measured when it was first computed — instead of
+            re-running the pipeline.
 
     Returns:
         A :class:`StaticAnalysis` whose ``program_summary`` initializes the
         HMM and whose ``timings_s`` feed the Table V benchmark.
     """
+    key = None
+    if cache is not None:
+        from ..runtime.cache import program_fingerprint
+
+        key = cache.key(
+            artifact="static_analysis",
+            program=program_fingerprint(program),
+            kind=kind.value,
+            context=context,
+            policy=policy,
+        )
+        cached = cache.get_object(key)
+        if isinstance(cached, StaticAnalysis):
+            return cached
+
     timings: dict[str, float] = {}
 
     start = time.perf_counter()
@@ -71,4 +98,7 @@ def analyze_program(
     result = aggregate_program(program, kind, context, space=space, policy=policy)
     timings["aggregation"] = time.perf_counter() - start
 
-    return StaticAnalysis(result=result, timings_s=timings)
+    analysis = StaticAnalysis(result=result, timings_s=timings)
+    if cache is not None and key is not None:
+        cache.put_object(key, analysis)
+    return analysis

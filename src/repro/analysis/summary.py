@@ -172,9 +172,9 @@ def summarize_function(
         role = roles[block]
         state = incoming[block]
         if role.kind == "emit":
-            l = role.label_index
-            trans[:, l] += state[:-1]
-            entry[l] += state[bot]
+            label = role.label_index
+            trans[:, label] += state[:-1]
+            entry[label] += state[bot]
         elif role.kind == "splice":
             callee = role.callee
             assert callee is not None

@@ -18,6 +18,7 @@ Commands mirror the workflow a downstream user runs:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -27,10 +28,12 @@ from .analysis import analyze_program
 from .attacks import build_attack_events, payloads_for
 from .core import make_detector, threshold_for_fp_budget
 from .core.registry import MODEL_NAMES, model_is_context_sensitive
+from .errors import EvaluationError
 from .eval.tables import render_table
 from .gadgets import TABLE_III_LENGTHS, gadget_surface, scan_gadgets
 from .hmm import load_model, log_likelihood, save_model
 from .program import ALL_PROGRAMS, CallKind, layout_program, load_program
+from .runtime import ArtifactCache, ParallelExecutor, default_jobs
 from .tracing import (
     build_segment_set,
     iter_segment_lines,
@@ -55,6 +58,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CMarkov (DSN 2016) reproduction toolkit",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for parallel experiment cells "
+             "(default: $REPRO_JOBS or 1; results are identical at any N)")
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="PATH",
+        help="content-addressed artifact cache for trained models and "
+             "static analyses (default: $REPRO_CACHE_DIR, else disabled)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache even if --cache-dir/$REPRO_CACHE_DIR "
+             "is set")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("corpus", help="list the synthetic corpus programs")
@@ -120,6 +135,28 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 # Command implementations
 # ---------------------------------------------------------------------------
+
+
+def runtime_from_args(
+    args: argparse.Namespace,
+) -> tuple[ParallelExecutor, ArtifactCache | None]:
+    """Resolve --jobs/--cache-dir/--no-cache (env vars as fallback)."""
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    executor = ParallelExecutor(jobs=max(1, jobs))
+    cache: ArtifactCache | None = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir
+        if cache_dir is None:
+            env_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+            cache_dir = Path(env_dir) if env_dir else None
+        if cache_dir is not None:
+            cache_dir = Path(cache_dir)
+            if cache_dir.exists() and not cache_dir.is_dir():
+                raise EvaluationError(
+                    f"--cache-dir {cache_dir} exists and is not a directory"
+                )
+            cache = ArtifactCache(cache_dir)
+    return executor, cache
 
 
 def _cmd_corpus() -> int:
@@ -195,13 +232,31 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    from .core.crossval import trained_model_key
+    from .core.registry import detector_factory
+
+    _, cache = runtime_from_args(args)
     program = load_program(args.program)
     workload = run_workload(program, n_cases=args.cases, seed=args.seed)
     context = model_is_context_sensitive(args.model)
     segments = build_segment_set(workload.traces, args.kind, context)
-    detector = make_detector(args.model, program, args.kind)
+    factory = detector_factory(args.model, program, args.kind)
+    detector = factory()
+
+    key = trained_model_key(factory, segments) if cache is not None else None
+    cached = cache.get_model(key) if cache is not None and key else None
+    if cached is not None:
+        save_model(cached, args.output)
+        print(
+            f"loaded cached {args.model} for {args.program} "
+            f"({cached.n_states} states, cache hit) -> {args.output}"
+        )
+        return 0
+
     fit = detector.fit(segments)
     save_model(detector.model, args.output)
+    if cache is not None and key is not None:
+        cache.put_model(key, detector.model)
     print(
         f"trained {args.model} on {args.program} "
         f"({fit.n_states} states, {fit.report.iterations} iterations, "
@@ -294,6 +349,7 @@ def _cmd_score_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    executor, cache = runtime_from_args(args)
     if args.markdown is not None:
         from .eval import FAST_CONFIG, ReportSpec, write_report
 
@@ -313,26 +369,32 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
 
     program = args.program
-    print(f"== coverage (Table I role) ==")
+    print("== coverage (Table I role) ==")
     for row in run_coverage_survey(FAST_CONFIG, program_names=(program,)):
         print("  ", row.row())
-    print(f"== accuracy, syscall models (Figures 3/5 role) ==")
-    comparison = run_accuracy_comparison(program, CallKind.SYSCALL, FAST_CONFIG)
+    print("== accuracy, syscall models (Figures 3/5 role) ==")
+    comparison = run_accuracy_comparison(
+        program, CallKind.SYSCALL, FAST_CONFIG, executor=executor, cache=cache
+    )
     for model_name, result in comparison.results.items():
         fn = result.fn_by_fp[FAST_CONFIG.fp_targets[-1]]
         print(f"   {model_name:16s} states={result.n_states:4d} "
               f"auc={result.auc:.4f} FN@{FAST_CONFIG.fp_targets[-1]}={fn:.4f}")
-    print(f"== clustering (Table II role) ==")
+    print("== clustering (Table II role) ==")
     for row in run_clustering_reduction((program,), FAST_CONFIG, measure=False):
         print(f"   {row.n_distinct_calls} calls -> {row.n_states_after} states "
               f"(est. {row.estimated_time_reduction:.0%} training cut)")
-    print(f"== gadgets (Table III role) ==")
+    print("== gadgets (Table III role) ==")
     for surface in run_gadget_survey(program_names=(program,), include_libc=False):
         print(f"   total {surface.total_by_length} "
               f"compatible {surface.compatible_by_length}")
-    print(f"== static-analysis runtime (Table V role) ==")
-    for row in run_runtime_table(program_names=(program,)):
+    print("== static-analysis runtime (Table V role) ==")
+    for row in run_runtime_table(program_names=(program,), cache=cache):
         print(f"   {row.kind.value:8s} total {row.total_s:.3f}s")
+    if cache is not None:
+        print("== artifact cache ==")
+        print(f"   {cache.root}: {cache.stats.as_dict()} "
+              f"({cache.n_entries} entries on disk)")
     return 0
 
 

@@ -19,6 +19,7 @@ from .streaming import StreamingScorer
 from .registry import (
     EXTRA_MODEL_NAMES,
     MODEL_NAMES,
+    DetectorSpec,
     detector_factory,
     make_detector,
     model_is_context_sensitive,
@@ -45,6 +46,7 @@ __all__ = [
     "compare_models",
     "needs_retraining",
     "DetectorConfig",
+    "DetectorSpec",
     "FitResult",
     "FoldOutcome",
     "RegularDetector",

@@ -3,6 +3,12 @@
 "We perform 10-fold cross validation on the rest of the normal data":
 each fold trains on 9/10 of the unique normal segments and scores the held
 out tenth as the *normal* test set, against a fixed abnormal set.
+
+Folds are independent — each carries its own training data and seed — so
+they fan out through a :class:`repro.runtime.ParallelExecutor` with results
+bit-identical to the serial path, and trained models are memoised in a
+:class:`repro.runtime.ArtifactCache` keyed by the detector spec plus the
+fold's exact training content.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import EvaluationError
+from ..runtime.cache import ArtifactCache, CacheStats, stable_hash
+from ..runtime.executor import ParallelExecutor
 from ..tracing.segments import Segment, SegmentSet
 from .detector import Detector
 from .metrics import auc_score, fn_at_fp
@@ -30,6 +38,7 @@ class FoldOutcome:
     auc: float
     train_seconds: float
     n_states: int = 0
+    from_cache: bool = False
 
 
 @dataclass
@@ -38,6 +47,7 @@ class CrossValidationResult:
 
     detector_name: str
     folds: list[FoldOutcome] = field(default_factory=list)
+    cache_stats: CacheStats | None = None
 
     def mean_fn_at(self, fp_target: float) -> float:
         values = [fold.fn_by_fp[fp_target] for fold in self.folds]
@@ -58,6 +68,92 @@ class CrossValidationResult:
         return normal, abnormal
 
 
+def trained_model_key(
+    factory: DetectorFactory, train_part: SegmentSet
+) -> str | None:
+    """Cache key for a model trained by ``factory`` on ``train_part``.
+
+    Covers every input the trained parameters depend on — the detector
+    spec (model, program fingerprint, configs, cluster policy, seed) plus
+    the exact training content.  Returns ``None`` if the factory does not
+    expose its keyed inputs (plain closures).
+    """
+    parts_of = getattr(factory, "cache_key_parts", None)
+    if parts_of is None:
+        return None
+    return stable_hash(
+        {
+            "artifact": "fold_model",
+            "factory": parts_of(),
+            "train_segments": sorted(train_part.counts.items()),
+        }
+    )
+
+
+def run_fold(
+    factory: DetectorFactory,
+    train_part: SegmentSet,
+    test_part: SegmentSet,
+    abnormal_segments: Sequence[Segment],
+    fp_targets: Sequence[float],
+    cache: ArtifactCache | None = None,
+) -> tuple[str, FoldOutcome, CacheStats | None]:
+    """Fit and score one fold (runs in a worker process when parallel).
+
+    Returns the detector name, the fold outcome, and the cache-counter
+    delta this fold produced (for the coordinator to merge when the fold
+    ran in a worker process).
+    """
+    before = (
+        CacheStats(**cache.stats.as_dict()) if cache is not None else None
+    )
+    detector = factory()
+    cached_model = None
+    key = None
+    # Only HMM-backed detectors persist a standalone model artifact.
+    cacheable = cache is not None and hasattr(detector, "load_pretrained")
+    if cacheable:
+        key = trained_model_key(factory, train_part)
+        if key is not None:
+            cached_model = cache.get_model(key)
+
+    if cached_model is not None:
+        detector.load_pretrained(cached_model)
+        train_seconds = 0.0
+        n_states = cached_model.n_states
+        from_cache = True
+    else:
+        fit = detector.fit(train_part)
+        train_seconds = fit.train_seconds
+        n_states = fit.n_states
+        from_cache = False
+        if cacheable and key is not None:
+            cache.put_model(key, detector.model)
+
+    normal_scores = detector.score(test_part.segments())
+    abnormal_scores = detector.score(list(abnormal_segments))
+    outcome = FoldOutcome(
+        normal_scores=normal_scores,
+        abnormal_scores=abnormal_scores,
+        fn_by_fp=fn_at_fp(normal_scores, abnormal_scores, fp_targets),
+        auc=auc_score(normal_scores, abnormal_scores),
+        train_seconds=train_seconds,
+        n_states=n_states,
+        from_cache=from_cache,
+    )
+    delta = None
+    if cache is not None and before is not None:
+        after = cache.stats
+        delta = CacheStats(
+            hits=after.hits - before.hits,
+            misses=after.misses - before.misses,
+            evictions=after.evictions - before.evictions,
+            corrupt=after.corrupt - before.corrupt,
+            writes=after.writes - before.writes,
+        )
+    return detector.name, outcome, delta
+
+
 def cross_validate(
     factory: DetectorFactory,
     normal_segments: SegmentSet,
@@ -65,37 +161,52 @@ def cross_validate(
     k: int = 10,
     fp_targets: Sequence[float] = (0.0001, 0.001, 0.01, 0.05),
     seed: int = 0,
+    executor: ParallelExecutor | None = None,
+    cache: ArtifactCache | None = None,
 ) -> CrossValidationResult:
     """Run k-fold cross-validation.
 
     Args:
-        factory: builds a fresh (unfitted) detector per fold.
+        factory: builds a fresh (unfitted) detector per fold.  A
+            :class:`repro.core.registry.DetectorSpec` enables parallel
+            execution (picklable) and model caching (content-keyable);
+            plain closures still work but run serially and uncached.
         normal_segments: deduplicated normal segments.
         abnormal_segments: fixed abnormal test segments (Abnormal-S or
             attack traces).
         k: fold count (the paper uses 10).
         fp_targets: FP budgets at which FN is extracted.
         seed: fold-assignment seed.
+        executor: fans folds out over worker processes; ``None`` (or
+            ``jobs=1``) runs the reference serial path.  Results are
+            bit-identical either way.
+        cache: memoises each fold's trained model by (detector spec,
+            training content).
     """
     if not abnormal_segments:
         raise EvaluationError("abnormal segment set is empty")
+    abnormal = list(abnormal_segments)
+    fp_targets = tuple(fp_targets)
+    tasks = [
+        (factory, train_part, test_part, abnormal, fp_targets, cache)
+        for train_part, test_part in normal_segments.folds(k=k, seed=seed)
+    ]
+    executor = executor or ParallelExecutor(jobs=1)
+    fold_results = executor.starmap(run_fold, tasks)
+
     result: CrossValidationResult | None = None
-    for train_part, test_part in normal_segments.folds(k=k, seed=seed):
-        detector = factory()
+    merged = CacheStats() if cache is not None else None
+    for detector_name, outcome, stats_delta in fold_results:
         if result is None:
-            result = CrossValidationResult(detector_name=detector.name)
-        fit = detector.fit(train_part)
-        normal_scores = detector.score(test_part.segments())
-        abnormal_scores = detector.score(list(abnormal_segments))
-        result.folds.append(
-            FoldOutcome(
-                normal_scores=normal_scores,
-                abnormal_scores=abnormal_scores,
-                fn_by_fp=fn_at_fp(normal_scores, abnormal_scores, fp_targets),
-                auc=auc_score(normal_scores, abnormal_scores),
-                train_seconds=fit.train_seconds,
-                n_states=fit.n_states,
-            )
-        )
+            result = CrossValidationResult(detector_name=detector_name)
+        result.folds.append(outcome)
+        if merged is not None and stats_delta is not None:
+            merged.merge(stats_delta)
     assert result is not None
+    if cache is not None and merged is not None:
+        result.cache_stats = merged
+        if executor.is_parallel:
+            # Worker processes counted against their own copies; fold the
+            # deltas back into the coordinating process's cache handle.
+            cache.stats.merge(merged)
     return result

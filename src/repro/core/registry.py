@@ -10,6 +10,7 @@ Maps the paper's model names to constructors:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import EvaluationError
@@ -65,6 +66,45 @@ def make_detector(
     )
 
 
+@dataclass(frozen=True)
+class DetectorSpec:
+    """A picklable zero-argument detector factory.
+
+    Unlike a closure, a spec crosses process boundaries, so
+    :func:`repro.core.crossval.cross_validate` can fan folds out through a
+    :class:`repro.runtime.ParallelExecutor`, and it exposes the exact
+    inputs a trained model depends on — which is what the
+    :class:`repro.runtime.ArtifactCache` keys artifacts by.
+    """
+
+    model_name: str
+    program: Program
+    kind: CallKind
+    config: DetectorConfig | None = None
+    cluster_policy: ClusterPolicy | None = None
+
+    def __call__(self) -> Detector:
+        return make_detector(
+            self.model_name,
+            self.program,
+            self.kind,
+            config=self.config,
+            cluster_policy=self.cluster_policy,
+        )
+
+    def cache_key_parts(self) -> dict:
+        """The keyed inputs a trained model is a pure function of."""
+        from ..runtime.cache import program_fingerprint
+
+        return {
+            "model": self.model_name,
+            "program": program_fingerprint(self.program),
+            "kind": self.kind.value,
+            "detector_config": self.config,
+            "cluster_policy": self.cluster_policy,
+        }
+
+
 def detector_factory(
     model_name: str,
     program: Program,
@@ -72,14 +112,19 @@ def detector_factory(
     config: DetectorConfig | None = None,
     cluster_policy: ClusterPolicy | None = None,
 ) -> Callable[[], Detector]:
-    """A zero-argument factory for cross-validation."""
+    """A zero-argument factory for cross-validation.
 
-    def build() -> Detector:
-        return make_detector(
-            model_name, program, kind, config=config, cluster_policy=cluster_policy
-        )
-
-    return build
+    Returns a :class:`DetectorSpec`: callable like the closure this used
+    to build, but picklable (parallel execution) and content-keyable
+    (caching).
+    """
+    return DetectorSpec(
+        model_name=model_name,
+        program=program,
+        kind=kind,
+        config=config,
+        cluster_policy=cluster_policy,
+    )
 
 
 def model_is_context_sensitive(model_name: str) -> bool:

@@ -14,6 +14,7 @@ from .runners import (
     RuntimeRow,
     prepare_program,
     run_accuracy_comparison,
+    run_accuracy_grid,
     run_clustering_reduction,
     run_coverage_survey,
     run_exploit_detection,
@@ -47,6 +48,7 @@ __all__ = [
     "prepare_program",
     "render_table",
     "run_accuracy_comparison",
+    "run_accuracy_grid",
     "run_clustering_reduction",
     "run_coverage_survey",
     "run_exploit_detection",

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..program.calls import CallKind
-from ..program.corpus import SERVER_PROGRAMS, UTILITY_PROGRAMS
+from ..program.corpus import UTILITY_PROGRAMS
 from .experiments import ExperimentConfig
 from .runners import (
     run_accuracy_comparison,

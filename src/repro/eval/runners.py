@@ -10,7 +10,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..analysis.labels import build_label_space
 from ..analysis.pipeline import analyze_program
@@ -23,10 +22,8 @@ from ..attacks.exploits import (
 from ..attacks.rop import code_reuse_from_normal
 from ..attacks.synthetic import abnormal_s_segments
 from ..core.crossval import CrossValidationResult, cross_validate
-from ..core.detector import DetectorConfig
 from ..core.metrics import CurvePoint, curve
 from ..core.registry import MODEL_NAMES, detector_factory, model_is_context_sensitive
-from ..core.static_models import ClusterPolicy
 from ..core.thresholds import threshold_for_fp_budget
 from ..errors import EvaluationError
 from ..gadgets.context_filter import GadgetSurface, gadget_surface
@@ -35,13 +32,14 @@ from ..hmm.baumwelch import TrainingConfig, train
 from ..program.calls import CallKind
 from ..program.corpus import (
     ALL_PROGRAMS,
-    SERVER_PROGRAMS,
     UTILITY_PROGRAMS,
     load_program,
 )
 from ..program.image import layout_libc, layout_program
 from ..program.program import Program
 from ..reduction.cluster import cluster_calls
+from ..runtime.cache import ArtifactCache
+from ..runtime.executor import ParallelExecutor
 from ..reduction.initializer import initialize_hmm
 from ..tracing.segments import SegmentSet, build_segment_set, segment_symbols
 from ..tracing.workload import CoverageReport, WorkloadResult, run_workload
@@ -121,65 +119,198 @@ class AccuracyComparison:
         return other.fn_by_fp[fp_target] / denominator
 
 
+def _model_accuracy_cell(
+    data: ProgramData,
+    kind: CallKind,
+    model_name: str,
+    seed_offset: int,
+    config: ExperimentConfig,
+    executor: ParallelExecutor | None = None,
+    cache: ArtifactCache | None = None,
+) -> ModelAccuracy:
+    """Cross-validate one model on one prepared program (one grid cell)."""
+    context = model_is_context_sensitive(model_name)
+    segments = data.segment_set(kind, context, config.segment_length)
+    if segments.n_unique < config.folds * 2:
+        raise EvaluationError(
+            f"{data.program.name}/{kind.value}: too few segments "
+            f"({segments.n_unique}) for {config.folds}-fold CV"
+        )
+    abnormal = abnormal_s_segments(
+        segments.segments(),
+        segments.alphabet(),
+        config.n_abnormal,
+        seed=config.seed + 17,
+        exclude=segments,
+    )
+    factory = detector_factory(
+        model_name,
+        data.program,
+        kind,
+        config=config.detector_config(seed_offset=seed_offset),
+        cluster_policy=config.cluster_policy(),
+    )
+    cv = cross_validate(
+        factory,
+        segments,
+        abnormal,
+        k=config.folds,
+        fp_targets=config.fp_targets,
+        seed=config.seed,
+        executor=executor,
+        cache=cache,
+    )
+    return ModelAccuracy(
+        program=data.program.name,
+        kind=kind,
+        model=model_name,
+        n_states=cv.folds[0].n_states,
+        fn_by_fp={t: cv.mean_fn_at(t) for t in config.fp_targets},
+        auc=cv.mean_auc,
+        train_seconds=cv.total_train_seconds,
+        cross_validation=cv,
+    )
+
+
+def _accuracy_cell_task(
+    program_name: str,
+    kind: CallKind,
+    model_name: str,
+    seed_offset: int,
+    config: ExperimentConfig,
+    cache: ArtifactCache | None,
+) -> ModelAccuracy:
+    """One (program, model) cell, self-contained for a worker process.
+
+    Re-derives the program's workload from (name, config) — deterministic,
+    so the cell's numbers match a serial run that shared the prepared data.
+    """
+    data = prepare_program(program_name, config)
+    return _model_accuracy_cell(
+        data, kind, model_name, seed_offset, config, cache=cache
+    )
+
+
+def _program_cells_task(
+    program_name: str,
+    kind: CallKind,
+    models: tuple[str, ...],
+    config: ExperimentConfig,
+    cache: ArtifactCache | None,
+) -> list[ModelAccuracy]:
+    """All model cells for one program, sharing one prepared workload.
+
+    The per-program granularity amortises workload generation when the
+    grid is at least as wide as the worker pool.
+    """
+    data = prepare_program(program_name, config)
+    return [
+        _model_accuracy_cell(data, kind, model_name, offset, config, cache=cache)
+        for offset, model_name in enumerate(models)
+    ]
+
+
+def _merge_cell_cache_stats(
+    cache: ArtifactCache | None,
+    executor: ParallelExecutor,
+    results: list[ModelAccuracy],
+) -> None:
+    """Fold worker-process cache counters back into the coordinator."""
+    if cache is None or not executor.is_parallel:
+        return
+    for accuracy in results:
+        delta = accuracy.cross_validation.cache_stats
+        if delta is not None:
+            cache.stats.merge(delta)
+
+
 def run_accuracy_comparison(
     program_name: str,
     kind: CallKind,
     config: ExperimentConfig | None = None,
     models: tuple[str, ...] = MODEL_NAMES,
     data: ProgramData | None = None,
+    executor: ParallelExecutor | None = None,
+    cache: ArtifactCache | None = None,
 ) -> AccuracyComparison:
     """Cross-validate the compared models on one program × call kind.
 
     Normal segments come from the workload suite; abnormal segments are
     Abnormal-S (Section V-A).  Each model observes its own symbol form
     (context or bare), exactly as in the paper's comparisons.
+
+    With a parallel ``executor`` the per-model cells fan out across worker
+    processes; every cell derives its inputs from (program name, config,
+    seed) alone, so the numbers are bit-identical to the serial run.  A
+    ``cache`` memoises each fold's trained model.
     """
     config = config or ExperimentConfig()
+    executor = executor or ParallelExecutor(jobs=1)
+    comparison = AccuracyComparison(program=program_name, kind=kind)
+
+    if executor.is_parallel and data is None:
+        tasks = [
+            (program_name, kind, model_name, offset, config, cache)
+            for offset, model_name in enumerate(models)
+        ]
+        cells = executor.starmap(_accuracy_cell_task, tasks)
+        _merge_cell_cache_stats(cache, executor, cells)
+        comparison.program = cells[0].program
+        for model_name, accuracy in zip(models, cells):
+            comparison.results[model_name] = accuracy
+        return comparison
+
     if data is None:
         data = prepare_program(program_name, config)
-    comparison = AccuracyComparison(program=data.program.name, kind=kind)
-
+    comparison.program = data.program.name
     for offset, model_name in enumerate(models):
-        context = model_is_context_sensitive(model_name)
-        segments = data.segment_set(kind, context, config.segment_length)
-        if segments.n_unique < config.folds * 2:
-            raise EvaluationError(
-                f"{program_name}/{kind.value}: too few segments "
-                f"({segments.n_unique}) for {config.folds}-fold CV"
-            )
-        abnormal = abnormal_s_segments(
-            segments.segments(),
-            segments.alphabet(),
-            config.n_abnormal,
-            seed=config.seed + 17,
-            exclude=segments,
-        )
-        factory = detector_factory(
-            model_name,
-            data.program,
-            kind,
-            config=config.detector_config(seed_offset=offset),
-            cluster_policy=config.cluster_policy(),
-        )
-        cv = cross_validate(
-            factory,
-            segments,
-            abnormal,
-            k=config.folds,
-            fp_targets=config.fp_targets,
-            seed=config.seed,
-        )
-        comparison.results[model_name] = ModelAccuracy(
-            program=data.program.name,
-            kind=kind,
-            model=model_name,
-            n_states=cv.folds[0].n_states,
-            fn_by_fp={t: cv.mean_fn_at(t) for t in config.fp_targets},
-            auc=cv.mean_auc,
-            train_seconds=cv.total_train_seconds,
-            cross_validation=cv,
+        comparison.results[model_name] = _model_accuracy_cell(
+            data, kind, model_name, offset, config, executor=executor, cache=cache
         )
     return comparison
+
+
+def run_accuracy_grid(
+    program_names: tuple[str, ...],
+    kind: CallKind,
+    config: ExperimentConfig | None = None,
+    models: tuple[str, ...] = MODEL_NAMES,
+    executor: ParallelExecutor | None = None,
+    cache: ArtifactCache | None = None,
+) -> dict[str, AccuracyComparison]:
+    """Run the model comparison over many programs (a Figures 2-5 panel).
+
+    The (program × model) cells are independent, so the whole grid fans
+    out through ``executor`` at once — the widest parallelism the
+    evaluation offers — while ``cache`` deduplicates training across
+    repeated runs.  Serial and parallel runs produce identical numbers.
+    """
+    config = config or ExperimentConfig()
+    executor = executor or ParallelExecutor(jobs=1)
+    tasks = [
+        (name, kind, model_name, offset, config, cache)
+        for name in program_names
+        for offset, model_name in enumerate(models)
+    ]
+    if executor.is_parallel and len(program_names) < executor.jobs:
+        # Fewer programs than workers: fan out individual cells.
+        cells = executor.starmap(_accuracy_cell_task, tasks)
+    else:
+        # One task per program (serial fallback included): each prepares
+        # its workload once and runs the model cells against it.
+        grouped = executor.starmap(
+            _program_cells_task,
+            [(name, kind, models, config, cache) for name in program_names],
+        )
+        cells = [cell for group in grouped for cell in group]
+    _merge_cell_cache_stats(cache, executor, cells)
+    comparisons: dict[str, AccuracyComparison] = {}
+    for (name, _, model_name, _, _, _), accuracy in zip(tasks, cells):
+        comparison = comparisons.setdefault(
+            name, AccuracyComparison(program=accuracy.program, kind=kind)
+        )
+        comparison.results[model_name] = accuracy
+    return comparisons
 
 
 # ---------------------------------------------------------------------------
@@ -479,27 +610,37 @@ class RuntimeRow:
         )
 
 
+def _runtime_cell(
+    name: str, kind: CallKind, corpus_scale: float, cache: ArtifactCache | None
+) -> RuntimeRow:
+    """Time (or load from cache) one program × kind static analysis."""
+    program = load_program(name, scale=corpus_scale)
+    analysis = analyze_program(program, kind, context=True, cache=cache)
+    return RuntimeRow(
+        program=name,
+        kind=kind,
+        context_identification_s=analysis.timings_s["context_identification"],
+        probability_estimation_s=analysis.timings_s["probability_estimation"],
+        aggregation_s=analysis.timings_s["aggregation"],
+    )
+
+
 def run_runtime_table(
     program_names: tuple[str, ...] = ALL_PROGRAMS,
     corpus_scale: float = 1.0,
+    executor: ParallelExecutor | None = None,
+    cache: ArtifactCache | None = None,
 ) -> list[RuntimeRow]:
-    """Reproduce Table V: wall-clock cost of CMarkov's analysis operations."""
-    rows: list[RuntimeRow] = []
-    for name in program_names:
-        program = load_program(name, scale=corpus_scale)
-        for kind in (CallKind.LIBCALL, CallKind.SYSCALL):
-            analysis = analyze_program(program, kind, context=True)
-            rows.append(
-                RuntimeRow(
-                    program=name,
-                    kind=kind,
-                    context_identification_s=analysis.timings_s[
-                        "context_identification"
-                    ],
-                    probability_estimation_s=analysis.timings_s[
-                        "probability_estimation"
-                    ],
-                    aggregation_s=analysis.timings_s["aggregation"],
-                )
-            )
-    return rows
+    """Reproduce Table V: wall-clock cost of CMarkov's analysis operations.
+
+    The program × kind cells are independent and fan out through
+    ``executor``.  With a ``cache``, a previously analyzed program's row
+    reports the timings measured when the artifact was first computed.
+    """
+    executor = executor or ParallelExecutor(jobs=1)
+    tasks = [
+        (name, kind, corpus_scale, cache)
+        for name in program_names
+        for kind in (CallKind.LIBCALL, CallKind.SYSCALL)
+    ]
+    return executor.starmap(_runtime_cell, tasks)

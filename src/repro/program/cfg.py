@@ -9,7 +9,7 @@ the builder before they reach the analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..errors import ProgramStructureError

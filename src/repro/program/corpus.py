@@ -29,7 +29,6 @@ import numpy as np
 
 from ..errors import ProgramStructureError
 from .builder import FunctionBuilder, ProgramBuilder
-from .calls import LIBCALLS, SYSCALLS
 from .program import Program
 
 #: Names of the six SIR utility programs evaluated in the paper.

@@ -1,0 +1,36 @@
+"""Execution layer: parallel fan-out and content-addressed artifact caching.
+
+The pipeline's experiment cells — (program, model, fold) — are pure
+functions of configuration and seed.  This package exploits that twice:
+
+* :class:`ParallelExecutor` fans independent cells out across worker
+  processes, bit-identical to a serial run (``jobs=1`` is the reference
+  path);
+* :class:`ArtifactCache` keys trained HMMs and static-analysis results by
+  a stable content hash of their inputs, so unchanged cells load from
+  disk instead of recomputing.
+
+Both are plumbed through :func:`repro.core.crossval.cross_validate`,
+:mod:`repro.eval.runners`, :func:`repro.analysis.pipeline.analyze_program`,
+the benchmark harness, and the CLI (``--jobs``, ``--cache-dir``,
+``--no-cache``).
+"""
+
+from .cache import (
+    ArtifactCache,
+    CacheStats,
+    derive_seed,
+    program_fingerprint,
+    stable_hash,
+)
+from .executor import ParallelExecutor, default_jobs
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "ParallelExecutor",
+    "default_jobs",
+    "derive_seed",
+    "program_fingerprint",
+    "stable_hash",
+]

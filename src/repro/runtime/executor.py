@@ -1,0 +1,104 @@
+"""Process-pool fan-out with a deterministic serial fallback.
+
+The evaluation pipeline decomposes into independent cells — (program,
+model, fold) — whose inputs are fully determined by configuration and
+seed.  :class:`ParallelExecutor` runs such cells across worker processes
+and guarantees **bit-identical results to a serial run**:
+
+* results return in submission order, never completion order;
+* tasks carry every seed they need explicitly (see
+  :func:`repro.runtime.cache.derive_seed`) — no global RNG is shared, so
+  scheduling cannot perturb numbers;
+* at ``jobs=1`` (the default) no pool is created at all: tasks run in the
+  calling process, which keeps tracebacks simple and is the reference
+  behaviour the parallel path must match.
+
+Tasks must be module-level callables with picklable arguments.  When a
+task or argument cannot be pickled the executor degrades to the serial
+path rather than crashing — parallelism is an optimisation, never a
+correctness requirement.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from ..errors import EvaluationError
+
+__all__ = ["ParallelExecutor", "default_jobs"]
+
+T = TypeVar("T")
+
+
+def default_jobs() -> int:
+    """Job count from ``REPRO_JOBS`` (default 1: deterministic serial)."""
+    value = os.environ.get("REPRO_JOBS", "").strip()
+    if not value:
+        return 1
+    return max(1, int(value))
+
+
+def _call(task: tuple[Callable[..., T], tuple]) -> T:
+    function, args = task
+    return function(*args)
+
+
+@dataclass(frozen=True)
+class ParallelExecutor:
+    """Ordered fan-out of independent tasks over worker processes.
+
+    Attributes:
+        jobs: worker-process count; ``1`` means run serially in-process.
+        chunksize: tasks handed to a worker per dispatch (keep at 1 for
+            coarse tasks like training runs).
+    """
+
+    jobs: int = 1
+    chunksize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise EvaluationError("jobs must be >= 1")
+        if self.chunksize < 1:
+            raise EvaluationError("chunksize must be >= 1")
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.jobs > 1
+
+    def map(self, function: Callable[..., T], items: Iterable[Any]) -> list[T]:
+        """Apply ``function`` to each item; results in input order."""
+        return self.starmap(function, [(item,) for item in items])
+
+    def starmap(
+        self, function: Callable[..., T], argument_tuples: Sequence[tuple]
+    ) -> list[T]:
+        """Apply ``function`` to each argument tuple; results in input order."""
+        tasks = [(function, tuple(args)) for args in argument_tuples]
+        if not tasks:
+            return []
+        if self.is_parallel and len(tasks) > 1 and _picklable(tasks):
+            # fork is markedly cheaper than spawn and available on the
+            # platforms the suite targets; fall back where it is not.
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else None
+            context = multiprocessing.get_context(method)
+            workers = min(self.jobs, len(tasks))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                return list(pool.map(_call, tasks, chunksize=self.chunksize))
+        return [function(*args) for _, args in tasks]
+
+
+def _picklable(tasks: list[tuple[Callable, tuple]]) -> bool:
+    try:
+        pickle.dumps(tasks)
+    except Exception:
+        return False
+    return True

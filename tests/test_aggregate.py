@@ -1,6 +1,5 @@
 """Tests for whole-program aggregation (Section IV) and the paper example."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -1,6 +1,5 @@
 """Tests for attack generation: Abnormal-S, ROP, exploit payloads, mimicry."""
 
-import numpy as np
 import pytest
 
 from repro.attacks import (
@@ -18,7 +17,7 @@ from repro.attacks import (
     rop_chain_events,
 )
 from repro.errors import TraceError
-from repro.program import CallKind, layout_program, load_program
+from repro.program import CallKind, layout_program
 from repro.tracing import SegmentSet
 
 

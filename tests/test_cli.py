@@ -67,7 +67,7 @@ class TestCommands:
             "execve execve execve execve execve\n"
         )
         assert main(["score", str(model_path), str(segments_file)]) == 0
-        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if ln.strip()]
         scores = [float(line.split()[0]) for line in lines[-2:]]
         assert len(scores) == 2
 

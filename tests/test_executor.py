@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TraceError
-from repro.program import CallKind, ProgramBuilder, load_program
+from repro.program import CallKind, ProgramBuilder
 from repro.tracing import CallEvent, Trace, TraceExecutor, collect_traces
 
 

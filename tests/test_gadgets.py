@@ -1,7 +1,5 @@
 """Tests for the gadget scanner and the context-compatibility filter."""
 
-import pytest
-
 from repro.analysis import build_label_space
 from repro.gadgets import (
     TABLE_III_LENGTHS,

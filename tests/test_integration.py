@@ -6,7 +6,6 @@ do, and asserts the *qualitative result the paper claims*, at a scale that
 runs in seconds.
 """
 
-import numpy as np
 import pytest
 
 from repro.attacks import abnormal_s_segments, code_reuse_from_normal, gzip_q1_q2

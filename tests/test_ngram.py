@@ -1,6 +1,5 @@
 """Tests for the n-gram (stide) baseline detector."""
 
-import numpy as np
 import pytest
 
 from repro.core import NGramDetector, make_detector

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.program import CallKind, Program, ProgramBuilder
-from repro.tracing import SegmentSet, TraceExecutor, build_segment_set
+from repro.tracing import SegmentSet, TraceExecutor
 
 OBSERVABLE = ["read", "write", "close", "malloc", "free", "strlen"]
 

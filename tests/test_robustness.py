@@ -67,7 +67,7 @@ class TestAnalysisDegenerateInputs:
 
     def test_summary_with_foreign_label_space(self):
         cfg = FunctionCFG("f")
-        a = cfg.add_block(call="read")
+        cfg.add_block(call="read")
         space = LabelSpace(
             kind=CallKind.SYSCALL, context=True, labels=("write@g",)
         )

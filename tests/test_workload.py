@@ -1,7 +1,5 @@
 """Tests for workload generation and coverage accounting (Table I role)."""
 
-import pytest
-
 from repro.program import load_program
 from repro.tracing import PAPER_CASE_COUNTS, run_workload
 
