@@ -28,6 +28,7 @@ from pathlib import Path
 import numpy as np
 from common import print_block, shape_line
 
+from repro import telemetry
 from repro.eval import ExperimentConfig, run_accuracy_grid
 from repro.program import CallKind
 from repro.runtime import ArtifactCache, ParallelExecutor
@@ -92,6 +93,12 @@ def test_runtime_scaling():
     # on starved runners the speedup shape is reported as not applicable.
     can_scale = cpus >= 2
 
+    # Telemetry on for the whole bench: the snapshot (Baum-Welch iteration
+    # spans, forward-scoring histogram, cache counters, executor merges)
+    # is embedded in BENCH_runtime.json so CI's perf artifact carries the
+    # "where did the time go" breakdown, not just end-to-end wall-clocks.
+    telemetry.enable()
+
     started = time.perf_counter()
     serial = _grid()
     serial_s = time.perf_counter() - started
@@ -139,7 +146,9 @@ def test_runtime_scaling():
         "cache_stats_after_warm": warm_stats,
         "cache_entries": n_entries,
         "bit_identical": identical,
+        "telemetry": telemetry.snapshot(),
     }
+    telemetry.disable()
     output = Path(os.environ.get("REPRO_BENCH_OUTPUT", "BENCH_runtime.json"))
     output.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -11,8 +11,13 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.core` — the four detectors, metrics, cross-validation;
 * :mod:`repro.attacks` — Abnormal-S, ROP chains, exploit payloads, mimicry;
 * :mod:`repro.gadgets` — ROP gadget scanning and context filtering;
-* :mod:`repro.eval` — per-table/figure experiment runners.
+* :mod:`repro.eval` — per-table/figure experiment runners;
+* :mod:`repro.runtime` — parallel execution and artifact caching;
+* :mod:`repro.telemetry` — spans, metrics, and profiling hooks (off by
+  default; ``--metrics-out`` / :func:`repro.telemetry.enable` switch it on).
 """
+
+from . import telemetry
 
 from .core import (
     CMarkovDetector,
@@ -57,5 +62,6 @@ __all__ = [
     "load_corpus",
     "load_program",
     "make_detector",
+    "telemetry",
     "__version__",
 ]

@@ -11,6 +11,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from .. import telemetry
 from ..program.calls import CallKind
 from ..program.program import Program
 from .aggregate import AggregationResult, aggregate_program
@@ -80,23 +81,34 @@ def analyze_program(
         )
         cached = cache.get_object(key)
         if isinstance(cached, StaticAnalysis):
+            telemetry.counter_add("analysis.cache_hits")
             return cached
 
     timings: dict[str, float] = {}
 
-    start = time.perf_counter()
-    program.validate()
-    space = build_label_space(program, kind, context)
-    timings["context_identification"] = time.perf_counter() - start
+    with telemetry.span(
+        "analysis.pipeline", program=program.name, kind=kind.value, context=context
+    ):
+        telemetry.counter_add("analysis.runs")
 
-    start = time.perf_counter()
-    for function in program.iter_functions():
-        reachability(function)
-    timings["probability_estimation"] = time.perf_counter() - start
+        start = time.perf_counter()
+        with telemetry.span("analysis.context_identification"):
+            program.validate()
+            space = build_label_space(program, kind, context)
+        timings["context_identification"] = time.perf_counter() - start
 
-    start = time.perf_counter()
-    result = aggregate_program(program, kind, context, space=space, policy=policy)
-    timings["aggregation"] = time.perf_counter() - start
+        start = time.perf_counter()
+        with telemetry.span("analysis.probability_estimation"):
+            for function in program.iter_functions():
+                reachability(function)
+        timings["probability_estimation"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with telemetry.span("analysis.aggregation"):
+            result = aggregate_program(
+                program, kind, context, space=space, policy=policy
+            )
+        timings["aggregation"] = time.perf_counter() - start
 
     analysis = StaticAnalysis(result=result, timings_s=timings)
     if cache is not None and key is not None:

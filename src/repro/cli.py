@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from . import telemetry
 from .analysis import analyze_program
 from .attacks import build_attack_events, payloads_for
 from .core import make_detector, threshold_for_fp_budget
@@ -70,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the artifact cache even if --cache-dir/$REPRO_CACHE_DIR "
              "is set")
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="PATH",
+        help="enable telemetry and write the metrics/span snapshot as JSON "
+             "to PATH on exit (default: $REPRO_METRICS_OUT, else disabled; "
+             "see docs/telemetry.md for the schema)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("corpus", help="list the synthetic corpus programs")
@@ -403,15 +409,35 @@ def main(argv: list[str] | None = None) -> int:
 
     Library errors (:class:`~repro.errors.ReproError`) are rendered as
     one-line messages with exit code 2 instead of tracebacks.
+
+    ``--metrics-out PATH`` (or ``REPRO_METRICS_OUT``) switches telemetry on
+    for the whole invocation and writes the snapshot JSON on the way out —
+    including on error exits, so a failed run still leaves its metrics.
     """
     from .errors import ReproError
 
     args = build_parser().parse_args(argv)
+    metrics_out = metrics_out_from_args(args)
+    if metrics_out is not None:
+        telemetry.enable()
     try:
         return _dispatch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if metrics_out is not None:
+            telemetry.write_snapshot(metrics_out)
+            telemetry.disable()
+            print(f"telemetry snapshot -> {metrics_out}", file=sys.stderr)
+
+
+def metrics_out_from_args(args: argparse.Namespace) -> Path | None:
+    """Resolve --metrics-out (falling back to ``REPRO_METRICS_OUT``)."""
+    if args.metrics_out is not None:
+        return args.metrics_out
+    env = os.environ.get("REPRO_METRICS_OUT", "").strip()
+    return Path(env) if env else None
 
 
 def _dispatch(args: argparse.Namespace) -> int:

@@ -18,6 +18,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import EvaluationError
 from ..runtime.cache import ArtifactCache, CacheStats, stable_hash
 from ..runtime.executor import ParallelExecutor
@@ -110,28 +111,32 @@ def run_fold(
     detector = factory()
     cached_model = None
     key = None
-    # Only HMM-backed detectors persist a standalone model artifact.
-    cacheable = cache is not None and hasattr(detector, "load_pretrained")
-    if cacheable:
-        key = trained_model_key(factory, train_part)
-        if key is not None:
-            cached_model = cache.get_model(key)
+    with telemetry.span("crossval.fold", detector=detector.name):
+        telemetry.counter_add("crossval.folds")
+        # Only HMM-backed detectors persist a standalone model artifact.
+        cacheable = cache is not None and hasattr(detector, "load_pretrained")
+        if cacheable:
+            key = trained_model_key(factory, train_part)
+            if key is not None:
+                cached_model = cache.get_model(key)
 
-    if cached_model is not None:
-        detector.load_pretrained(cached_model)
-        train_seconds = 0.0
-        n_states = cached_model.n_states
-        from_cache = True
-    else:
-        fit = detector.fit(train_part)
-        train_seconds = fit.train_seconds
-        n_states = fit.n_states
-        from_cache = False
-        if cacheable and key is not None:
-            cache.put_model(key, detector.model)
+        if cached_model is not None:
+            detector.load_pretrained(cached_model)
+            train_seconds = 0.0
+            n_states = cached_model.n_states
+            from_cache = True
+            telemetry.counter_add("crossval.folds_from_cache")
+        else:
+            fit = detector.fit(train_part)
+            train_seconds = fit.train_seconds
+            n_states = fit.n_states
+            from_cache = False
+            if cacheable and key is not None:
+                cache.put_model(key, detector.model)
 
-    normal_scores = detector.score(test_part.segments())
-    abnormal_scores = detector.score(list(abnormal_segments))
+        with telemetry.span("crossval.score"):
+            normal_scores = detector.score(test_part.segments())
+            abnormal_scores = detector.score(list(abnormal_segments))
     outcome = FoldOutcome(
         normal_scores=normal_scores,
         abnormal_scores=abnormal_scores,

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..errors import NotFittedError, TraceError
 from ..tracing.events import CallEvent
 from ..tracing.segments import DEFAULT_SEGMENT_LENGTH
@@ -95,6 +96,7 @@ class OnlineMonitor:
     def observe_symbol(self, symbol: str) -> Alert | None:
         """Feed one pre-symbolized observation."""
         self.stats.events += 1
+        telemetry.counter_add("monitor.events")
         self._window.append(symbol)
         if len(self._window) < self.segment_length:
             return None
@@ -103,6 +105,8 @@ class OnlineMonitor:
         score = float(self.detector.score([window])[0])
         self.stats.windows_scored += 1
         self.stats.min_score = min(self.stats.min_score, score)
+        telemetry.counter_add("monitor.windows_scored")
+        telemetry.observe("monitor.score", score)
 
         if score >= self.threshold:
             if self._cooldown_left > 0:
@@ -111,10 +115,12 @@ class OnlineMonitor:
         if self._cooldown_left > 0:
             self._cooldown_left -= 1
             self.stats.suppressed += 1
+            telemetry.counter_add("monitor.suppressed")
             return None
 
         self._cooldown_left = self.cooldown
         self.stats.alerts += 1
+        telemetry.counter_add("monitor.alerts")
         return Alert(
             event_index=self.stats.events - 1,
             window=window,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import telemetry
 from ..program.calls import CallKind
 from ..program.corpus import UTILITY_PROGRAMS
 from .experiments import ExperimentConfig
@@ -166,6 +167,29 @@ def build_report(
             for row in run_runtime_table(program_names=spec.accuracy_programs)
         ]
         sections.append(_md_table(["Program", "Model", "Total"], rows))
+
+    if telemetry.enabled():
+        # Attach what the run cost, stage by stage (e.g. under the CLI's
+        # --metrics-out): span aggregates and pipeline counters.
+        snap = telemetry.snapshot()
+        sections.append("\n## Telemetry (this run)\n")
+        sections.append(
+            _md_table(
+                ["Span", "count", "wall s", "cpu s", "max wall s"],
+                [
+                    [name, s["count"], f"{s['wall_s']:.3f}",
+                     f"{s['cpu_s']:.3f}", f"{s['max_wall_s']:.3f}"]
+                    for name, s in snap["spans"].items()
+                ],
+            )
+        )
+        sections.append("")
+        sections.append(
+            _md_table(
+                ["Counter", "value"],
+                [[name, value] for name, value in snap["counters"].items()],
+            )
+        )
 
     return "\n".join(sections) + "\n"
 

@@ -11,6 +11,7 @@ import time
 from dataclasses import dataclass, field
 
 
+from .. import telemetry
 from ..analysis.labels import build_label_space
 from ..analysis.pipeline import analyze_program
 from ..attacks.exploits import (
@@ -69,8 +70,9 @@ class ProgramData:
 
 def prepare_program(name: str, config: ExperimentConfig) -> ProgramData:
     """Generate the program and run its workload suite."""
-    program = load_program(name, scale=config.corpus_scale)
-    workload = run_workload(program, n_cases=config.n_cases, seed=config.seed)
+    with telemetry.span("eval.prepare_program", program=name):
+        program = load_program(name, scale=config.corpus_scale)
+        workload = run_workload(program, n_cases=config.n_cases, seed=config.seed)
     return ProgramData(program=program, workload=workload)
 
 
@@ -130,36 +132,43 @@ def _model_accuracy_cell(
 ) -> ModelAccuracy:
     """Cross-validate one model on one prepared program (one grid cell)."""
     context = model_is_context_sensitive(model_name)
-    segments = data.segment_set(kind, context, config.segment_length)
-    if segments.n_unique < config.folds * 2:
-        raise EvaluationError(
-            f"{data.program.name}/{kind.value}: too few segments "
-            f"({segments.n_unique}) for {config.folds}-fold CV"
+    with telemetry.span(
+        "eval.cell",
+        program=data.program.name,
+        kind=kind.value,
+        model=model_name,
+    ):
+        telemetry.counter_add("eval.cells")
+        segments = data.segment_set(kind, context, config.segment_length)
+        if segments.n_unique < config.folds * 2:
+            raise EvaluationError(
+                f"{data.program.name}/{kind.value}: too few segments "
+                f"({segments.n_unique}) for {config.folds}-fold CV"
+            )
+        abnormal = abnormal_s_segments(
+            segments.segments(),
+            segments.alphabet(),
+            config.n_abnormal,
+            seed=config.seed + 17,
+            exclude=segments,
         )
-    abnormal = abnormal_s_segments(
-        segments.segments(),
-        segments.alphabet(),
-        config.n_abnormal,
-        seed=config.seed + 17,
-        exclude=segments,
-    )
-    factory = detector_factory(
-        model_name,
-        data.program,
-        kind,
-        config=config.detector_config(seed_offset=seed_offset),
-        cluster_policy=config.cluster_policy(),
-    )
-    cv = cross_validate(
-        factory,
-        segments,
-        abnormal,
-        k=config.folds,
-        fp_targets=config.fp_targets,
-        seed=config.seed,
-        executor=executor,
-        cache=cache,
-    )
+        factory = detector_factory(
+            model_name,
+            data.program,
+            kind,
+            config=config.detector_config(seed_offset=seed_offset),
+            cluster_policy=config.cluster_policy(),
+        )
+        cv = cross_validate(
+            factory,
+            segments,
+            abnormal,
+            k=config.folds,
+            fp_targets=config.fp_targets,
+            seed=config.seed,
+            executor=executor,
+            cache=cache,
+        )
     return ModelAccuracy(
         program=data.program.name,
         kind=kind,
@@ -614,8 +623,9 @@ def _runtime_cell(
     name: str, kind: CallKind, corpus_scale: float, cache: ArtifactCache | None
 ) -> RuntimeRow:
     """Time (or load from cache) one program × kind static analysis."""
-    program = load_program(name, scale=corpus_scale)
-    analysis = analyze_program(program, kind, context=True, cache=cache)
+    with telemetry.span("eval.runtime_cell", program=name, kind=kind.value):
+        program = load_program(name, scale=corpus_scale)
+        analysis = analyze_program(program, kind, context=True, cache=cache)
     return RuntimeRow(
         program=name,
         kind=kind,

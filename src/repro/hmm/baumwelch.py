@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ModelError
 from .forward import SCALE_FLOOR, backward, forward, log_likelihood
 from .model import HiddenMarkovModel
@@ -168,19 +169,27 @@ def train(
     stale = 0
 
     current = model
-    for _ in range(config.max_iterations):
-        current, train_ll = _em_step(current, train_obs, weights, config)
-        report.iterations += 1
-        report.train_log_likelihood.append(train_ll)
-        holdout_ll = monitor_ll(current)
-        report.holdout_log_likelihood.append(holdout_ll)
-        if holdout_ll > best_holdout + config.min_improvement:
-            best_holdout = holdout_ll
-            best_model = current
-            stale = 0
-        else:
-            stale += 1
-            if stale >= config.patience:
-                report.converged = True
-                break
+    with telemetry.span(
+        "hmm.train", states=model.n_states, segments=int(train_obs.shape[0])
+    ):
+        telemetry.counter_add("hmm.train.runs")
+        for iteration in range(config.max_iterations):
+            with telemetry.span("hmm.train.iteration", iteration=iteration):
+                current, train_ll = _em_step(current, train_obs, weights, config)
+                holdout_ll = monitor_ll(current)
+            report.iterations += 1
+            report.train_log_likelihood.append(train_ll)
+            report.holdout_log_likelihood.append(holdout_ll)
+            telemetry.counter_add("hmm.train.iterations")
+            telemetry.gauge_set("hmm.train.holdout_loglik", holdout_ll)
+            if holdout_ll > best_holdout + config.min_improvement:
+                best_holdout = holdout_ll
+                best_model = current
+                stale = 0
+            else:
+                stale += 1
+                if stale >= config.patience:
+                    report.converged = True
+                    telemetry.counter_add("hmm.train.converged")
+                    break
     return best_model, report

@@ -13,12 +13,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ModelError
 from .model import HiddenMarkovModel
 
 #: Floor applied to per-step normalizers so a zero-probability observation
 #: yields a very negative — but finite — log-likelihood.
 SCALE_FLOOR = 1e-300
+
+#: Telemetry bucket bounds for raw per-sequence ``log P(O | λ)`` (a normal
+#: 15-call segment typically lands in the -40..0 range; anomalies below).
+LOGLIK_BUCKETS: tuple[float, ...] = (
+    -500.0, -200.0, -100.0, -75.0, -50.0, -40.0, -30.0, -25.0,
+    -20.0, -15.0, -10.0, -7.5, -5.0, -2.5, -1.0, 0.0,
+)
 
 
 def _check_obs(model: HiddenMarkovModel, obs: np.ndarray) -> np.ndarray:
@@ -89,9 +97,23 @@ def backward(
 
 
 def log_likelihood(model: HiddenMarkovModel, obs: np.ndarray) -> np.ndarray:
-    """Per-sequence ``log P(O | λ)``, shape (B,)."""
+    """Per-sequence ``log P(O | λ)``, shape (B,).
+
+    When telemetry is on, every scored sequence's log-likelihood lands in
+    the ``hmm.forward.loglik`` histogram (:data:`LOGLIK_BUCKETS`) — the
+    scoring distribution the ISSUE's perf work reads.  The inner
+    :func:`forward`/:func:`backward` recursions stay uninstrumented: they
+    are the EM hot loop.
+    """
     _, scales = forward(model, obs)
-    return np.log(scales).sum(axis=1)
+    loglik = np.log(scales).sum(axis=1)
+    if telemetry.enabled():
+        telemetry.counter_add("hmm.forward.calls")
+        telemetry.counter_add("hmm.forward.sequences", int(loglik.shape[0]))
+        telemetry.observe_many(
+            "hmm.forward.loglik", loglik.tolist(), boundaries=LOGLIK_BUCKETS
+        )
+    return loglik
 
 
 def posterior_states(

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..analysis.matrix import CallSummary
 from ..errors import ModelError
 from .kmeans import kmeans
@@ -110,9 +111,12 @@ def cluster_calls(
         n_clusters = max(1, round(n * ratio))
     n_clusters = min(n_clusters, n)
 
-    vectors = summary.transition_vectors()
-    projected = PCA(n_components=pca_components, variance_ratio=pca_variance).fit_transform(vectors)
-    result = kmeans(projected, n_clusters=n_clusters, seed=seed)
+    with telemetry.span("analysis.clustering", n_labels=n, n_clusters=n_clusters):
+        vectors = summary.transition_vectors()
+        projected = PCA(
+            n_components=pca_components, variance_ratio=pca_variance
+        ).fit_transform(vectors)
+        result = kmeans(projected, n_clusters=n_clusters, seed=seed)
 
     members: dict[int, list[int]] = {}
     # Renumber clusters densely in first-appearance order for stable output.

@@ -32,6 +32,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from .. import telemetry
 from ..hmm.model import HiddenMarkovModel
 from ..hmm.serialize import load_model, save_model
 from ..program.program import Program
@@ -148,6 +149,12 @@ class CacheStats:
     corrupt: int = 0
     writes: int = 0
 
+    def count(self, event: str, amount: int = 1) -> None:
+        """Bump one counter, mirroring it into the telemetry registry (as
+        ``cache.<event>``) when telemetry is enabled."""
+        setattr(self, event, getattr(self, event) + amount)
+        telemetry.counter_add(f"cache.{event}", amount)
+
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
@@ -193,19 +200,19 @@ class ArtifactCache:
         """Load a cached model, or ``None`` on miss/corruption."""
         path = self._model_path(key)
         if not path.exists():
-            self.stats.misses += 1
+            self.stats.count("misses")
             return None
         try:
             model = load_model(path)
             model.validate()
         except Exception:
             # Corrupted entry: drop it and recompute (never crash).
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self.stats.count("corrupt")
+            self.stats.count("misses")
             path.unlink(missing_ok=True)
             return None
         path.touch()  # refresh LRU recency
-        self.stats.hits += 1
+        self.stats.count("hits")
         return model
 
     def put_model(self, key: str, model: HiddenMarkovModel) -> None:
@@ -216,18 +223,18 @@ class ArtifactCache:
         """Load a cached pickled artifact, or ``None`` on miss/corruption."""
         path = self._object_path(key)
         if not path.exists():
-            self.stats.misses += 1
+            self.stats.count("misses")
             return None
         try:
             with path.open("rb") as handle:
                 artifact = pickle.load(handle)
         except Exception:
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self.stats.count("corrupt")
+            self.stats.count("misses")
             path.unlink(missing_ok=True)
             return None
         path.touch()
-        self.stats.hits += 1
+        self.stats.count("hits")
         return artifact
 
     def put_object(self, key: str, artifact: Any) -> None:
@@ -279,7 +286,7 @@ class ArtifactCache:
             written.replace(path)
         finally:
             scratch.unlink(missing_ok=True)
-        self.stats.writes += 1
+        self.stats.count("writes")
         self._evict()
 
     def _evict(self) -> None:
@@ -291,7 +298,7 @@ class ArtifactCache:
             return
         for path in entries[:excess]:
             path.unlink(missing_ok=True)
-            self.stats.evictions += 1
+            self.stats.count("evictions")
 
     # Cache handles cross process boundaries (workers get their own
     # counters and report deltas back to the coordinator).

@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from .. import telemetry
 from ..errors import EvaluationError
 
 __all__ = ["ParallelExecutor", "default_jobs"]
@@ -46,6 +47,21 @@ def default_jobs() -> int:
 def _call(task: tuple[Callable[..., T], tuple]) -> T:
     function, args = task
     return function(*args)
+
+
+def _call_traced(task: tuple[Callable[..., T], tuple]) -> tuple[T, dict]:
+    """Run one task in a worker with telemetry capture.
+
+    The worker records into a fresh registry (forked workers inherit the
+    coordinator's counts, which must not be double-reported), wraps the
+    task in an ``executor.task`` span, and ships the snapshot *delta* back
+    alongside the result for the coordinator to merge in submission order.
+    """
+    function, args = task
+    telemetry._begin_worker_capture()
+    with telemetry.span("executor.task", function=function.__name__):
+        result = function(*args)
+    return result, telemetry.snapshot()
 
 
 @dataclass(frozen=True)
@@ -82,6 +98,11 @@ class ParallelExecutor:
         tasks = [(function, tuple(args)) for args in argument_tuples]
         if not tasks:
             return []
+        traced = telemetry.enabled()
+        if traced:
+            telemetry.counter_add("executor.batches")
+            telemetry.counter_add("executor.tasks", len(tasks))
+            telemetry.gauge_set("executor.jobs", self.jobs)
         if self.is_parallel and len(tasks) > 1 and _picklable(tasks):
             # fork is markedly cheaper than spawn and available on the
             # platforms the suite targets; fall back where it is not.
@@ -92,8 +113,22 @@ class ParallelExecutor:
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=context
             ) as pool:
-                return list(pool.map(_call, tasks, chunksize=self.chunksize))
-        return [function(*args) for _, args in tasks]
+                if not traced:
+                    return list(pool.map(_call, tasks, chunksize=self.chunksize))
+                # Workers capture per-task telemetry deltas; merging them in
+                # submission order makes the coordinator's registry match a
+                # serial run's (see tests/test_telemetry.py::TestJobsParity).
+                pairs = list(pool.map(_call_traced, tasks, chunksize=self.chunksize))
+                for _, delta in pairs:
+                    telemetry.merge_snapshot(delta)
+                return [result for result, _ in pairs]
+        if not traced:
+            return [function(*args) for _, args in tasks]
+        results = []
+        for task_function, args in tasks:
+            with telemetry.span("executor.task", function=task_function.__name__):
+                results.append(task_function(*args))
+        return results
 
 
 def _picklable(tasks: list[tuple[Callable, tuple]]) -> bool:

@@ -1,0 +1,95 @@
+"""Profiler hooks: observe spans and metric writes as they happen.
+
+Where :mod:`~repro.telemetry.metrics` answers "how much, in total?" and
+:mod:`~repro.telemetry.spans` answers "where did the time go?", profiler
+hooks answer "show me the events as they stream by" — the extension point
+for ad-hoc tooling (flame-graph feeds, slow-span logging, external metric
+exporters) without touching the instrumented code.
+
+A hook subclasses :class:`ProfilerHook` and overrides any subset of the
+callbacks; the :class:`Profiler` fans events out to every registered hook.
+Hooks only fire while telemetry is enabled, so the disabled hot path stays
+free of any dispatch cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .spans import Span
+
+__all__ = ["Profiler", "ProfilerHook", "CollectingProfiler", "SlowSpanProfiler"]
+
+
+class ProfilerHook:
+    """Base class for profiling hooks; override what you need."""
+
+    def on_span_start(self, span: "Span") -> None:
+        """A span was entered (timing not yet known)."""
+
+    def on_span_end(self, span: "Span") -> None:
+        """A span exited; ``span.wall_s`` / ``span.cpu_s`` are final."""
+
+    def on_metric(self, kind: str, name: str, value: float) -> None:
+        """A metric was written: ``kind`` is counter/gauge/histogram."""
+
+
+class Profiler:
+    """Fans telemetry events out to registered hooks."""
+
+    def __init__(self) -> None:
+        self.hooks: list[ProfilerHook] = []
+
+    def add(self, hook: ProfilerHook) -> ProfilerHook:
+        self.hooks.append(hook)
+        return hook
+
+    def remove(self, hook: ProfilerHook) -> None:
+        self.hooks.remove(hook)
+
+    def __bool__(self) -> bool:
+        return bool(self.hooks)
+
+    # -- dispatch ------------------------------------------------------
+    def span_start(self, span: "Span") -> None:
+        for hook in self.hooks:
+            hook.on_span_start(span)
+
+    def span_end(self, span: "Span") -> None:
+        for hook in self.hooks:
+            hook.on_span_end(span)
+
+    def metric(self, kind: str, name: str, value: float) -> None:
+        for hook in self.hooks:
+            hook.on_metric(kind, name, value)
+
+
+class CollectingProfiler(ProfilerHook):
+    """Records every event as ``(event, name, value)`` tuples — the hook
+    the test suite uses to assert instrumentation points fire."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, str, float]] = []
+
+    def on_span_start(self, span: "Span") -> None:
+        self.events.append(("span_start", span.name, 0.0))
+
+    def on_span_end(self, span: "Span") -> None:
+        self.events.append(("span_end", span.name, span.wall_s))
+
+    def on_metric(self, kind: str, name: str, value: float) -> None:
+        self.events.append((f"metric_{kind}", name, float(value)))
+
+
+class SlowSpanProfiler(ProfilerHook):
+    """Collects spans whose wall time exceeds a threshold (a poor man's
+    "log slow queries"); useful when hunting pipeline stragglers."""
+
+    def __init__(self, threshold_s: float) -> None:
+        self.threshold_s = threshold_s
+        self.slow: list[tuple[str, float]] = []
+
+    def on_span_end(self, span: "Span") -> None:
+        if span.wall_s >= self.threshold_s:
+            self.slow.append((span.name, span.wall_s))

@@ -1,7 +1,9 @@
 """Tests for the online monitoring API."""
 
+import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.core import CMarkovDetector, DetectorConfig, OnlineMonitor, StiloDetector
 from repro.core import threshold_for_fp_budget
 from repro.errors import NotFittedError, TraceError
@@ -110,3 +112,112 @@ class TestStreaming:
         assert alert is not None
         assert alert.window == ("<garbage>",) * 15
         assert alert.threshold == threshold
+
+
+class ScriptedDetector:
+    """Stub detector returning a pre-scripted score per window, so cooldown
+    arithmetic can be pinned without a trained model in the loop."""
+
+    name = "scripted"
+    kind = CallKind.SYSCALL
+    context = False
+    is_fitted = True
+
+    def __init__(self, scores):
+        self._scores = iter(scores)
+
+    def score(self, segments):
+        return np.array([next(self._scores) for _ in segments])
+
+
+def _monitor(scores, cooldown, segment_length=3) -> OnlineMonitor:
+    # Threshold 0.0: negative scores are anomalous, positive are normal.
+    return OnlineMonitor(
+        ScriptedDetector(scores),
+        threshold=0.0,
+        segment_length=segment_length,
+        cooldown=cooldown,
+    )
+
+
+def _feed(monitor: OnlineMonitor, n_windows: int) -> list:
+    """Fill the window, then slide it ``n_windows - 1`` more times."""
+    alerts = []
+    for i in range(monitor.segment_length + n_windows - 1):
+        alert = monitor.observe_symbol(f"s{i}")
+        if alert is not None:
+            alerts.append(alert)
+    return alerts
+
+
+class TestCooldownBoundaries:
+    """Exact cooldown arithmetic at its edges (the PR's hardening pass)."""
+
+    def test_cooldown_expires_exactly_at_boundary(self):
+        # Alert, two suppressed anomalous windows (cooldown=2), and the
+        # very next anomalous window must alert again — not one later.
+        monitor = _monitor([-1.0, -1.0, -1.0, -1.0], cooldown=2)
+        alerts = _feed(monitor, 4)
+        assert len(alerts) == 2
+        assert monitor.stats.suppressed == 2
+        assert [a.event_index for a in alerts] == [2, 5]
+
+    def test_normal_windows_consume_cooldown(self):
+        # Alert, then exactly `cooldown` quiet windows: the next anomalous
+        # window fires because the cooldown budget is fully spent.
+        monitor = _monitor([-1.0, 1.0, 1.0, -1.0], cooldown=2)
+        alerts = _feed(monitor, 4)
+        assert len(alerts) == 2
+        assert monitor.stats.suppressed == 0
+
+    def test_one_window_short_of_expiry_still_suppresses(self):
+        # Same stream, but only cooldown-1 quiet windows in between: the
+        # anomalous window lands one short of the boundary -> suppressed.
+        monitor = _monitor([-1.0, 1.0, -1.0], cooldown=2)
+        alerts = _feed(monitor, 3)
+        assert len(alerts) == 1
+        assert monitor.stats.suppressed == 1
+
+    def test_back_to_back_anomalous_windows(self):
+        # A continuous anomalous stream alerts every cooldown+1 windows.
+        monitor = _monitor([-1.0] * 7, cooldown=2)
+        alerts = _feed(monitor, 7)
+        assert len(alerts) == 3  # windows 0, 3, 6
+        assert monitor.stats.suppressed == 4
+
+    def test_zero_cooldown_alerts_every_window(self):
+        monitor = _monitor([-1.0] * 5, cooldown=0)
+        alerts = _feed(monitor, 5)
+        assert len(alerts) == 5
+        assert monitor.stats.suppressed == 0
+
+    def test_reset_clears_pending_cooldown(self):
+        monitor = _monitor([-1.0, -1.0], cooldown=5)
+        _feed(monitor, 1)
+        monitor.reset()
+        alerts = _feed(monitor, 1)  # would be suppressed without reset
+        assert len(alerts) == 1
+
+    def test_stats_match_emitted_alert_records(self):
+        scores = [-1.0, -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0]
+        monitor = _monitor(scores, cooldown=1)
+        alerts = _feed(monitor, len(scores))
+        assert monitor.stats.alerts == len(alerts)
+        assert monitor.stats.windows_scored == len(scores)
+        n_anomalous = sum(1 for s in scores if s < 0)
+        assert monitor.stats.suppressed == n_anomalous - len(alerts)
+        assert monitor.stats.min_score == -1.0
+        assert all(a.score < a.threshold for a in alerts)
+
+    def test_telemetry_counters_mirror_stats(self):
+        scores = [-1.0] * 6
+        with telemetry.session() as registry:
+            monitor = _monitor(scores, cooldown=2)
+            alerts = _feed(monitor, len(scores))
+            counters = registry.snapshot()["counters"]
+            histogram = registry.snapshot()["histograms"]["monitor.score"]
+        assert counters["monitor.alerts"] == monitor.stats.alerts == len(alerts)
+        assert counters["monitor.suppressed"] == monitor.stats.suppressed
+        assert counters["monitor.windows_scored"] == len(scores)
+        assert counters["monitor.events"] == monitor.stats.events
+        assert histogram["count"] == len(scores)

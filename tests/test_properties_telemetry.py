@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the telemetry layer.
+
+Three families of invariants:
+
+* histograms — bucket counts always sum to the observation count, no
+  matter where the boundaries sit or what values arrive;
+* registry merge — addition-like: commutative and associative over
+  counters, histograms, and span aggregates (the property the parallel
+  executor's worker merge-back relies on);
+* spans — a fully nested child never reports more wall time than its
+  parent, at any nesting depth.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.telemetry import Histogram, MetricsRegistry
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+boundaries_strategy = st.lists(
+    finite_floats, min_size=1, max_size=8, unique=True
+).map(lambda values: tuple(sorted(values)))
+
+
+@st.composite
+def registries(draw) -> MetricsRegistry:
+    """A registry with arbitrary counters, histograms, and span records,
+    drawn from small shared name pools so merges overlap keys."""
+    registry = MetricsRegistry()
+    names = ("a", "b", "c")
+    for _ in range(draw(st.integers(0, 5))):
+        registry.counter(draw(st.sampled_from(names))).inc(
+            draw(st.integers(0, 1000))
+        )
+    boundaries = (0.0, 10.0)  # shared so merged histograms are compatible
+    for _ in range(draw(st.integers(0, 5))):
+        registry.histogram(draw(st.sampled_from(names)), boundaries).observe(
+            draw(finite_floats)
+        )
+    # Span durations are drawn as dyadic rationals (k/16) so their sums are
+    # exact and the associativity property can be asserted bit-for-bit.
+    for _ in range(draw(st.integers(0, 3))):
+        registry.record_span(
+            draw(st.sampled_from(names)),
+            wall_s=draw(st.integers(0, 160)) / 16,
+            cpu_s=draw(st.integers(0, 160)) / 16,
+        )
+    return registry
+
+
+class TestHistogramProperties:
+    @given(boundaries=boundaries_strategy, values=st.lists(finite_floats))
+    def test_counts_sum_to_observation_count(self, boundaries, values):
+        histogram = Histogram(boundaries)
+        histogram.observe_many(values)
+        assert sum(histogram.counts) == len(values) == histogram.count
+        assert len(histogram.counts) == len(boundaries) + 1
+
+    @given(boundaries=boundaries_strategy, values=st.lists(finite_floats, min_size=1))
+    def test_min_max_sum_track_observations(self, boundaries, values):
+        histogram = Histogram(boundaries)
+        for value in values:
+            histogram.observe(value)
+        assert histogram.min == min(values)
+        assert histogram.max == max(values)
+
+    @given(
+        boundaries=boundaries_strategy,
+        left=st.lists(finite_floats),
+        right=st.lists(finite_floats),
+    )
+    def test_merge_equals_observing_everything(self, boundaries, left, right):
+        both = MetricsRegistry()
+        both.histogram("h", boundaries).observe_many(left + right)
+        merged = MetricsRegistry()
+        merged.histogram("h", boundaries).observe_many(left)
+        other = MetricsRegistry()
+        other.histogram("h", boundaries).observe_many(right)
+        merged.merge(other.snapshot())
+        ours = merged.snapshot()["histograms"]["h"]
+        theirs = both.snapshot()["histograms"]["h"]
+        # Counts/min/max are order-independent; the float sum is compared
+        # with the same tolerance the executor parity test uses.
+        assert ours["counts"] == theirs["counts"]
+        assert ours["min"] == theirs["min"]
+        assert ours["max"] == theirs["max"]
+
+
+def _merged(*snapshots: dict) -> dict:
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()
+
+
+def _order_free(snapshot: dict) -> dict:
+    """Merge-order-independent projection: everything except gauge values
+    (last-writer-wins by design) and histogram float sums."""
+    return {
+        "counters": snapshot["counters"],
+        "histograms": {
+            name: {k: v for k, v in payload.items() if k != "sum"}
+            for name, payload in snapshot["histograms"].items()
+        },
+        "spans": snapshot["spans"],
+    }
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=50)
+    @given(left=registries(), right=registries())
+    def test_merge_is_commutative(self, left, right):
+        ab = _merged(left.snapshot(), right.snapshot())
+        ba = _merged(right.snapshot(), left.snapshot())
+        assert _order_free(ab) == _order_free(ba)
+
+    @settings(max_examples=50)
+    @given(a=registries(), b=registries(), c=registries())
+    def test_merge_is_associative(self, a, b, c):
+        left_first = _merged(_merged(a.snapshot(), b.snapshot()), c.snapshot())
+        right_first = _merged(a.snapshot(), _merged(b.snapshot(), c.snapshot()))
+        assert _order_free(left_first) == _order_free(right_first)
+
+    @settings(max_examples=50)
+    @given(registry=registries())
+    def test_empty_is_identity(self, registry):
+        assert _merged(registry.snapshot()) == _merged(
+            MetricsRegistry().snapshot(), registry.snapshot()
+        )
+
+
+class TestSpanNesting:
+    @given(depth=st.integers(min_value=1, max_value=6))
+    def test_child_wall_never_exceeds_parent(self, depth):
+        with telemetry.session():
+            spans = [telemetry.span(f"level{i}") for i in range(depth)]
+            for span in spans:
+                span.__enter__()
+            for span in reversed(spans):
+                span.__exit__(None, None, None)
+            tree = telemetry.get().tracer.trees()[0]
+        node = tree
+        while node["children"]:
+            child = node["children"][0]
+            assert child["wall_s"] <= node["wall_s"]
+            node = child
+        assert node["name"] == f"level{depth - 1}"

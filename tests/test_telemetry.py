@@ -1,0 +1,296 @@
+"""Unit tests for the telemetry layer: registry, spans, profiler hooks,
+module-level switch, snapshot export, and executor merge-back parity."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import DetectorConfig
+from repro.core.crossval import cross_validate
+from repro.core.registry import detector_factory
+from repro.hmm import TrainingConfig
+from repro.program import CallKind
+from repro.runtime import ParallelExecutor
+from repro.telemetry import (
+    CollectingProfiler,
+    Histogram,
+    MetricsRegistry,
+    SlowSpanProfiler,
+)
+from repro.tracing import build_segment_set, run_workload
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off_before_and_after():
+    """Every test starts and ends with telemetry disabled."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+class TestDisabledDefault:
+    def test_disabled_by_default(self):
+        assert not telemetry.enabled()
+        assert telemetry.get() is None
+
+    def test_span_is_shared_noop(self):
+        assert telemetry.span("a") is telemetry.span("b")
+        with telemetry.span("a") as span:
+            span.set_attribute("k", 1)  # must not raise
+
+    def test_writers_are_noops(self):
+        telemetry.counter_add("c")
+        telemetry.gauge_set("g", 1.0)
+        telemetry.observe("h", -1.0)
+        telemetry.observe_many("h", [-1.0, -2.0])
+        snap = telemetry.snapshot()
+        assert snap["enabled"] is False
+        assert snap["counters"] == {}
+
+    def test_add_profiler_requires_enabled(self):
+        with pytest.raises(RuntimeError):
+            telemetry.add_profiler(CollectingProfiler())
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(-2.5)
+        registry.histogram("h", (0.0, 1.0)).observe_many([-1, 0.5, 99])
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 4
+        assert snap["gauges"]["g"] == {"value": -2.5, "updates": 1}
+        assert snap["histograms"]["h"]["counts"] == [1, 1, 1]
+        assert snap["histograms"]["h"]["min"] == -1
+        assert snap["histograms"]["h"]["max"] == 99
+
+    def test_counters_never_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_histogram_boundary_is_inclusive_upper(self):
+        histogram = Histogram((0.0,))
+        histogram.observe(0.0)
+        assert histogram.counts == [1, 0]
+        histogram.observe(1e-9)
+        assert histogram.counts == [1, 1]
+
+    def test_histogram_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_merge_rejects_mismatched_boundaries(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (0.0, 1.0)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h", (0.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            registry.merge(other.snapshot())
+
+    def test_snapshot_is_json_and_pickle_safe(self):
+        with telemetry.session():
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    telemetry.counter_add("c")
+                    telemetry.observe("h", -3.0)
+            snap = telemetry.snapshot()
+        json.dumps(snap)  # JSON-safe
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        # The registry itself crosses process boundaries too.
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(-1.0)
+        restored = pickle.loads(pickle.dumps(registry))
+        assert restored.snapshot() == registry.snapshot()
+
+    def test_merge_of_empty_snapshot_is_identity(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        before = registry.snapshot()
+        registry.merge(MetricsRegistry().snapshot())
+        assert registry.snapshot() == before
+
+
+class TestSpans:
+    def test_nesting_builds_tree(self):
+        with telemetry.session():
+            with telemetry.span("root", stage="x"):
+                with telemetry.span("child"):
+                    pass
+                with telemetry.span("child"):
+                    pass
+            trees = telemetry.get().tracer.trees()
+        assert len(trees) == 1
+        assert trees[0]["name"] == "root"
+        assert trees[0]["attributes"] == {"stage": "x"}
+        assert [c["name"] for c in trees[0]["children"]] == ["child", "child"]
+
+    def test_aggregates_accumulate(self):
+        with telemetry.session() as registry:
+            for _ in range(3):
+                with telemetry.span("s"):
+                    pass
+        aggregate = registry.snapshot()["spans"]["s"]
+        assert aggregate["count"] == 3
+        assert aggregate["wall_s"] >= 0
+        assert aggregate["max_wall_s"] <= aggregate["wall_s"]
+
+    def test_span_exits_on_exception(self):
+        with telemetry.session():
+            with pytest.raises(RuntimeError):
+                with telemetry.span("outer"):
+                    with telemetry.span("inner"):
+                        raise RuntimeError("boom")
+            assert telemetry.get().tracer.active is None
+            assert len(telemetry.get().tracer.trees()) == 1
+
+    def test_root_retention_is_bounded(self):
+        with telemetry.session(max_roots=4):
+            for i in range(10):
+                with telemetry.span(f"s{i}"):
+                    pass
+            trees = telemetry.get().tracer.trees()
+        assert [t["name"] for t in trees] == ["s6", "s7", "s8", "s9"]
+
+
+class TestProfiler:
+    def test_collecting_profiler_sees_events(self):
+        with telemetry.session():
+            hook = telemetry.add_profiler(CollectingProfiler())
+            with telemetry.span("s"):
+                telemetry.counter_add("c", 2)
+                telemetry.gauge_set("g", 1.5)
+                telemetry.observe("h", -1.0)
+        kinds = [event[0] for event in hook.events]
+        assert kinds == [
+            "span_start", "metric_counter", "metric_gauge",
+            "metric_histogram", "span_end",
+        ]
+        assert ("metric_counter", "c", 2.0) in hook.events
+
+    def test_remove_profiler(self):
+        with telemetry.session():
+            hook = telemetry.add_profiler(CollectingProfiler())
+            telemetry.remove_profiler(hook)
+            telemetry.counter_add("c")
+        assert hook.events == []
+
+    def test_slow_span_profiler_thresholds(self):
+        with telemetry.session():
+            hook = telemetry.add_profiler(SlowSpanProfiler(threshold_s=0.0))
+            with telemetry.span("always-slow"):
+                pass
+            fussy = telemetry.add_profiler(SlowSpanProfiler(threshold_s=3600.0))
+            with telemetry.span("never-slow"):
+                pass
+        assert ("always-slow", hook.slow[0][1]) in hook.slow
+        assert fussy.slow == []
+
+
+class TestSessionIsolation:
+    def test_session_restores_previous_state(self):
+        outer = telemetry.enable()
+        with telemetry.session():
+            assert telemetry.get() is not outer
+        assert telemetry.get() is outer
+
+    def test_write_snapshot(self, tmp_path):
+        with telemetry.session():
+            telemetry.counter_add("c")
+            path = telemetry.write_snapshot(tmp_path / "metrics.json")
+        snap = json.loads(path.read_text())
+        assert snap["counters"]["c"] == 1
+        assert snap["enabled"] is True
+
+
+def _comparable(snapshot: dict) -> dict:
+    """The scheduling-independent projection of a snapshot.
+
+    Excluded: wall/CPU durations and span trees (timing), the
+    ``executor.jobs`` gauge (reports the actual job count, so it *should*
+    differ), and histogram float sums (float addition is not associative,
+    so serial one-by-one accumulation and parallel per-task merge can
+    differ in the last ulp; the bucket counts and min/max cannot).
+    """
+    return {
+        "counters": snapshot["counters"],
+        "gauges": {
+            name: payload
+            for name, payload in snapshot["gauges"].items()
+            if name != "executor.jobs"
+        },
+        "histograms": {
+            name: {k: v for k, v in payload.items() if k != "sum"}
+            for name, payload in snapshot["histograms"].items()
+        },
+        "span_counts": {
+            name: payload["count"] for name, payload in snapshot["spans"].items()
+        },
+    }
+
+
+class TestJobsParity:
+    """--jobs 2 and --jobs 1 must produce identical merged counters (the
+    PR's bugfix satellite: worker registries merge back cleanly)."""
+
+    @pytest.fixture(scope="class")
+    def cv_inputs(self, gzip_program):
+        workload = run_workload(gzip_program, n_cases=30, seed=5)
+        segments = build_segment_set(
+            workload.traces, CallKind.SYSCALL, context=True
+        )
+        abnormal = segments.segments()[:20]
+        factory = detector_factory(
+            "stilo",
+            gzip_program,
+            CallKind.SYSCALL,
+            config=DetectorConfig(
+                training=TrainingConfig(max_iterations=3),
+                max_training_segments=200,
+                seed=2,
+            ),
+        )
+        return factory, segments, abnormal
+
+    def _run(self, cv_inputs, jobs: int) -> tuple[dict, object]:
+        factory, segments, abnormal = cv_inputs
+        with telemetry.session():
+            result = cross_validate(
+                factory,
+                segments,
+                abnormal,
+                k=4,
+                seed=0,
+                executor=ParallelExecutor(jobs=jobs),
+            )
+            snap = telemetry.snapshot()
+        return snap, result
+
+    def test_parallel_counters_match_serial(self, cv_inputs):
+        serial_snap, serial_result = self._run(cv_inputs, jobs=1)
+        parallel_snap, parallel_result = self._run(cv_inputs, jobs=2)
+        assert _comparable(parallel_snap) == _comparable(serial_snap)
+        # Sanity: fold counters actually recorded, and scores unchanged.
+        assert serial_snap["counters"]["crossval.folds"] == 4
+        for fold_a, fold_b in zip(serial_result.folds, parallel_result.folds):
+            assert np.array_equal(fold_a.normal_scores, fold_b.normal_scores)
+
+    def test_worker_span_timings_travel_back(self, cv_inputs):
+        parallel_snap, _ = self._run(cv_inputs, jobs=2)
+        spans = parallel_snap["spans"]
+        assert spans["executor.task"]["count"] == 4
+        # Fold work happened in worker processes, yet its wall time made it
+        # back to the coordinator through snapshot merge-back.
+        assert spans["crossval.fold"]["count"] == 4
+        assert spans["crossval.fold"]["wall_s"] > 0
