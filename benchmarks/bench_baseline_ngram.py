@@ -27,7 +27,7 @@ multiplies the n-gram's forced-alarm rate; CMarkov's scores are
 import numpy as np
 from common import BENCH_CONFIG, print_block, shape_line
 
-from repro.core import make_detector, model_is_context_sensitive
+from repro.core import build_detector, model_is_context_sensitive
 from repro.eval import prepare_program, render_table
 from repro.program import CallKind
 from repro.tracing import SegmentSet
@@ -58,7 +58,7 @@ def test_baseline_ngram_comparison(benchmark):
                     if fraction == 1.0
                     else _subsample(train_part, fraction, seed=8)
                 )
-                detector = make_detector(
+                detector = build_detector(
                     model_name,
                     data.program,
                     CallKind.LIBCALL,

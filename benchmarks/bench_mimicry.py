@@ -32,7 +32,7 @@ import numpy as np
 from common import BENCH_CONFIG, print_block, shape_line
 
 from repro.attacks import craft_mimicry
-from repro.core import make_detector
+from repro.core import build_detector
 from repro.eval import prepare_program, render_table
 from repro.program import CallKind
 
@@ -56,7 +56,7 @@ def test_mimicry_cost(benchmark):
                 CallKind.SYSCALL, context, BENCH_CONFIG.segment_length
             )
             train_part, holdout = segments.split([0.8, 0.2], seed=2)
-            detector = make_detector(
+            detector = build_detector(
                 model_name,
                 data.program,
                 CallKind.SYSCALL,

@@ -1,0 +1,210 @@
+"""Service throughput — micro-batched scoring vs one-request-per-call.
+
+Not a paper table: this bench tracks the serving layer (``repro.service``).
+The paper quotes 0.038 ms per 15-call segment and points at offline/parallel
+evaluation for production; the service realises that by draining bounded
+per-detector queues into single vectorized forward passes.  The bench
+scores the same window population three ways —
+
+* serial (one ``Detector.score`` call per window — the naive deployment),
+* service with ``max_batch=64``,
+* service with ``max_batch=256``,
+
+— verifies the batched scores are bit-identical to one direct
+``Detector.score`` call over the same windows, then pushes the service past
+its admission limit to show overload degrades into typed ``Overloaded``
+outcomes rather than silent drops.  Wall-clocks and shed counters land in
+``BENCH_service.json`` for CI's perf artifact.
+
+Shapes asserted: micro-batching at batch >= 64 clears a 5x throughput
+multiple over per-call scoring, shed rate is exactly 0 below the admission
+limit, and every over-limit submission still resolves (typed, never
+dropped).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+from common import print_block, shape_line
+
+from repro import telemetry
+from repro.api import load_pretrained
+from repro.hmm import random_model
+from repro.service import (
+    AdmissionPolicy,
+    DetectionService,
+    Overloaded,
+    Scored,
+    ServiceConfig,
+    ShedReason,
+)
+
+N_WINDOWS = 4096
+WINDOW = 15
+N_SESSIONS = 64
+N_STATES = 16
+ALPHABET = [f"call_{i}" for i in range(30)]
+SPEEDUP_FLOOR = 5.0
+
+
+def _windows(seed: int = 7) -> list[tuple[str, ...]]:
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, len(ALPHABET), size=(N_WINDOWS, WINDOW))
+    return [tuple(ALPHABET[i] for i in row) for row in indices]
+
+
+def _serve(detector, windows, max_batch: int):
+    """Score every window through the service; returns (seconds, scores,
+    stats dict)."""
+    service = DetectionService(
+        ServiceConfig(max_batch=max_batch, max_queue_depth=N_WINDOWS)
+    )
+    service.register("bench", detector, threshold=-4.0)
+    started = time.perf_counter()
+    tickets = [
+        service.submit("bench", f"tenant-{i % N_SESSIONS}", window=window)
+        for i, window in enumerate(windows)
+    ]
+    service.drain_pending()
+    elapsed = time.perf_counter() - started
+    scores = [ticket.result().score for ticket in tickets]
+    stats = service.stats.as_dict()
+    service.close()
+    return elapsed, scores, stats
+
+
+def _overload(detector, windows, depth: int):
+    """Submit past the admission limit; returns the outcome census."""
+    service = DetectionService(
+        ServiceConfig(
+            max_queue_depth=depth,
+            admission_policy=AdmissionPolicy.REJECT_NEW,
+        )
+    )
+    service.register("bench", detector, threshold=-4.0)
+    tickets = [
+        service.submit("bench", f"tenant-{i % N_SESSIONS}", window=window)
+        for i, window in enumerate(windows)
+    ]
+    service.drain_pending()
+    outcomes = [ticket.result() for ticket in tickets]
+    service.close()
+    return outcomes, service.stats.as_dict()
+
+
+def test_service_throughput():
+    telemetry.enable()
+    model = random_model(ALPHABET, n_states=N_STATES, seed=3)
+    detector = load_pretrained(model, name="bench")
+    windows = _windows()
+
+    # Reference: both the numbers and the per-call baseline's cost.
+    reference = detector.score(windows)
+
+    started = time.perf_counter()
+    serial_scores = [float(detector.score([window])[0]) for window in windows]
+    serial_s = time.perf_counter() - started
+    serial_rate = N_WINDOWS / serial_s
+
+    # Per-call agrees to float precision (GEMV vs GEMM accumulation order);
+    # the bit-identical pin below is against the batched reference call.
+    assert np.allclose(serial_scores, reference, rtol=1e-12)
+
+    runs = {}
+    identical = True
+    for max_batch in (64, 256):
+        elapsed, scores, stats = _serve(detector, windows, max_batch)
+        identical = identical and scores == reference.tolist()
+        runs[max_batch] = {
+            "seconds": round(elapsed, 4),
+            "segments_per_s": round(N_WINDOWS / elapsed, 1),
+            "speedup_vs_serial": round(serial_s / elapsed, 2),
+            "batches": stats["batches"],
+            "max_batch_size": stats["max_batch_size"],
+            "shed_total": stats["shed_total"],
+            "shed_rate": stats["shed_rate"],
+        }
+
+    # Overload: submit 4096 windows against a queue bounded at 512.
+    overload_depth = 512
+    outcomes, overload_stats = _overload(detector, windows, overload_depth)
+    shed = [o for o in outcomes if isinstance(o, Overloaded)]
+    scored = [o for o in outcomes if isinstance(o, Scored)]
+    all_resolved = len(shed) + len(scored) == len(outcomes)
+    shed_typed = all(o.reason is ShedReason.QUEUE_FULL for o in shed)
+
+    payload = {
+        "bench": "service_throughput",
+        "unix_time": time.time(),
+        "population": {
+            "windows": N_WINDOWS,
+            "window_length": WINDOW,
+            "sessions": N_SESSIONS,
+            "alphabet": len(ALPHABET),
+            "hmm_states": N_STATES,
+        },
+        "serial_s": round(serial_s, 4),
+        "serial_segments_per_s": round(serial_rate, 1),
+        "service": {str(batch): run for batch, run in runs.items()},
+        "overload": {
+            "queue_depth": overload_depth,
+            "submitted": len(outcomes),
+            "scored": len(scored),
+            "shed": len(shed),
+            "shed_rate": overload_stats["shed_rate"],
+            "all_resolved": all_resolved,
+        },
+        "bit_identical": identical,
+        "telemetry": telemetry.snapshot(),
+    }
+    telemetry.disable()
+    output = Path(os.environ.get("REPRO_BENCH_OUTPUT", "BENCH_service.json"))
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    below_limit_clean = all(run["shed_rate"] == 0.0 for run in runs.values())
+    body = "\n".join(
+        [
+            f"  population: {N_WINDOWS} windows x {WINDOW} calls, "
+            f"{N_SESSIONS} sessions, {N_STATES}-state HMM",
+            f"  per-call scoring   {serial_s:7.2f} s "
+            f"({serial_rate:10,.0f} segments/s)",
+            *(
+                f"  service batch={batch:<4} {run['seconds']:7.2f} s "
+                f"({run['segments_per_s']:10,.0f} segments/s, "
+                f"{run['speedup_vs_serial']:.1f}x, {run['batches']} batches)"
+                for batch, run in runs.items()
+            ),
+            f"  overload @depth={overload_depth}: {len(scored)} scored, "
+            f"{len(shed)} shed (typed: {shed_typed})",
+            f"  -> {output}",
+            shape_line(
+                "micro-batched scores are bit-identical to Detector.score",
+                identical,
+            ),
+            shape_line(
+                f"batch >= 64 clears {SPEEDUP_FLOOR:.0f}x over per-call scoring",
+                runs[64]["speedup_vs_serial"] >= SPEEDUP_FLOOR,
+            ),
+            shape_line(
+                "shed rate is 0 below the admission limit", below_limit_clean
+            ),
+            shape_line(
+                "over-limit submissions all resolve, typed",
+                all_resolved and shed_typed,
+            ),
+        ]
+    )
+    print_block("Service throughput — micro-batching vs per-call", body)
+
+    assert identical, "service scores diverged from Detector.score"
+    assert runs[64]["speedup_vs_serial"] >= SPEEDUP_FLOOR, (
+        f"batch=64 speedup {runs[64]['speedup_vs_serial']:.2f}x "
+        f"< {SPEEDUP_FLOOR}x floor"
+    )
+    assert below_limit_clean, "service shed load below the admission limit"
+    assert all_resolved and shed_typed, "overload dropped or mistyped requests"

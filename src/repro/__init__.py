@@ -13,17 +13,34 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.gadgets` — ROP gadget scanning and context filtering;
 * :mod:`repro.eval` — per-table/figure experiment runners;
 * :mod:`repro.runtime` — parallel execution and artifact caching;
+* :mod:`repro.service` — micro-batched multi-tenant detection service;
 * :mod:`repro.telemetry` — spans, metrics, and profiling hooks (off by
   default; ``--metrics-out`` / :func:`repro.telemetry.enable` switch it on).
+
+The supported import surface is the :mod:`repro.api` facade —
+``build_detector`` / ``fit`` / ``score`` / ``open_monitor`` /
+``load_pretrained`` — re-exported here.  Older constructor aliases
+(``make_detector``, ``detector_factory``) remain as shims that emit
+:class:`~repro.errors.ReproDeprecationWarning`.
 """
 
-from . import telemetry
+from . import api, telemetry
 
+from .api import (
+    THRESHOLD_RULE,
+    build_detector,
+    detector_spec,
+    fit,
+    load_pretrained,
+    open_monitor,
+    score,
+)
 from .core import (
     CMarkovDetector,
     ClusterPolicy,
     Detector,
     DetectorConfig,
+    PretrainedDetector,
     RegularDetector,
     StiloDetector,
     make_detector,
@@ -34,13 +51,15 @@ from .errors import (
     ModelError,
     NotFittedError,
     ProgramStructureError,
+    ReproDeprecationWarning,
     ReproError,
+    ServiceError,
     TraceError,
 )
 from .eval import ExperimentConfig
 from .program import CallKind, Program, load_corpus, load_program
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisError",
@@ -53,15 +72,26 @@ __all__ = [
     "ExperimentConfig",
     "ModelError",
     "NotFittedError",
+    "PretrainedDetector",
     "Program",
     "ProgramStructureError",
     "RegularDetector",
+    "ReproDeprecationWarning",
     "ReproError",
+    "ServiceError",
     "StiloDetector",
+    "THRESHOLD_RULE",
     "TraceError",
+    "api",
+    "build_detector",
+    "detector_spec",
+    "fit",
     "load_corpus",
+    "load_pretrained",
     "load_program",
     "make_detector",
+    "open_monitor",
+    "score",
     "telemetry",
     "__version__",
 ]

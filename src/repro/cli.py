@@ -11,6 +11,8 @@ Commands mirror the workflow a downstream user runs:
 * ``score``   — load a saved model and score trace segments from a file;
 * ``trace``   — record a workload's traces to a log file (strace/ltrace role);
 * ``score-trace`` — segment a trace log and score it with a saved model;
+* ``serve``   — replay recorded traces through the micro-batched detection
+  service (one session per trace) and report throughput/shed stats;
 * ``report``  — run a fast end-to-end summary of every experiment family;
 * ``demo``    — end-to-end detection demo (train + attack + verdicts).
 """
@@ -27,7 +29,7 @@ import numpy as np
 from . import telemetry
 from .analysis import analyze_program
 from .attacks import build_attack_events, payloads_for
-from .core import make_detector, threshold_for_fp_budget
+from .core import build_detector, threshold_for_fp_budget
 from .core.registry import MODEL_NAMES, model_is_context_sensitive
 from .errors import EvaluationError
 from .eval.tables import render_table
@@ -123,6 +125,35 @@ def build_parser() -> argparse.ArgumentParser:
     score_trace.add_argument("--length", type=int, default=15)
     score_trace.add_argument("--threshold", type=float, default=None,
                              help="flag segments scoring below this value")
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay recorded traces through the micro-batched detection "
+             "service (one session per trace)",
+    )
+    serve.add_argument("model_source",
+                       help="saved model path, or cache:KEY with --cache-dir")
+    serve.add_argument("trace_file", type=Path)
+    serve.add_argument("--kind", type=_kind, default=CallKind.SYSCALL)
+    serve.add_argument("--length", type=int, default=15,
+                       help="window length (monitor/window modes)")
+    serve.add_argument("--threshold", type=float, default=None,
+                       help="operating threshold; anomalous iff score < T "
+                            "(required for --mode monitor)")
+    serve.add_argument("--mode", choices=("window", "monitor", "stream"),
+                       default="window",
+                       help="window: client-side windows; monitor: service "
+                            "keeps sliding window + alerts; stream: "
+                            "incremental per-call surprisal")
+    serve.add_argument("--batch", type=int, default=256,
+                       help="max windows per micro-batch drain")
+    serve.add_argument("--queue-depth", type=int, default=4096,
+                       help="bounded queue depth (admission limit)")
+    serve.add_argument("--latency-budget-ms", type=float, default=None,
+                       help="shed requests older than this at drain time")
+    serve.add_argument("--policy", choices=("reject-new", "shed-oldest"),
+                       default="reject-new",
+                       help="admission policy when the queue is full")
 
     report = sub.add_parser(
         "report", help="fast end-to-end summary of every experiment family"
@@ -239,14 +270,14 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from .core.crossval import trained_model_key
-    from .core.registry import detector_factory
+    from .core.registry import detector_spec
 
     _, cache = runtime_from_args(args)
     program = load_program(args.program)
     workload = run_workload(program, n_cases=args.cases, seed=args.seed)
     context = model_is_context_sensitive(args.model)
     segments = build_segment_set(workload.traces, args.kind, context)
-    factory = detector_factory(args.model, program, args.kind)
+    factory = detector_spec(args.model, program, args.kind)
     detector = factory()
 
     key = trained_model_key(factory, segments) if cache is not None else None
@@ -293,7 +324,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     image = layout_program(program)
     workload = run_workload(program, n_cases=50, seed=args.seed)
     segments = build_segment_set(workload.traces, CallKind.SYSCALL, context=True)
-    detector = make_detector("cmarkov", program, CallKind.SYSCALL)
+    detector = build_detector("cmarkov", program, CallKind.SYSCALL)
     train_part, holdout = segments.split([0.8, 0.2], seed=args.seed)
     detector.fit(train_part)
     threshold = threshold_for_fp_budget(detector.score(holdout.segments()), 0.01)
@@ -351,6 +382,97 @@ def _cmd_score_trace(args: argparse.Namespace) -> int:
     if args.threshold is not None:
         print(f"\n{flagged}/{len(lines)} segments flagged at "
               f"threshold {args.threshold}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .core.detector import PretrainedDetector
+    from .errors import ServiceError
+    from .service import (
+        AdmissionPolicy,
+        DetectionService,
+        Overloaded,
+        Scored,
+        ServiceConfig,
+        Streamed,
+        resolve_model,
+    )
+
+    if args.mode == "monitor" and args.threshold is None:
+        raise ServiceError("--mode monitor needs --threshold")
+    _, cache = runtime_from_args(args)
+    model = resolve_model(args.model_source, cache=cache)
+    detector = PretrainedDetector(model, kind=args.kind, name="served")
+    traces = read_traces(args.trace_file)
+    if not traces:
+        print("trace log holds no traces", file=sys.stderr)
+        return 1
+
+    config = ServiceConfig(
+        max_batch=args.batch,
+        max_queue_depth=args.queue_depth,
+        admission_policy=AdmissionPolicy(args.policy),
+        latency_budget_s=(
+            args.latency_budget_ms / 1000.0
+            if args.latency_budget_ms is not None
+            else None
+        ),
+        default_window=args.length,
+    )
+    service = DetectionService(config)
+    service.register("served", detector, threshold=args.threshold,
+                     window=args.length)
+
+    tickets = []
+    started = _time.perf_counter()
+    for index, trace in enumerate(traces):
+        session = f"trace-{index}"
+        symbols = trace.symbols(detector.kind, detector.context)
+        if args.mode == "window":
+            for window in segment_symbols(symbols, length=args.length):
+                tickets.append(service.submit("served", session, window=window))
+        else:
+            service.open_session("served", session, args.mode)
+            for symbol in symbols:
+                tickets.append(service.submit("served", session, symbol=symbol))
+    service.close(drain=True)  # graceful drain scores the whole backlog
+    elapsed = _time.perf_counter() - started
+
+    outcomes = [ticket.result() for ticket in tickets]
+    scored = [o for o in outcomes if isinstance(o, (Scored, Streamed))]
+    shed = [o for o in outcomes if isinstance(o, Overloaded)]
+    alerts = sum(
+        1 for o in outcomes if isinstance(o, Scored) and o.alert is not None
+    )
+    anomalous = sum(1 for o in scored if o.anomalous)
+    stats = service.stats
+    rows = [
+        ["sessions", len(traces)],
+        ["submitted", stats.submitted],
+        ["scored", stats.scored + stats.streamed],
+        ["absorbed (window warm-up)", stats.absorbed],
+        ["shed", f"{stats.shed_total} (rate {stats.shed_rate:.2%})"],
+        ["micro-batches", stats.batches],
+        ["max batch size", stats.max_batch_size],
+        ["max queue depth", stats.max_depth_seen],
+        ["alerts" if args.mode == "monitor" else "anomalous",
+         alerts if args.mode == "monitor" else anomalous],
+        ["throughput", f"{len(scored) / max(elapsed, 1e-9):,.0f} outcomes/s"],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"service replay — {args.mode} mode"))
+    if scored and args.mode != "stream":
+        min_score = min(o.score for o in scored if isinstance(o, Scored))
+        print(f"min window score: {min_score:.4f}"
+              + (f" (threshold {args.threshold})" if args.threshold is not None
+                 else ""))
+    if shed:
+        reasons = {}
+        for outcome in shed:
+            reasons[outcome.reason.value] = reasons.get(outcome.reason.value, 0) + 1
+        print(f"shed by reason: {reasons}")
     return 0
 
 
@@ -457,6 +579,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "score-trace":
         return _cmd_score_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "demo":

@@ -1,7 +1,13 @@
 """Detection core: the four compared models, metrics, and cross-validation."""
 
 from .crossval import CrossValidationResult, FoldOutcome, cross_validate
-from .detector import Detector, DetectorConfig, FitResult, HmmDetector
+from .detector import (
+    Detector,
+    DetectorConfig,
+    FitResult,
+    HmmDetector,
+    PretrainedDetector,
+)
 from .drift import DriftReport, compare_models, needs_retraining
 from .ensemble import EnsembleDetector, EnsembleMember
 from .monitor import Alert, MonitorStats, OnlineMonitor
@@ -20,7 +26,9 @@ from .registry import (
     EXTRA_MODEL_NAMES,
     MODEL_NAMES,
     DetectorSpec,
+    build_detector,
     detector_factory,
+    detector_spec,
     make_detector,
     model_is_context_sensitive,
 )
@@ -49,6 +57,9 @@ __all__ = [
     "DetectorSpec",
     "FitResult",
     "FoldOutcome",
+    "PretrainedDetector",
+    "build_detector",
+    "detector_spec",
     "RegularDetector",
     "StreamingScorer",
     "StiloDetector",

@@ -20,7 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..errors import NotFittedError, TraceError
+from ..errors import ModelError, NotFittedError, TraceError
 from ..hmm.baumwelch import TrainingConfig, TrainingReport, train
 from ..hmm.forward import log_likelihood
 from ..hmm.model import HiddenMarkovModel
@@ -87,10 +87,29 @@ class Detector(abc.ABC):
     @property
     @abc.abstractmethod
     def is_fitted(self) -> bool:
-        """Whether :meth:`fit` (or a pretrained load) has happened."""
+        """Whether the detector is ready to score — :meth:`fit` was called
+        *or* a pretrained model was installed (see
+        :attr:`trained_in_process` for the distinction)."""
+
+    @property
+    def trained_in_process(self) -> bool:
+        """Whether :meth:`fit` ran in this process.
+
+        ``False`` for a detector that only loaded a pretrained model:
+        it can score (``is_fitted`` is ``True``) but carries no training
+        diagnostics (``fit_result`` raises with a message saying so).
+        """
+        return self.is_fitted
 
     def classify(self, segments: Sequence[Segment], threshold: float) -> np.ndarray:
-        """Boolean anomaly verdict per segment: score below threshold."""
+        """Boolean anomaly verdict per segment.
+
+        The library-wide convention (see :data:`repro.api.THRESHOLD_RULE`):
+        a segment is anomalous iff ``score < threshold`` — *strictly* below,
+        so a score exactly at the threshold is normal.  Every consumer
+        (:class:`~repro.core.monitor.OnlineMonitor`, the detection service,
+        Equations 3-4 in :mod:`repro.core.metrics`) applies this same rule.
+        """
         return self.score(segments) < threshold
 
 
@@ -101,6 +120,7 @@ class HmmDetector(Detector):
         super().__init__(kind=kind, context=context, config=config)
         self._model: HiddenMarkovModel | None = None
         self._fit_result: FitResult | None = None
+        self._pretrained = False
 
     # ------------------------------------------------------------------
     # Template methods
@@ -151,6 +171,7 @@ class HmmDetector(Detector):
         elapsed = time.perf_counter() - started
 
         self._model = model
+        self._pretrained = False
         self._fit_result = FitResult(
             report=report,
             n_states=model.n_states,
@@ -173,9 +194,15 @@ class HmmDetector(Detector):
         """Install an externally trained model (e.g. from
         :func:`repro.hmm.serialize.load_model`) instead of calling
         :meth:`fit` — the deployment path where training happened elsewhere.
+
+        The detector becomes *fitted* (it can score) but not *trained in
+        process*: :attr:`fit_result` keeps raising, with a message that
+        says the diagnostics live wherever training actually ran.
         """
         model.validate()
         self._model = model
+        self._fit_result = None
+        self._pretrained = True
 
     # ------------------------------------------------------------------
     # Accessors
@@ -189,12 +216,59 @@ class HmmDetector(Detector):
     @property
     def fit_result(self) -> FitResult:
         if self._fit_result is None:
+            if self._pretrained:
+                raise NotFittedError(
+                    f"{self.name}: holds a pretrained model, so it can score "
+                    "(is_fitted is True) but fit() never ran in this process "
+                    "— training diagnostics live where the model was trained. "
+                    "Check detector.trained_in_process before reading "
+                    "fit_result."
+                )
             raise NotFittedError(f"{self.name}: fit() has not been called")
         return self._fit_result
 
     @property
     def is_fitted(self) -> bool:
         return self._model is not None
+
+    @property
+    def trained_in_process(self) -> bool:
+        return self._fit_result is not None
+
+
+class PretrainedDetector(HmmDetector):
+    """A scoring-only detector wrapped around an externally trained HMM.
+
+    The deployment path (:func:`repro.api.load_pretrained`, the detection
+    service's fleet loader): no :class:`~repro.program.program.Program` is
+    needed because no initialization or training happens here.  ``fit``
+    therefore raises — retraining requires one of the real detector
+    families built via :func:`repro.api.build_detector`.
+    """
+
+    name = "pretrained"
+
+    def __init__(
+        self,
+        model: HiddenMarkovModel,
+        kind: CallKind = CallKind.SYSCALL,
+        context: bool | None = None,
+        name: str | None = None,
+    ):
+        if context is None:
+            # Context-sensitive alphabets symbolize calls as "call@caller".
+            context = any("@" in symbol for symbol in model.symbols)
+        super().__init__(kind=kind, context=context)
+        if name is not None:
+            self.name = name
+        self.load_pretrained(model)
+
+    def build_initial_model(self, training_segments: SegmentSet) -> HiddenMarkovModel:
+        raise ModelError(
+            "a pretrained detector cannot be (re)trained: it has no "
+            "initializer; build a detector family via "
+            "repro.api.build_detector() to train"
+        )
 
 
 def _cap_segments(segments: SegmentSet, cap: int) -> SegmentSet:

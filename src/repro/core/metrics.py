@@ -4,7 +4,14 @@ Given per-segment scores (per-symbol mean log-likelihood; higher = more
 normal) and a threshold ``T``:
 
 * ``FP = |{normal segments with score < T}| / |normal|``   (Eq. 4)
-* ``FN = |{abnormal segments with score > T}| / |abnormal|`` (Eq. 3)
+* ``FN = |{abnormal segments with score >= T}| / |abnormal|`` (Eq. 3)
+
+The flagging rule is the library-wide convention pinned on the
+:mod:`repro.api` facade: anomalous iff ``score < T`` (*strictly* below), so
+a score exactly at ``T`` is classified normal — and therefore counts as a
+false negative when the segment is abnormal.  Earlier revisions drifted and
+used strict ``>`` for FN, silently excusing exact-threshold misses; FP/FN
+are now exact complements of the one rule.
 
 Sweeping ``T`` yields the FP/FN trade-off curves of Figures 2-5; the paper
 compares models by their false-negative rate at matched low false-positive
@@ -39,7 +46,7 @@ def rates_at_threshold(
     if normal_scores.size == 0 or abnormal_scores.size == 0:
         raise EvaluationError("need both normal and abnormal scores")
     fp = float(np.mean(normal_scores < threshold))
-    fn = float(np.mean(abnormal_scores > threshold))
+    fn = float(np.mean(abnormal_scores >= threshold))
     return fp, fn
 
 
@@ -98,7 +105,9 @@ def fn_at_fp(
             threshold = float(normal_scores[0])  # nothing below the minimum
         else:
             threshold = float(normal_scores[allowed])
-        fn = float(np.mean(abnormal_scores > threshold))
+        # FN under the pinned convention: abnormal segments NOT flagged by
+        # `score < T`, i.e. those with score >= T (ties are normal).
+        fn = float(np.mean(abnormal_scores >= threshold))
         out[float(target)] = fn
     return out
 

@@ -82,6 +82,10 @@ class OnlineMonitor:
         self.cooldown = segment_length if cooldown is None else cooldown
         self._window: deque[str] = deque(maxlen=segment_length)
         self._cooldown_left = 0
+        # Event indices of windows returned by push() but not yet scored —
+        # batched callers push a whole drain before applying its scores, so
+        # alerts must remember which event completed their window.
+        self._pending_indices: deque[int] = deque()
         self.stats = MonitorStats()
 
     # ------------------------------------------------------------------
@@ -95,14 +99,49 @@ class OnlineMonitor:
 
     def observe_symbol(self, symbol: str) -> Alert | None:
         """Feed one pre-symbolized observation."""
+        window = self.push(symbol)
+        if window is None:
+            return None
+        score = float(self.detector.score([window])[0])
+        return self.apply_score(window, score)
+
+    # ------------------------------------------------------------------
+    # Split-phase API (external scoring)
+    # ------------------------------------------------------------------
+    # The detection service multiplexes many monitors over one detector and
+    # scores their ready windows as one micro-batch; it therefore needs the
+    # window bookkeeping and the alert decision as separate steps, with the
+    # actual `detector.score` call lifted out.  `observe_symbol` is exactly
+    # `push` + score + `apply_score`.
+
+    def push(self, symbol: str) -> tuple[str, ...] | None:
+        """Advance the sliding window; returns the window once it is full.
+
+        Does *not* score.  Callers that batch scoring externally must pass
+        every returned window to :meth:`apply_score` (in order) to keep the
+        cooldown/stats state consistent.
+        """
         self.stats.events += 1
         telemetry.counter_add("monitor.events")
         self._window.append(symbol)
         if len(self._window) < self.segment_length:
             return None
+        self._pending_indices.append(self.stats.events - 1)
+        return tuple(self._window)
 
-        window = tuple(self._window)
-        score = float(self.detector.score([window])[0])
+    def apply_score(self, window: tuple[str, ...], score: float) -> Alert | None:
+        """Apply one externally computed window score to the alert logic.
+
+        The flagging rule is the library-wide convention (see
+        :data:`repro.api.THRESHOLD_RULE`): anomalous iff
+        ``score < threshold``, strictly.
+        """
+        score = float(score)
+        event_index = (
+            self._pending_indices.popleft()
+            if self._pending_indices
+            else self.stats.events - 1
+        )
         self.stats.windows_scored += 1
         self.stats.min_score = min(self.stats.min_score, score)
         telemetry.counter_add("monitor.windows_scored")
@@ -122,7 +161,7 @@ class OnlineMonitor:
         self.stats.alerts += 1
         telemetry.counter_add("monitor.alerts")
         return Alert(
-            event_index=self.stats.events - 1,
+            event_index=event_index,
             window=window,
             score=score,
             threshold=self.threshold,
@@ -141,3 +180,4 @@ class OnlineMonitor:
         """Clear the window and cooldown (e.g. on process restart)."""
         self._window.clear()
         self._cooldown_left = 0
+        self._pending_indices.clear()

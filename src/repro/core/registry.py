@@ -10,10 +10,11 @@ Maps the paper's model names to constructors:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
-from ..errors import EvaluationError
+from ..errors import EvaluationError, ReproDeprecationWarning
 from ..program.calls import CallKind
 from ..program.program import Program
 from .detector import Detector, DetectorConfig
@@ -34,18 +35,30 @@ MODEL_NAMES: tuple[str, ...] = (
 EXTRA_MODEL_NAMES: tuple[str, ...] = ("ngram", "ngram-context")
 
 
-def make_detector(
+def build_detector(
     model_name: str,
     program: Program,
-    kind: CallKind,
+    kind: CallKind | str,
     config: DetectorConfig | None = None,
     cluster_policy: ClusterPolicy | None = None,
 ) -> Detector:
-    """Instantiate one of the four compared detectors.
+    """Instantiate one of the compared detectors (the canonical constructor).
+
+    Prefer importing this through the :mod:`repro.api` facade.
+
+    Args:
+        model_name: one of :data:`MODEL_NAMES` or :data:`EXTRA_MODEL_NAMES`.
+        program: the analyzed program (static-init models derive their
+            initialization from its CFGs).
+        kind: observation family — a :class:`~repro.program.calls.CallKind`
+            or its string value (``"syscall"`` / ``"libcall"``).
+        config: detector knobs; defaults to :class:`DetectorConfig`.
+        cluster_policy: CMarkov-only state-reduction policy.
 
     Raises:
         EvaluationError: for an unknown model name.
     """
+    kind = CallKind(kind)
     if model_name == "cmarkov":
         return CMarkovDetector(
             program, kind=kind, config=config, cluster_policy=cluster_policy
@@ -84,7 +97,7 @@ class DetectorSpec:
     cluster_policy: ClusterPolicy | None = None
 
     def __call__(self) -> Detector:
-        return make_detector(
+        return build_detector(
             self.model_name,
             self.program,
             self.kind,
@@ -105,6 +118,54 @@ class DetectorSpec:
         }
 
 
+def detector_spec(
+    model_name: str,
+    program: Program,
+    kind: CallKind | str,
+    config: DetectorConfig | None = None,
+    cluster_policy: ClusterPolicy | None = None,
+) -> DetectorSpec:
+    """A picklable, content-keyable detector recipe (see :class:`DetectorSpec`).
+
+    Cross-validation and the parallel executor consume specs rather than
+    detectors so recipes can cross process boundaries and feed cache keys.
+    """
+    return DetectorSpec(
+        model_name=model_name,
+        program=program,
+        kind=CallKind(kind),
+        config=config,
+        cluster_policy=cluster_policy,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated entry points (kept as thin shims; see repro.api)
+# ---------------------------------------------------------------------------
+
+
+def make_detector(
+    model_name: str,
+    program: Program,
+    kind: CallKind,
+    config: DetectorConfig | None = None,
+    cluster_policy: ClusterPolicy | None = None,
+) -> Detector:
+    """Deprecated alias of :func:`build_detector`.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.build_detector`.
+    """
+    warnings.warn(
+        "make_detector() is deprecated; use repro.api.build_detector()",
+        ReproDeprecationWarning,
+        stacklevel=2,
+    )
+    return build_detector(
+        model_name, program, kind, config=config, cluster_policy=cluster_policy
+    )
+
+
 def detector_factory(
     model_name: str,
     program: Program,
@@ -112,18 +173,19 @@ def detector_factory(
     config: DetectorConfig | None = None,
     cluster_policy: ClusterPolicy | None = None,
 ) -> Callable[[], Detector]:
-    """A zero-argument factory for cross-validation.
+    """Deprecated alias of :func:`detector_spec`.
 
-    Returns a :class:`DetectorSpec`: callable like the closure this used
-    to build, but picklable (parallel execution) and content-keyable
-    (caching).
+    .. deprecated:: 1.1
+        Use :func:`repro.api.detector_spec` (or construct
+        :class:`DetectorSpec` directly).
     """
-    return DetectorSpec(
-        model_name=model_name,
-        program=program,
-        kind=kind,
-        config=config,
-        cluster_policy=cluster_policy,
+    warnings.warn(
+        "detector_factory() is deprecated; use repro.api.detector_spec()",
+        ReproDeprecationWarning,
+        stacklevel=2,
+    )
+    return detector_spec(
+        model_name, program, kind, config=config, cluster_policy=cluster_policy
     )
 
 

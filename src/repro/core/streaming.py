@@ -45,6 +45,22 @@ class StreamingScorer:
         self._recent: deque[float] = deque(maxlen=window)
         self.events = 0
 
+    @classmethod
+    def for_detector(cls, detector, window: int = 15) -> "StreamingScorer":
+        """A scorer over a fitted detector's model.
+
+        The detection service opens one scorer per streaming session; this
+        constructor is the supported seam (it works for any detector that
+        exposes a ``model`` — i.e. the HMM families).
+        """
+        model = getattr(detector, "model", None)
+        if not isinstance(model, HiddenMarkovModel):
+            raise ModelError(
+                f"{getattr(detector, 'name', detector)!r} exposes no HMM; "
+                "streaming sessions need an HMM-backed detector"
+            )
+        return cls(model, window=window)
+
     def observe(self, symbol: str) -> float:
         """Consume one symbol; returns its surprise (-log predictive prob).
 
@@ -65,6 +81,16 @@ class StreamingScorer:
         surprise = -float(np.log(total))
         self._recent.append(surprise)
         return surprise
+
+    def observe_many(self, symbols) -> list[float]:
+        """Consume a run of symbols in order; returns their surprisals.
+
+        The service's micro-batch drain hands each streaming session its
+        queued symbols as one run — sequential within the session (the
+        belief update is order-dependent) while *sessions* proceed
+        independently of each other.
+        """
+        return [self.observe(symbol) for symbol in symbols]
 
     @property
     def windowed_score(self) -> float:

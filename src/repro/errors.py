@@ -38,3 +38,20 @@ class TraceError(ReproError):
 
 class EvaluationError(ReproError):
     """An experiment configuration or evaluation input is invalid."""
+
+
+class ServiceError(ReproError):
+    """The detection service was misconfigured or misused.
+
+    Examples: submitting to an unregistered detector, reusing a session id
+    across incompatible modes, or submitting after shutdown.
+    """
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Deprecation warning for retired repro entry points.
+
+    A distinct subclass so the test suite (and CI) can turn *our* shims
+    into hard errors — ``-W error::repro.errors.ReproDeprecationWarning``
+    — without tripping on unrelated third-party deprecations.
+    """

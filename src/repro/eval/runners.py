@@ -24,7 +24,7 @@ from ..attacks.rop import code_reuse_from_normal
 from ..attacks.synthetic import abnormal_s_segments
 from ..core.crossval import CrossValidationResult, cross_validate
 from ..core.metrics import CurvePoint, curve
-from ..core.registry import MODEL_NAMES, detector_factory, model_is_context_sensitive
+from ..core.registry import MODEL_NAMES, detector_spec, model_is_context_sensitive
 from ..core.thresholds import threshold_for_fp_budget
 from ..errors import EvaluationError
 from ..gadgets.context_filter import GadgetSurface, gadget_surface
@@ -152,7 +152,7 @@ def _model_accuracy_cell(
             seed=config.seed + 17,
             exclude=segments,
         )
-        factory = detector_factory(
+        factory = detector_spec(
             model_name,
             data.program,
             kind,
@@ -512,7 +512,7 @@ def run_exploit_detection(
                 CallKind.SYSCALL, context, config.segment_length
             )
             train_part, test_part = segments.split([0.8, 0.2], seed=config.seed)
-            detector = detector_factory(
+            detector = detector_spec(
                 model_name, data.program, CallKind.SYSCALL,
                 config=config.detector_config(),
             )()

@@ -6,7 +6,13 @@ and random initialization for the Regular baselines.
 """
 
 from .baumwelch import TrainingConfig, TrainingReport, train
-from .forward import backward, forward, log_likelihood, posterior_states
+from .forward import (
+    backward,
+    forward,
+    log_likelihood,
+    log_likelihood_ragged,
+    posterior_states,
+)
 from .model import UNKNOWN_SYMBOL, HiddenMarkovModel, ensure_alphabet_with_unknown
 from .random_init import random_model
 from .serialize import load_model, save_model
@@ -31,6 +37,7 @@ __all__ = [
     "forward",
     "load_model",
     "log_likelihood",
+    "log_likelihood_ragged",
     "most_suspicious_positions",
     "posterior_states",
     "random_model",

@@ -116,6 +116,46 @@ def log_likelihood(model: HiddenMarkovModel, obs: np.ndarray) -> np.ndarray:
     return loglik
 
 
+def log_likelihood_ragged(
+    model: HiddenMarkovModel, sequences: "list[np.ndarray]"
+) -> np.ndarray:
+    """Per-sequence ``log P(O | λ)`` for sequences of *unequal* lengths.
+
+    The batched :func:`log_likelihood` requires one shared length — fine for
+    the paper's fixed 15-call segments, but the detection service drains a
+    micro-batch of windows collected from many sessions, and those may mix
+    lengths (e.g. tenants running different window sizes).  This entry point
+    groups the batch by length and runs **one** vectorized forward pass per
+    length group, so a drain still costs O(#distinct lengths) forward calls
+    rather than O(batch).
+
+    Scores come back aligned with the input order, and each value is
+    bit-identical to what :func:`log_likelihood` returns for the same
+    length group (it *is* the same call).
+
+    Args:
+        model: the HMM.
+        sequences: encoded observation rows (1-D int arrays / lists), each
+            of length >= 1.
+
+    Returns:
+        (len(sequences),) float array of log-likelihoods.
+    """
+    out = np.empty(len(sequences))
+    if not sequences:
+        return out
+    by_length: dict[int, list[int]] = {}
+    rows = [np.asarray(seq) for seq in sequences]
+    for position, row in enumerate(rows):
+        if row.ndim != 1 or row.shape[0] == 0:
+            raise ModelError("each ragged sequence must be 1-D and non-empty")
+        by_length.setdefault(row.shape[0], []).append(position)
+    for length, positions in by_length.items():
+        obs = np.stack([rows[position] for position in positions])
+        out[positions] = log_likelihood(model, obs)
+    return out
+
+
 def posterior_states(
     model: HiddenMarkovModel, obs: np.ndarray
 ) -> np.ndarray:

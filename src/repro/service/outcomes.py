@@ -1,0 +1,141 @@
+"""Typed request outcomes and the ticket handed back by ``submit``.
+
+Every accepted submission resolves to exactly one outcome — the service
+never drops a request silently:
+
+* :class:`Scored` — a complete window was scored (window/monitor modes);
+* :class:`Streamed` — one symbol's incremental surprisal (stream mode);
+* :class:`Absorbed` — a symbol advanced a session's sliding window without
+  completing it yet (monitor warm-up);
+* :class:`Overloaded` — admission control shed the request (bounded queue
+  depth, latency budget, or non-draining shutdown), with a typed reason.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+
+from ..core.monitor import Alert
+
+
+class ShedReason(enum.Enum):
+    """Why admission control refused to score a request."""
+
+    #: The detector queue was at ``max_queue_depth`` and the policy rejects
+    #: new arrivals.
+    QUEUE_FULL = "queue_full"
+    #: The detector queue was full and the policy sheds the *oldest* pending
+    #: request to admit the new one.
+    SHED_OLDEST = "shed_oldest"
+    #: The request waited longer than ``latency_budget_s`` before its drain.
+    DEADLINE = "deadline"
+    #: The service shut down without draining.
+    SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True)
+class Scored:
+    """One window scored under the pinned ``score < threshold`` rule.
+
+    Attributes:
+        score: per-symbol mean log-likelihood (higher = more normal).
+        detector: registered detector name.
+        session: submitting session id.
+        batch_size: how many windows shared this drain's forward pass.
+        queued_s: enqueue-to-score latency.
+        alert: the monitor's alert record (monitor mode, below threshold,
+            outside cooldown) — ``None`` otherwise.
+        anomalous: threshold verdict, when the detector was registered with
+            an operating threshold (``None`` otherwise).
+    """
+
+    score: float
+    detector: str
+    session: str
+    batch_size: int
+    queued_s: float
+    alert: Alert | None = None
+    anomalous: bool | None = None
+
+
+@dataclass(frozen=True)
+class Streamed:
+    """One streaming symbol's surprisal (stream mode).
+
+    Attributes:
+        surprise: ``-log P[symbol | history]`` — higher = less expected.
+        windowed_score: mean negative surprise of the last ``window``
+            events (comparable to :class:`Scored` scores); ``None`` until
+            the session has seen a full window.
+        anomalous: ``windowed_score < threshold`` when both are available.
+    """
+
+    surprise: float
+    detector: str
+    session: str
+    batch_size: int
+    queued_s: float
+    windowed_score: float | None = None
+    anomalous: bool | None = None
+
+
+@dataclass(frozen=True)
+class Absorbed:
+    """A monitor-mode symbol consumed before its window filled."""
+
+    detector: str
+    session: str
+    queued_s: float
+
+
+@dataclass(frozen=True)
+class Overloaded:
+    """Admission control shed this request; it was never scored.
+
+    Attributes:
+        reason: the typed shed cause.
+        depth: queue depth observed when the decision was made.
+        queued_s: how long the request had waited (0 for rejected-at-door).
+    """
+
+    detector: str
+    session: str
+    reason: ShedReason
+    depth: int
+    queued_s: float = 0.0
+
+
+ScoreOutcome = Scored | Streamed | Absorbed | Overloaded
+
+
+class Ticket:
+    """A one-shot future for a submission's outcome.
+
+    The scheduler resolves each ticket exactly once; ``result()`` blocks
+    until then (or raises on timeout).  In synchronous deployments
+    (``service.pump()`` called by the same thread) the outcome is already
+    set by the time ``submit`` returns control.
+    """
+
+    __slots__ = ("_event", "_outcome")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._outcome: ScoreOutcome | None = None
+
+    def _resolve(self, outcome: ScoreOutcome) -> None:
+        if self._outcome is not None:  # pragma: no cover - internal invariant
+            raise AssertionError("ticket resolved twice")
+        self._outcome = outcome
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> ScoreOutcome:
+        if not self._event.wait(timeout):
+            raise TimeoutError("outcome not available yet")
+        assert self._outcome is not None
+        return self._outcome

@@ -1,0 +1,255 @@
+"""Micro-batching scheduler: per-detector queues drained into one forward
+pass.
+
+The hot path the batched :mod:`repro.hmm.forward` recursions were written
+for: instead of one ``log_likelihood`` call per request (a (1, 15) matrix
+product per time step), a drain collects every ready window across all
+sessions of one detector and scores them as a single (B, 15) batch —
+unequal window lengths fall back to one call per *length group* via
+:func:`repro.hmm.forward.log_likelihood_ragged`.
+
+Admission control lives at the two points where load sheds:
+
+* **at the door** (:meth:`DetectorLane.admit`) — a queue at
+  ``max_queue_depth`` either rejects the arrival or evicts its oldest
+  pending request, per :class:`~repro.service.config.AdmissionPolicy`;
+* **at the drain** (:meth:`MicroBatchScheduler.drain`) — requests older
+  than ``latency_budget_s`` resolve ``Overloaded(DEADLINE)`` rather than
+  being scored late.
+
+Every shed request resolves with a typed
+:class:`~repro.service.outcomes.Overloaded`; accepted requests always
+resolve with a scored outcome (or a shutdown shed) — never silence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import telemetry
+from ..core.detector import Detector
+from ..hmm.forward import log_likelihood_ragged
+from .config import AdmissionPolicy, ServiceConfig
+from .outcomes import Absorbed, Overloaded, Scored, ShedReason, Streamed, Ticket
+from .sessions import Session, SessionMode
+
+#: Telemetry bucket bounds for drain batch sizes.
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+@dataclass
+class PendingRequest:
+    """One queued submission awaiting its drain."""
+
+    ticket: Ticket
+    session: Session
+    enqueued_at: float
+    window: tuple[str, ...] | None = None
+    symbol: str | None = None
+
+
+@dataclass
+class DetectorLane:
+    """One registered detector: its queue, threshold, and window length."""
+
+    name: str
+    detector: Detector
+    threshold: float | None
+    window: int
+    queue: deque = field(default_factory=deque)
+
+    @property
+    def depth(self) -> int:
+        return len(self.queue)
+
+    def admit(
+        self, request: PendingRequest, config: ServiceConfig
+    ) -> PendingRequest | None:
+        """Enqueue ``request``, applying the depth bound.
+
+        Returns the request that was shed (the arrival itself under
+        ``REJECT_NEW``, the evicted oldest under ``SHED_OLDEST``), already
+        resolved with its :class:`Overloaded` outcome — or ``None`` when
+        the queue had room.
+        """
+        if len(self.queue) < config.max_queue_depth:
+            self.queue.append(request)
+            return None
+        if config.admission_policy is AdmissionPolicy.REJECT_NEW:
+            request.ticket._resolve(
+                Overloaded(
+                    detector=self.name,
+                    session=request.session.session_id,
+                    reason=ShedReason.QUEUE_FULL,
+                    depth=len(self.queue),
+                )
+            )
+            return request
+        oldest = self.queue.popleft()
+        oldest.ticket._resolve(
+            Overloaded(
+                detector=self.name,
+                session=oldest.session.session_id,
+                reason=ShedReason.SHED_OLDEST,
+                depth=len(self.queue) + 1,
+                queued_s=max(0.0, request.enqueued_at - oldest.enqueued_at),
+            )
+        )
+        self.queue.append(request)
+        return oldest
+
+
+class MicroBatchScheduler:
+    """Drains one lane at a time; owns no threads (the service does)."""
+
+    def __init__(self, config: ServiceConfig, clock) -> None:
+        self.config = config
+        self.clock = clock
+
+    def drain(self, lane: DetectorLane, stats) -> int:
+        """Process up to ``max_batch`` queued requests of one lane.
+
+        Returns the number of requests resolved (scored, streamed,
+        absorbed, or deadline-shed).  One drain issues at most one forward
+        pass per distinct window length present in the batch — for the
+        homogeneous 15-call case, exactly one.
+        """
+        if not lane.queue:
+            return 0
+        now = self.clock()
+        budget = self.config.latency_budget_s
+
+        taken: list[PendingRequest] = []
+        while lane.queue and len(taken) < self.config.max_batch:
+            taken.append(lane.queue.popleft())
+
+        resolved = 0
+        # Window bookkeeping first: deadline sheds, monitor pushes, and the
+        # ragged score batch, all in FIFO order.
+        scorable: list[tuple[PendingRequest, tuple[str, ...], float]] = []
+        streaming: list[tuple[PendingRequest, float]] = []
+        for request in taken:
+            queued_s = max(0.0, now - request.enqueued_at)
+            if budget is not None and queued_s > budget:
+                request.ticket._resolve(
+                    Overloaded(
+                        detector=lane.name,
+                        session=request.session.session_id,
+                        reason=ShedReason.DEADLINE,
+                        depth=lane.depth,
+                        queued_s=queued_s,
+                    )
+                )
+                stats.count_shed(ShedReason.DEADLINE)
+                resolved += 1
+                continue
+            session = request.session
+            if session.mode is SessionMode.STREAM:
+                streaming.append((request, queued_s))
+                continue
+            if session.mode is SessionMode.MONITOR:
+                window = session.monitor.push(request.symbol)
+                if window is None:
+                    request.ticket._resolve(
+                        Absorbed(
+                            detector=lane.name,
+                            session=session.session_id,
+                            queued_s=queued_s,
+                        )
+                    )
+                    stats.absorbed += 1
+                    resolved += 1
+                    continue
+            else:
+                window = request.window
+            scorable.append((request, window, queued_s))
+
+        model = lane.detector.model if (scorable or streaming) else None
+
+        if scorable:
+            rows = [
+                np.fromiter(
+                    (model.encode_symbol(symbol) for symbol in window),
+                    dtype=np.int64,
+                    count=len(window),
+                )
+                for _, window, _ in scorable
+            ]
+            lengths = np.array([row.shape[0] for row in rows], dtype=float)
+            scores = log_likelihood_ragged(model, rows) / lengths
+            batch_size = len(scorable)
+            telemetry.observe(
+                "service.batch.size", batch_size, boundaries=BATCH_SIZE_BUCKETS
+            )
+            stats.record_batch(batch_size)
+            for (request, window, queued_s), score in zip(scorable, scores):
+                score = float(score)
+                session = request.session
+                alert = None
+                if session.mode is SessionMode.MONITOR:
+                    alert = session.monitor.apply_score(window, score)
+                anomalous = (
+                    score < lane.threshold if lane.threshold is not None else None
+                )
+                request.ticket._resolve(
+                    Scored(
+                        score=score,
+                        detector=lane.name,
+                        session=session.session_id,
+                        batch_size=batch_size,
+                        queued_s=queued_s,
+                        alert=alert,
+                        anomalous=anomalous,
+                    )
+                )
+                telemetry.observe(
+                    "service.latency.queue_s",
+                    queued_s,
+                    boundaries=telemetry.DEFAULT_SECONDS_BUCKETS,
+                )
+                stats.scored += 1
+                resolved += 1
+
+        if streaming:
+            # Sequential within a session (the belief update is order
+            # dependent); the FIFO walk preserves exactly that order.
+            batch_size = len(streaming)
+            for request, queued_s in streaming:
+                session = request.session
+                surprise = session.scorer.observe(request.symbol)
+                windowed = (
+                    session.scorer.windowed_score
+                    if session.scorer.window_full
+                    else None
+                )
+                anomalous = (
+                    windowed < lane.threshold
+                    if (windowed is not None and lane.threshold is not None)
+                    else None
+                )
+                request.ticket._resolve(
+                    Streamed(
+                        surprise=surprise,
+                        detector=lane.name,
+                        session=session.session_id,
+                        batch_size=batch_size,
+                        queued_s=queued_s,
+                        windowed_score=windowed,
+                        anomalous=anomalous,
+                    )
+                )
+                telemetry.observe(
+                    "service.latency.queue_s",
+                    queued_s,
+                    boundaries=telemetry.DEFAULT_SECONDS_BUCKETS,
+                )
+                stats.streamed += 1
+                resolved += 1
+
+        telemetry.gauge_set(f"service.queue.depth.{lane.name}", lane.depth)
+        return resolved

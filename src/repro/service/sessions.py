@@ -1,0 +1,80 @@
+"""Per-session sticky state: the multi-tenant half of the service.
+
+A *session* is one trace stream (one monitored process / tenant).  Sessions
+are sticky: monitor sessions keep their sliding window and cooldown, stream
+sessions keep their HMM filtering distribution, across every micro-batch
+drain.  Requests from different sessions share a drain's forward pass;
+state never leaks between sessions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.detector import Detector
+from ..core.monitor import OnlineMonitor
+from ..core.streaming import StreamingScorer
+from ..errors import ServiceError
+
+
+class SessionMode(enum.Enum):
+    """How a session's submissions are interpreted."""
+
+    #: Client submits complete windows; stateless per session.
+    WINDOW = "window"
+    #: Client submits raw symbols; the service maintains the sliding
+    #: window and alert cooldown (an :class:`OnlineMonitor` per session).
+    MONITOR = "monitor"
+    #: Client submits raw symbols; the service maintains the incremental
+    #: forward filter (a :class:`StreamingScorer` per session).
+    STREAM = "stream"
+
+
+@dataclass
+class Session:
+    """Sticky state for one (detector, session id) pair."""
+
+    session_id: str
+    detector_name: str
+    mode: SessionMode
+    monitor: OnlineMonitor | None = None
+    scorer: StreamingScorer | None = None
+
+    @classmethod
+    def open(
+        cls,
+        session_id: str,
+        detector_name: str,
+        detector: Detector,
+        mode: SessionMode,
+        window: int,
+        threshold: float | None,
+    ) -> "Session":
+        monitor = None
+        scorer = None
+        if mode is SessionMode.MONITOR:
+            if threshold is None:
+                raise ServiceError(
+                    f"monitor sessions need an operating threshold; register "
+                    f"detector {detector_name!r} with threshold=..."
+                )
+            monitor = OnlineMonitor(
+                detector, threshold=threshold, segment_length=window
+            )
+        elif mode is SessionMode.STREAM:
+            scorer = StreamingScorer.for_detector(detector, window=window)
+        return cls(
+            session_id=session_id,
+            detector_name=detector_name,
+            mode=mode,
+            monitor=monitor,
+            scorer=scorer,
+        )
+
+    def reset(self) -> None:
+        """Clear stream/monitor state (monitored process restarted)."""
+        if self.monitor is not None:
+            self.monitor.reset()
+        if self.scorer is not None:
+            self.scorer.reset()

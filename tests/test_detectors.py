@@ -9,7 +9,7 @@ from repro.core import (
     DetectorConfig,
     RegularDetector,
     StiloDetector,
-    make_detector,
+    build_detector,
     threshold_for_fp_budget,
 )
 from repro.errors import EvaluationError, NotFittedError, TraceError
@@ -185,13 +185,13 @@ class TestRegistry:
         ],
     )
     def test_factory_types(self, gzip_program, name, cls):
-        detector = make_detector(name, gzip_program, CallKind.SYSCALL)
+        detector = build_detector(name, gzip_program, CallKind.SYSCALL)
         assert isinstance(detector, cls)
         assert detector.name == name
 
     def test_unknown_model_raises(self, gzip_program):
         with pytest.raises(EvaluationError):
-            make_detector("svm", gzip_program, CallKind.SYSCALL)
+            build_detector("svm", gzip_program, CallKind.SYSCALL)
 
 
 class TestThresholds:

@@ -26,7 +26,7 @@ from repro import telemetry
 from repro.attacks.synthetic import abnormal_s_segments
 from repro.core import DetectorConfig
 from repro.core.crossval import CrossValidationResult, cross_validate
-from repro.core.registry import detector_factory
+from repro.core.registry import detector_spec
 from repro.hmm import TrainingConfig
 from repro.hmm.model import HiddenMarkovModel
 from repro.program import CallKind, load_program
@@ -77,7 +77,7 @@ def _run_cell() -> CellOutcome:
         max_training_segments=600,
         seed=SEED,
     )
-    factory = detector_factory(
+    factory = detector_spec(
         "cmarkov", program, CallKind.SYSCALL, config=config
     )
     cv = cross_validate(

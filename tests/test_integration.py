@@ -16,7 +16,7 @@ from repro.core import (
     StiloDetector,
     auc_score,
     cross_validate,
-    detector_factory,
+    detector_spec,
     threshold_for_fp_budget,
 )
 from repro.eval import FAST_CONFIG, run_accuracy_comparison, run_clustering_reduction
@@ -150,7 +150,7 @@ class TestCrossValidationIntegration:
         abnormal = abnormal_s_segments(
             segments.segments(), segments.alphabet(), 100, seed=0, exclude=segments
         )
-        factory = detector_factory(
+        factory = detector_spec(
             "cmarkov", gzip_program, CallKind.SYSCALL, config=detector_config
         )
         result = cross_validate(factory, segments, abnormal, k=3, seed=0)

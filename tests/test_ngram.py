@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import NGramDetector, make_detector
+from repro.core import NGramDetector, build_detector
 from repro.errors import NotFittedError, TraceError
 from repro.program import CallKind
 from repro.tracing import SegmentSet
@@ -82,8 +82,8 @@ class TestScoring:
 
 class TestRegistry:
     def test_factory_builds_ngram_variants(self, gzip_program):
-        plain = make_detector("ngram", gzip_program, CallKind.SYSCALL)
-        ctx = make_detector("ngram-context", gzip_program, CallKind.SYSCALL)
+        plain = build_detector("ngram", gzip_program, CallKind.SYSCALL)
+        ctx = build_detector("ngram-context", gzip_program, CallKind.SYSCALL)
         assert isinstance(plain, NGramDetector) and not plain.context
         assert isinstance(ctx, NGramDetector) and ctx.context
 

@@ -19,7 +19,7 @@ from repro.core import (
     DetectorConfig,
     RegularDetector,
     cross_validate,
-    detector_factory,
+    detector_spec,
 )
 from repro.errors import (
     AnalysisError,
@@ -132,7 +132,7 @@ class TestDetectorDegenerateInputs:
     def test_cross_validate_rejects_empty_abnormal(self, gzip_program):
         workload = run_workload(gzip_program, n_cases=5, seed=0)
         segments = build_segment_set(workload.traces, CallKind.SYSCALL, True)
-        factory = detector_factory("stilo", gzip_program, CallKind.SYSCALL)
+        factory = detector_spec("stilo", gzip_program, CallKind.SYSCALL)
         with pytest.raises(EvaluationError):
             cross_validate(factory, segments, [], k=2)
 

@@ -15,7 +15,7 @@ import pytest
 
 from repro.analysis import analyze_program
 from repro.attacks import abnormal_s_segments
-from repro.core import DetectorConfig, DetectorSpec, cross_validate, detector_factory
+from repro.core import DetectorConfig, DetectorSpec, cross_validate, detector_spec
 from repro.core.crossval import trained_model_key
 from repro.errors import EvaluationError
 from repro.hmm import TrainingConfig, random_model
@@ -49,7 +49,7 @@ def cv_inputs():
         seed=7,
         max_training_segments=250,
     )
-    factory = detector_factory("cmarkov", program, SYSCALL, config=config)
+    factory = detector_spec("cmarkov", program, SYSCALL, config=config)
     return program, segments, abnormal, config, factory
 
 
@@ -199,7 +199,7 @@ class TestArtifactCache:
         base = trained_model_key(factory, segments)
         assert base == trained_model_key(factory, segments)
 
-        reseeded = detector_factory(
+        reseeded = detector_spec(
             "cmarkov",
             program,
             SYSCALL,
@@ -211,7 +211,7 @@ class TestArtifactCache:
         )
         assert trained_model_key(reseeded, segments) != base
 
-        retrained = detector_factory(
+        retrained = detector_spec(
             "cmarkov",
             program,
             SYSCALL,
@@ -223,7 +223,7 @@ class TestArtifactCache:
         )
         assert trained_model_key(retrained, segments) != base
 
-        other_model = detector_factory("stilo", program, SYSCALL, config=config)
+        other_model = detector_spec("stilo", program, SYSCALL, config=config)
         assert trained_model_key(other_model, segments) != base
 
         smaller = segments.split([0.5, 0.5], seed=0)[0]

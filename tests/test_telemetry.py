@@ -12,7 +12,7 @@ import pytest
 from repro import telemetry
 from repro.core import DetectorConfig
 from repro.core.crossval import cross_validate
-from repro.core.registry import detector_factory
+from repro.core.registry import detector_spec
 from repro.hmm import TrainingConfig
 from repro.program import CallKind
 from repro.runtime import ParallelExecutor
@@ -251,7 +251,7 @@ class TestJobsParity:
             workload.traces, CallKind.SYSCALL, context=True
         )
         abnormal = segments.segments()[:20]
-        factory = detector_factory(
+        factory = detector_spec(
             "stilo",
             gzip_program,
             CallKind.SYSCALL,
