@@ -393,6 +393,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import (
         AdmissionPolicy,
         DetectionService,
+        Failed,
         Overloaded,
         Scored,
         ServiceConfig,
@@ -426,23 +427,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                      window=args.length)
 
     tickets = []
+
+    def _submit(session: str, **kwargs) -> None:
+        # Offline replay is producer-paced: drain whenever the bounded
+        # queue fills so a long trace log never sheds as fake "overload"
+        # (the admission limit is meant for live traffic, not replay size).
+        if service.pending >= args.queue_depth:
+            service.pump("served")
+        tickets.append(service.submit("served", session, **kwargs))
+
     started = _time.perf_counter()
     for index, trace in enumerate(traces):
         session = f"trace-{index}"
         symbols = trace.symbols(detector.kind, detector.context)
         if args.mode == "window":
             for window in segment_symbols(symbols, length=args.length):
-                tickets.append(service.submit("served", session, window=window))
+                _submit(session, window=window)
         else:
             service.open_session("served", session, args.mode)
             for symbol in symbols:
-                tickets.append(service.submit("served", session, symbol=symbol))
+                _submit(session, symbol=symbol)
     service.close(drain=True)  # graceful drain scores the whole backlog
     elapsed = _time.perf_counter() - started
 
     outcomes = [ticket.result() for ticket in tickets]
     scored = [o for o in outcomes if isinstance(o, (Scored, Streamed))]
     shed = [o for o in outcomes if isinstance(o, Overloaded)]
+    failed = [o for o in outcomes if isinstance(o, Failed)]
     alerts = sum(
         1 for o in outcomes if isinstance(o, Scored) and o.alert is not None
     )
@@ -473,6 +484,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for outcome in shed:
             reasons[outcome.reason.value] = reasons.get(outcome.reason.value, 0) + 1
         print(f"shed by reason: {reasons}")
+    if failed:
+        print(f"failed to score: {len(failed)} "
+              f"(first error: {failed[0].error})", file=sys.stderr)
     return 0
 
 

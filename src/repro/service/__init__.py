@@ -29,6 +29,7 @@ from .config import AdmissionPolicy, ServiceConfig
 from .fleet import load_fleet, resolve_model
 from .outcomes import (
     Absorbed,
+    Failed,
     Overloaded,
     ScoreOutcome,
     Scored,
@@ -45,6 +46,7 @@ __all__ = [
     "AdmissionPolicy",
     "BATCH_SIZE_BUCKETS",
     "DetectionService",
+    "Failed",
     "MicroBatchScheduler",
     "Overloaded",
     "ScoreOutcome",

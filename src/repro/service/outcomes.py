@@ -8,7 +8,10 @@ never drops a request silently:
 * :class:`Absorbed` — a symbol advanced a session's sliding window without
   completing it yet (monitor warm-up);
 * :class:`Overloaded` — admission control shed the request (bounded queue
-  depth, latency budget, or non-draining shutdown), with a typed reason.
+  depth, latency budget, or non-draining shutdown), with a typed reason;
+* :class:`Failed` — scoring raised an exception (e.g. a symbol outside a
+  no-UNK model's alphabet); the error message rides on the outcome instead
+  of stranding the ticket.
 """
 
 from __future__ import annotations
@@ -49,6 +52,9 @@ class Scored:
             outside cooldown) — ``None`` otherwise.
         anomalous: threshold verdict, when the detector was registered with
             an operating threshold (``None`` otherwise).
+        gap: ``True`` when the session has had monitor-mode symbols shed
+            since open/reset, i.e. this score was computed over a
+            discontinuous stream (always ``False`` for window sessions).
     """
 
     score: float
@@ -58,6 +64,7 @@ class Scored:
     queued_s: float
     alert: Alert | None = None
     anomalous: bool | None = None
+    gap: bool = False
 
 
 @dataclass(frozen=True)
@@ -70,6 +77,9 @@ class Streamed:
             events (comparable to :class:`Scored` scores); ``None`` until
             the session has seen a full window.
         anomalous: ``windowed_score < threshold`` when both are available.
+        gap: ``True`` when the session has had symbols shed since
+            open/reset — the filtering distribution and windowed score are
+            then computed over a discontinuous stream.
     """
 
     surprise: float
@@ -79,6 +89,7 @@ class Streamed:
     queued_s: float
     windowed_score: float | None = None
     anomalous: bool | None = None
+    gap: bool = False
 
 
 @dataclass(frozen=True)
@@ -107,7 +118,28 @@ class Overloaded:
     queued_s: float = 0.0
 
 
-ScoreOutcome = Scored | Streamed | Absorbed | Overloaded
+@dataclass(frozen=True)
+class Failed:
+    """Scoring this request raised; it resolves with the error, not silence.
+
+    Produced when the drain cannot score a request — e.g. a submitted
+    symbol outside a no-UNK model's alphabet — or as the backstop when a
+    drain crashes mid-batch: every already-popped ticket resolves
+    :class:`Failed` before the exception propagates, so ``result()`` never
+    hangs on an accepted submission.
+
+    Attributes:
+        error: the stringified exception.
+        queued_s: how long the request had waited when scoring failed.
+    """
+
+    detector: str
+    session: str
+    error: str
+    queued_s: float = 0.0
+
+
+ScoreOutcome = Scored | Streamed | Absorbed | Overloaded | Failed
 
 
 class Ticket:

@@ -19,7 +19,12 @@ Admission control lives at the two points where load sheds:
 
 Every shed request resolves with a typed
 :class:`~repro.service.outcomes.Overloaded`; accepted requests always
-resolve with a scored outcome (or a shutdown shed) — never silence.
+resolve with a scored outcome (or a shutdown shed) — never silence.  A
+request scoring *failure* (e.g. a symbol outside a no-UNK model's
+alphabet) resolves that request with :class:`~repro.service.outcomes.Failed`
+without poisoning the rest of the batch, and an unexpected crash mid-drain
+resolves every already-popped ticket ``Failed`` before propagating — no
+code path strands a ticket.
 """
 
 from __future__ import annotations
@@ -31,9 +36,18 @@ import numpy as np
 
 from .. import telemetry
 from ..core.detector import Detector
+from ..errors import ModelError
 from ..hmm.forward import log_likelihood_ragged
 from .config import AdmissionPolicy, ServiceConfig
-from .outcomes import Absorbed, Overloaded, Scored, ShedReason, Streamed, Ticket
+from .outcomes import (
+    Absorbed,
+    Failed,
+    Overloaded,
+    Scored,
+    ShedReason,
+    Streamed,
+    Ticket,
+)
 from .sessions import Session, SessionMode
 
 #: Telemetry bucket bounds for drain batch sizes.
@@ -81,6 +95,7 @@ class DetectorLane:
             self.queue.append(request)
             return None
         if config.admission_policy is AdmissionPolicy.REJECT_NEW:
+            request.session.note_gap()
             request.ticket._resolve(
                 Overloaded(
                     detector=self.name,
@@ -91,6 +106,7 @@ class DetectorLane:
             )
             return request
         oldest = self.queue.popleft()
+        oldest.session.note_gap()
         oldest.ticket._resolve(
             Overloaded(
                 detector=self.name,
@@ -115,19 +131,48 @@ class MicroBatchScheduler:
         """Process up to ``max_batch`` queued requests of one lane.
 
         Returns the number of requests resolved (scored, streamed,
-        absorbed, or deadline-shed).  One drain issues at most one forward
-        pass per distinct window length present in the batch — for the
-        homogeneous 15-call case, exactly one.
+        absorbed, deadline-shed, or failed).  One drain issues at most one
+        forward pass per distinct window length present in the batch — for
+        the homogeneous 15-call case, exactly one.
+
+        Exception safety: a request that cannot be scored (unknown symbol,
+        no UNK slot) resolves :class:`Failed` individually; any *other*
+        exception resolves every popped-but-unresolved ticket ``Failed``
+        before propagating, so the documented "every accepted submission
+        resolves" invariant holds even when a drain crashes.
         """
         if not lane.queue:
             return 0
         now = self.clock()
-        budget = self.config.latency_budget_s
 
         taken: list[PendingRequest] = []
         while lane.queue and len(taken) < self.config.max_batch:
             taken.append(lane.queue.popleft())
 
+        try:
+            return self._process(lane, taken, now, stats)
+        except Exception as exc:
+            for request in taken:
+                if not request.ticket.done():
+                    request.session.note_gap()
+                    request.ticket._resolve(
+                        Failed(
+                            detector=lane.name,
+                            session=request.session.session_id,
+                            error=f"{type(exc).__name__}: {exc}",
+                            queued_s=max(0.0, now - request.enqueued_at),
+                        )
+                    )
+                    stats.count_failed()
+            raise
+        finally:
+            telemetry.gauge_set(f"service.queue.depth.{lane.name}", lane.depth)
+
+    def _process(
+        self, lane: DetectorLane, taken: list[PendingRequest], now: float, stats
+    ) -> int:
+        """Resolve one popped batch: sheds, monitor pushes, forward pass."""
+        budget = self.config.latency_budget_s
         resolved = 0
         # Window bookkeeping first: deadline sheds, monitor pushes, and the
         # ragged score batch, all in FIFO order.
@@ -136,6 +181,7 @@ class MicroBatchScheduler:
         for request in taken:
             queued_s = max(0.0, now - request.enqueued_at)
             if budget is not None and queued_s > budget:
+                request.session.note_gap()
                 request.ticket._resolve(
                     Overloaded(
                         detector=lane.name,
@@ -172,14 +218,35 @@ class MicroBatchScheduler:
         model = lane.detector.model if (scorable or streaming) else None
 
         if scorable:
-            rows = [
-                np.fromiter(
-                    (model.encode_symbol(symbol) for symbol in window),
-                    dtype=np.int64,
-                    count=len(window),
-                )
-                for _, window, _ in scorable
-            ]
+            # Encode per request so one bad window (symbol outside a no-UNK
+            # alphabet) fails alone instead of poisoning the whole batch.
+            rows: list[np.ndarray] = []
+            encodable: list[tuple[PendingRequest, tuple[str, ...], float]] = []
+            for request, window, queued_s in scorable:
+                try:
+                    rows.append(
+                        np.fromiter(
+                            (model.encode_symbol(symbol) for symbol in window),
+                            dtype=np.int64,
+                            count=len(window),
+                        )
+                    )
+                except ModelError as exc:
+                    request.ticket._resolve(
+                        Failed(
+                            detector=lane.name,
+                            session=request.session.session_id,
+                            error=str(exc),
+                            queued_s=queued_s,
+                        )
+                    )
+                    stats.count_failed()
+                    resolved += 1
+                    continue
+                encodable.append((request, window, queued_s))
+            scorable = encodable
+
+        if scorable:
             lengths = np.array([row.shape[0] for row in rows], dtype=float)
             scores = log_likelihood_ragged(model, rows) / lengths
             batch_size = len(scorable)
@@ -205,6 +272,7 @@ class MicroBatchScheduler:
                         queued_s=queued_s,
                         alert=alert,
                         anomalous=anomalous,
+                        gap=session.gaps > 0,
                     )
                 )
                 telemetry.observe(
@@ -221,7 +289,23 @@ class MicroBatchScheduler:
             batch_size = len(streaming)
             for request, queued_s in streaming:
                 session = request.session
-                surprise = session.scorer.observe(request.symbol)
+                try:
+                    surprise = session.scorer.observe(request.symbol)
+                except ModelError as exc:
+                    # The symbol never updated the belief state: resolve
+                    # this request alone and keep the stream going.
+                    session.note_gap()
+                    request.ticket._resolve(
+                        Failed(
+                            detector=lane.name,
+                            session=session.session_id,
+                            error=str(exc),
+                            queued_s=queued_s,
+                        )
+                    )
+                    stats.count_failed()
+                    resolved += 1
+                    continue
                 windowed = (
                     session.scorer.windowed_score
                     if session.scorer.window_full
@@ -241,6 +325,7 @@ class MicroBatchScheduler:
                         queued_s=queued_s,
                         windowed_score=windowed,
                         anomalous=anomalous,
+                        gap=session.gaps > 0,
                     )
                 )
                 telemetry.observe(
@@ -251,5 +336,4 @@ class MicroBatchScheduler:
                 stats.streamed += 1
                 resolved += 1
 
-        telemetry.gauge_set(f"service.queue.depth.{lane.name}", lane.depth)
         return resolved

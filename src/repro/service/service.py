@@ -14,14 +14,18 @@ Two deployment shapes:
 * **synchronous** — call :meth:`DetectionService.pump` (or
   :meth:`drain_pending`) from your own loop; tickets resolve before pump
   returns.  Deterministic; what the tests and benchmarks drive.
-* **threaded** — :meth:`start` launches a background drain loop;
-  ``submit`` becomes non-blocking producer-side and tickets resolve as the
-  loop gets to them.  :meth:`close` stops the loop and (by default)
-  gracefully drains everything still queued.
+* **threaded** — :meth:`start` launches a background drain loop; tickets
+  resolve as the loop gets to them, and the loop survives scoring errors
+  (a crashed drain resolves its tickets ``Failed`` and keeps going).
+  ``submit`` never waits for a *future* batch, but it does share one
+  service lock with the drain, so a producer can block for up to one
+  in-flight micro-batch's forward pass.  :meth:`close` stops the loop and
+  (by default) gracefully drains everything still queued.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
@@ -30,10 +34,13 @@ from typing import Mapping, Sequence
 from .. import telemetry
 from ..core.detector import Detector
 from ..errors import NotFittedError, ServiceError
+from ..hmm.model import HiddenMarkovModel
 from .config import ServiceConfig
 from .outcomes import Overloaded, ShedReason, Ticket
 from .scheduler import DetectorLane, MicroBatchScheduler, PendingRequest
 from .sessions import Session, SessionMode
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -44,6 +51,7 @@ class ServiceStats:
     scored: int = 0
     streamed: int = 0
     absorbed: int = 0
+    failed: int = 0
     shed_queue_full: int = 0
     shed_oldest: int = 0
     shed_deadline: int = 0
@@ -72,6 +80,10 @@ class ServiceStats:
         setattr(self, attr, getattr(self, attr) + 1)
         telemetry.counter_add(f"service.shed.{reason.value}")
 
+    def count_failed(self) -> None:
+        self.failed += 1
+        telemetry.counter_add("service.failed")
+
     def record_batch(self, size: int) -> None:
         self.batches += 1
         self.max_batch_size = max(self.max_batch_size, size)
@@ -83,6 +95,7 @@ class ServiceStats:
             "scored": self.scored,
             "streamed": self.streamed,
             "absorbed": self.absorbed,
+            "failed": self.failed,
             "shed_queue_full": self.shed_queue_full,
             "shed_oldest": self.shed_oldest,
             "shed_deadline": self.shed_deadline,
@@ -144,6 +157,14 @@ class DetectionService:
         if not detector.is_fitted:
             raise NotFittedError(
                 f"detector {name!r} is not fitted; the service only scores"
+            )
+        # Fail at the door, not at drain time: the scheduler's batched
+        # forward pass needs an HMM (mirrors StreamingScorer.for_detector).
+        if not isinstance(getattr(detector, "model", None), HiddenMarkovModel):
+            raise ServiceError(
+                f"detector {name!r} exposes no HiddenMarkovModel via .model; "
+                "the micro-batched service scores HMM-backed detectors only "
+                "(n-gram/ensemble baselines are not servable)"
             )
         with self._lock:
             if self._closed:
@@ -326,7 +347,16 @@ class DetectionService:
 
     def _run(self, interval_s: float) -> None:
         while not self._stop.is_set():
-            if self.pump() == 0:
+            try:
+                resolved = self.pump()
+            except Exception:
+                # drain() already resolved its popped tickets Failed; keep
+                # the loop alive so the rest of the backlog still drains
+                # (possibly also as Failed) instead of hanging forever.
+                log.exception("service drain loop: drain crashed; continuing")
+                telemetry.counter_add("service.drain_errors")
+                continue
+            if resolved == 0:
                 # Idle: sleep a beat instead of spinning.
                 self._stop.wait(interval_s)
 
@@ -348,11 +378,23 @@ class DetectionService:
             self._thread = None
             handled = 0
             if drain:
-                handled = self.drain_pending()
+                # Keep draining even if a batch crashes: drain() resolves
+                # its popped tickets Failed before raising, so every loop
+                # iteration makes progress and no ticket is left hanging.
+                while True:
+                    try:
+                        resolved = self.pump()
+                    except Exception:
+                        log.exception("close(): drain crashed; continuing")
+                        continue
+                    if resolved == 0:
+                        break
+                    handled += resolved
             else:
                 for lane in self._lanes.values():
                     while lane.queue:
                         request = lane.queue.popleft()
+                        request.session.note_gap()
                         request.ticket._resolve(
                             Overloaded(
                                 detector=lane.name,

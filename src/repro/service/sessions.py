@@ -5,6 +5,13 @@ are sticky: monitor sessions keep their sliding window and cooldown, stream
 sessions keep their HMM filtering distribution, across every micro-batch
 drain.  Requests from different sessions share a drain's forward pass;
 state never leaks between sessions.
+
+Shed symbols leave *gaps*: when admission control drops a monitor/stream
+submission, that symbol never reaches the session's sliding window or
+filtering distribution, so later scores are computed over a discontinuous
+stream.  The session records this (:attr:`Session.gaps`) and every
+subsequent ``Scored``/``Streamed`` outcome carries ``gap=True`` until
+:meth:`Session.reset`.
 """
 
 from __future__ import annotations
@@ -40,6 +47,9 @@ class Session:
     mode: SessionMode
     monitor: OnlineMonitor | None = None
     scorer: StreamingScorer | None = None
+    #: Symbols shed from this stream by admission control — nonzero means
+    #: the sticky state no longer covers a contiguous slice of the trace.
+    gaps: int = 0
 
     @classmethod
     def open(
@@ -72,9 +82,15 @@ class Session:
             scorer=scorer,
         )
 
+    def note_gap(self) -> None:
+        """Record one shed symbol (no-op for stateless window sessions)."""
+        if self.mode is not SessionMode.WINDOW:
+            self.gaps += 1
+
     def reset(self) -> None:
         """Clear stream/monitor state (monitored process restarted)."""
         if self.monitor is not None:
             self.monitor.reset()
         if self.scorer is not None:
             self.scorer.reset()
+        self.gaps = 0

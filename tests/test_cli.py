@@ -123,8 +123,20 @@ class TestTraceCommands:
         log_path.write_text("# trace program=p case=c\nsyscall read @ f\n")
         assert main(["score-trace", str(model_path), str(log_path)]) == 1
 
-
-class TestDotCommand:
+    def test_serve_replay_pumps_past_small_queue(self, tmp_path, capsys):
+        """Replay larger than --queue-depth must score fully, not shed."""
+        log_path = tmp_path / "t.log"
+        model_path = tmp_path / "m.npz"
+        assert main(["trace", "gzip", "--cases", "4", "--output",
+                     str(log_path)]) == 0
+        assert main(["train", "gzip", "--model", "cmarkov", "--cases", "10",
+                     "--output", str(model_path)]) == 0
+        capsys.readouterr()
+        assert main(["serve", str(model_path), str(log_path),
+                     "--queue-depth", "4", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rate 0.00%" in out          # shed-rate exactly zero
+        assert "failed to score" not in out
     def test_call_graph_dot(self, capsys):
         assert main(["dot", "gzip"]) == 0
         out = capsys.readouterr().out

@@ -23,10 +23,12 @@ from repro.core.streaming import StreamingScorer
 from repro.errors import NotFittedError, ServiceError
 from repro.hmm import log_likelihood, random_model
 from repro.hmm.forward import log_likelihood_ragged
+from repro.hmm.model import HiddenMarkovModel
 from repro.service import (
     Absorbed,
     AdmissionPolicy,
     DetectionService,
+    Failed,
     Overloaded,
     Scored,
     ServiceConfig,
@@ -357,6 +359,163 @@ class TestSessions:
             service.submit("svc", "s", window=make_windows(1)[0], symbol="read")
 
 
+def no_unk_model() -> HiddenMarkovModel:
+    """An HMM whose alphabet has no <unk> slot: unknown symbols raise."""
+    n = len(SYMBOLS)
+    uniform = np.full((n, n), 1.0 / n)
+    return HiddenMarkovModel(
+        transition=uniform,
+        emission=uniform,
+        initial=np.full(n, 1.0 / n),
+        symbols=tuple(SYMBOLS),
+    )
+
+
+class TestFailureSemantics:
+    """Scoring failures resolve tickets typed — never stranded."""
+
+    def test_unknown_symbol_fails_alone_in_batch(self):
+        detector = load_pretrained(no_unk_model(), name="nounk")
+        service = DetectionService()
+        service.register("svc", detector)
+        good = make_windows(6)
+        bad = ("open", "exfiltrate", "read") + ("close",) * 12
+        tickets = [service.submit("svc", "s", window=w) for w in good[:3]]
+        bad_ticket = service.submit("svc", "s", window=bad)
+        tickets += [service.submit("svc", "s", window=w) for w in good[3:]]
+        service.pump()
+        outcome = bad_ticket.result()
+        assert isinstance(outcome, Failed)
+        assert "exfiltrate" in outcome.error
+        # The rest of the drain scored normally, bit-identical.
+        scores = [t.result().score for t in tickets]
+        assert scores == detector.score(good).tolist()
+        assert service.stats.failed == 1
+        assert service.stats.scored == 6
+
+    def test_stream_scoring_failure_isolated_and_gapped(self):
+        detector = load_pretrained(no_unk_model(), name="nounk")
+        service = DetectionService()
+        service.register("svc", detector)
+        service.open_session("svc", "s", "stream")
+        tickets = [
+            service.submit("svc", "s", symbol=s)
+            for s in ("open", "bogus", "read")
+        ]
+        service.drain_pending()
+        first, failed, last = (t.result() for t in tickets)
+        assert isinstance(first, Streamed) and first.gap is False
+        assert isinstance(failed, Failed) and "bogus" in failed.error
+        assert isinstance(last, Streamed) and last.gap is True
+        # The belief state skipped the bad symbol cleanly: surviving
+        # surprisals match a scorer fed only the surviving symbols.
+        reference = StreamingScorer.for_detector(detector)
+        assert [first.surprise, last.surprise] == \
+            reference.observe_many(["open", "read"])
+
+    def test_drain_crash_resolves_popped_tickets(self, detector, monkeypatch):
+        """The backstop: an unexpected mid-drain crash strands nothing."""
+        import repro.service.scheduler as scheduler_module
+
+        def boom(model, rows):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(scheduler_module, "log_likelihood_ragged", boom)
+        service = fresh_service(detector)
+        tickets = [
+            service.submit("svc", "s", window=w) for w in make_windows(5)
+        ]
+        with pytest.raises(RuntimeError, match="kaboom"):
+            service.pump()
+        outcomes = [t.result(timeout=0.1) for t in tickets]
+        assert all(isinstance(o, Failed) for o in outcomes)
+        assert all("kaboom" in o.error for o in outcomes)
+        assert service.stats.failed == 5
+
+    def test_threaded_loop_survives_drain_crash(self, detector):
+        service = fresh_service(detector)
+        real_drain = service._scheduler.drain
+        crashes = {"n": 0}
+
+        def flaky(lane, stats):
+            if crashes["n"] == 0 and lane.queue:
+                crashes["n"] += 1
+                raise RuntimeError("transient")
+            return real_drain(lane, stats)
+
+        service._scheduler.drain = flaky
+        service.start()
+        windows = make_windows(8)
+        tickets = [service.submit("svc", "s", window=w) for w in windows]
+        outcomes = [t.result(timeout=10.0) for t in tickets]
+        service.close()
+        assert crashes["n"] == 1  # the loop hit the crash and kept going
+        assert [o.score for o in outcomes] == detector.score(windows).tolist()
+
+    def test_graceful_close_survives_drain_crash(self, detector, monkeypatch):
+        import repro.service.scheduler as scheduler_module
+
+        calls = {"n": 0}
+        real = log_likelihood_ragged
+
+        def flaky(model, rows):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real(model, rows)
+
+        monkeypatch.setattr(scheduler_module, "log_likelihood_ragged", flaky)
+        service = fresh_service(detector, max_batch=4)
+        tickets = [
+            service.submit("svc", "s", window=w) for w in make_windows(10)
+        ]
+        service.close(drain=True)
+        outcomes = [t.result(timeout=0.1) for t in tickets]
+        # First popped batch failed typed; the rest of the backlog scored.
+        assert sum(isinstance(o, Failed) for o in outcomes) == 4
+        assert sum(isinstance(o, Scored) for o in outcomes) == 6
+
+
+class TestGapSemantics:
+    def test_shed_marks_stream_session_gapped(self, detector):
+        service = fresh_service(
+            detector, max_queue_depth=2,
+            admission_policy=AdmissionPolicy.REJECT_NEW,
+        )
+        service.open_session("svc", "s", "stream")
+        tickets = [service.submit("svc", "s", symbol="open") for _ in range(3)]
+        shed = tickets[2].result()
+        assert isinstance(shed, Overloaded)
+        service.drain_pending()
+        assert all(t.result().gap is True for t in tickets[:2])
+        assert service._sessions[("svc", "s")].gaps == 1
+
+    def test_window_sessions_never_gap(self, detector):
+        service = fresh_service(detector, max_queue_depth=2)
+        tickets = [
+            service.submit("svc", "s", window=w) for w in make_windows(3)
+        ]
+        service.drain_pending()
+        assert all(
+            o.gap is False
+            for o in (t.result() for t in tickets)
+            if isinstance(o, Scored)
+        )
+
+    def test_reset_clears_gap(self, detector):
+        service = fresh_service(detector, max_queue_depth=1)
+        session = service.open_session("svc", "s", "stream")
+        service.submit("svc", "s", symbol="open")
+        service.submit("svc", "s", symbol="read")  # shed -> gap
+        service.drain_pending()
+        assert session.gaps == 1
+        session.reset()
+        ticket = service.submit("svc", "s", symbol="write")
+        service.drain_pending()
+        assert session.gaps == 0
+        assert ticket.result().gap is False
+
+
 class TestRegistration:
     def test_unfitted_detector_rejected(self, gzip_program):
         from repro.api import build_detector
@@ -364,6 +523,20 @@ class TestRegistration:
         bare = build_detector("cmarkov", gzip_program, "syscall")
         with pytest.raises(NotFittedError):
             DetectionService().register("raw", bare)
+
+    def test_non_hmm_detector_rejected(self):
+        """A fitted baseline without an HMM fails at register, not drain."""
+        from repro.core import NGramDetector
+        from repro.program import CallKind
+        from repro.tracing import SegmentSet
+
+        ngram = NGramDetector(kind=CallKind.SYSCALL, context=False, window=3)
+        segments = SegmentSet(length=15)
+        segments.update([tuple("abcde" * 3), tuple("aabba" * 3)])
+        ngram.fit(segments)
+        assert ngram.is_fitted
+        with pytest.raises(ServiceError, match="HiddenMarkovModel"):
+            DetectionService().register("stide", ngram)
 
     def test_duplicate_name_rejected(self, detector):
         service = fresh_service(detector)
