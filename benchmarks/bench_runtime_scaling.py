@@ -31,7 +31,7 @@ from common import print_block, shape_line
 from repro import telemetry
 from repro.eval import ExperimentConfig, run_accuracy_grid
 from repro.program import CallKind
-from repro.runtime import ArtifactCache, ParallelExecutor
+from repro.runtime import ArtifactCache, ParallelExecutor, clamp_jobs
 
 #: Sized so each (program, model) cell is coarse enough to amortise
 #: process fan-out while the whole bench stays CI-friendly.
@@ -49,8 +49,11 @@ KIND = CallKind.SYSCALL
 
 
 def _bench_jobs() -> int:
-    value = os.environ.get("REPRO_JOBS", "").strip()
-    return max(2, int(value)) if value else 2
+    # Clamped to the CPUs actually present: jobs=2 on a 1-CPU runner used
+    # to record parallel_speedup < 1 — oversubscription, not a regression.
+    requested = os.environ.get("REPRO_JOBS", "").strip()
+    return clamp_jobs(max(2, int(requested)) if requested else 2,
+                      source="REPRO_JOBS")
 
 
 def _cpus_available() -> int:

@@ -36,7 +36,7 @@ from .eval.tables import render_table
 from .gadgets import TABLE_III_LENGTHS, gadget_surface, scan_gadgets
 from .hmm import load_model, log_likelihood, save_model
 from .program import ALL_PROGRAMS, CallKind, layout_program, load_program
-from .runtime import ArtifactCache, ParallelExecutor, default_jobs
+from .runtime import ArtifactCache, ParallelExecutor, clamp_jobs, default_jobs
 from .tracing import (
     build_segment_set,
     iter_segment_lines,
@@ -178,8 +178,11 @@ def runtime_from_args(
     args: argparse.Namespace,
 ) -> tuple[ParallelExecutor, ArtifactCache | None]:
     """Resolve --jobs/--cache-dir/--no-cache (env vars as fallback)."""
-    jobs = args.jobs if args.jobs is not None else default_jobs()
-    executor = ParallelExecutor(jobs=max(1, jobs))
+    if args.jobs is not None:
+        jobs = clamp_jobs(max(1, args.jobs), source="--jobs")
+    else:
+        jobs = default_jobs()  # REPRO_JOBS, already clamped
+    executor = ParallelExecutor(jobs=jobs)
     cache: ArtifactCache | None = None
     if not args.no_cache:
         cache_dir = args.cache_dir

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..errors import ModelError, NotFittedError, TraceError
 from ..hmm.baumwelch import TrainingConfig, TrainingReport, train
-from ..hmm.forward import log_likelihood
+from ..hmm.forward import log_likelihood_unique
 from ..hmm.model import HiddenMarkovModel
 from ..program.calls import CallKind
 from ..tracing.segments import Segment, SegmentSet
@@ -183,12 +183,18 @@ class HmmDetector(Detector):
         return self._fit_result
 
     def score(self, segments: Sequence[Segment]) -> np.ndarray:
-        """Per-symbol mean log-likelihood of each segment (higher = normal)."""
+        """Per-symbol mean log-likelihood of each segment (higher = normal).
+
+        Scoring is duplicate-aware: repeated segments (sliding windows over
+        repetitive call streams are mostly repeats) run the forward
+        recursion once and share the result — bit-identical to scoring
+        every row, see :func:`repro.hmm.kernels.log_likelihood_unique`.
+        """
         model = self.model
         if not segments:
             return np.empty(0)
         obs = model.encode(segments)
-        return log_likelihood(model, obs) / obs.shape[1]
+        return log_likelihood_unique(model, obs) / obs.shape[1]
 
     def load_pretrained(self, model: HiddenMarkovModel) -> None:
         """Install an externally trained model (e.g. from

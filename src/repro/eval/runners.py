@@ -574,6 +574,10 @@ def run_exploit_detection(
                 windows = segment_symbols(stream, length=config.segment_length)
                 if not windows:
                     raise EvaluationError(f"{spec.name}: attack stream too short")
+                # Sliding windows over an attack stream overlap heavily, so
+                # many are exact repeats; Detector.score dedups them (one
+                # forward pass per distinct window — bit-identical scores,
+                # see repro.hmm.kernels.log_likelihood_unique).
                 scores = detector.score(windows)
                 min_scores[model_name] = float(scores.min())
                 verdicts[model_name] = bool(

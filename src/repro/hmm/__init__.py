@@ -11,8 +11,10 @@ from .forward import (
     forward,
     log_likelihood,
     log_likelihood_ragged,
+    log_likelihood_unique,
     posterior_states,
 )
+from .kernels import EMWorkspace
 from .model import UNKNOWN_SYMBOL, HiddenMarkovModel, ensure_alphabet_with_unknown
 from .random_init import random_model
 from .serialize import load_model, save_model
@@ -27,6 +29,7 @@ from .viterbi import (
 __all__ = [
     "UNKNOWN_SYMBOL",
     "DecodedPath",
+    "EMWorkspace",
     "HiddenMarkovModel",
     "PositionExplanation",
     "TrainingConfig",
@@ -38,6 +41,7 @@ __all__ = [
     "load_model",
     "log_likelihood",
     "log_likelihood_ragged",
+    "log_likelihood_unique",
     "most_suspicious_positions",
     "posterior_states",
     "random_model",

@@ -9,6 +9,16 @@ so the statistics match the raw trace distribution without redundant work.
 Each EM iteration costs ``O(B · T · N²)`` — the ``T · S²`` per-sequence cost
 the paper quotes — which is why the state reduction of
 :mod:`repro.reduction` translates directly into training speedups.
+
+The E-step itself lives in :mod:`repro.hmm.kernels`: an
+:class:`~repro.hmm.kernels.EMWorkspace` preallocates every per-timestep
+buffer once per :func:`train` call, :func:`~repro.hmm.kernels.em_forward`
+returns the training log-likelihood as a by-product of the forward phase,
+and :func:`~repro.hmm.kernels.em_update` fuses the backward recursion with
+the ξ/emission accumulation.  When no termination set is given, the train
+loop *pipelines* the phases — the forward pass that opens iteration k+1 is
+the convergence monitor for iteration k — so the training set is walked
+exactly once per iteration instead of twice (see ``docs/perf.md``).
 """
 
 from __future__ import annotations
@@ -19,7 +29,8 @@ import numpy as np
 
 from .. import telemetry
 from ..errors import ModelError
-from .forward import SCALE_FLOOR, backward, forward, log_likelihood
+from .forward import log_likelihood
+from .kernels import EMWorkspace, em_forward, em_update
 from .model import HiddenMarkovModel
 
 
@@ -63,70 +74,13 @@ class TrainingReport:
         return self.holdout_log_likelihood[-1] if self.holdout_log_likelihood else float("-inf")
 
 
-def _em_step(
-    model: HiddenMarkovModel,
-    obs: np.ndarray,
-    weights: np.ndarray,
-    config: TrainingConfig,
-) -> tuple[HiddenMarkovModel, float]:
-    """One EM iteration; returns the updated model and the weighted mean
-    log-likelihood of ``obs`` under the *input* model."""
-    batch, length = obs.shape
-    n, m = model.n_states, model.n_symbols
-
-    alpha, scales = forward(model, obs)
-    beta = backward(model, obs, scales)
-    loglik = float(np.average(np.log(scales).sum(axis=1), weights=weights))
-
-    gamma = alpha * beta  # (B, T, N)
-    gamma_norm = np.maximum(gamma.sum(axis=2, keepdims=True), SCALE_FLOOR)
-    gamma = gamma / gamma_norm
-
-    emission_t = model.emission.T  # (M, N)
-    w = weights[:, None]
-
-    # Transition numerator: Σ_b Σ_t w_b · ξ_t(i, j).
-    xi_sum = np.zeros((n, n))
-    for t in range(length - 1):
-        right = beta[:, t + 1] * emission_t[obs[:, t + 1]] / scales[:, t + 1][:, None]
-        xi_sum += (alpha[:, t] * w).T @ right
-    xi_sum *= model.transition
-
-    # Emission numerator: Σ w_b γ_t(i) for each observed symbol.
-    emit_sum = np.zeros((n, m))
-    weighted_gamma = gamma * w[:, :, None]
-    flat_obs = obs.reshape(-1)
-    flat_gamma = weighted_gamma.reshape(-1, n)
-    np.add.at(emit_sum.T, flat_obs, flat_gamma)
-
-    # M-step with floors.
-    new_a = xi_sum + config.transition_floor
-    new_a /= new_a.sum(axis=1, keepdims=True)
-    new_b = emit_sum + config.emission_floor
-    new_b /= new_b.sum(axis=1, keepdims=True)
-    if config.update_initial:
-        new_pi = np.average(gamma[:, 0], axis=0, weights=weights)
-        new_pi = np.maximum(new_pi, 0)
-        new_pi /= new_pi.sum()
-    else:
-        new_pi = model.initial
-
-    updated = HiddenMarkovModel(
-        transition=new_a,
-        emission=new_b,
-        initial=new_pi,
-        symbols=model.symbols,
-        state_labels=model.state_labels,
-    )
-    return updated, loglik
-
-
 def train(
     model: HiddenMarkovModel,
     train_obs: np.ndarray,
     holdout_obs: np.ndarray | None = None,
     weights: np.ndarray | None = None,
     config: TrainingConfig | None = None,
+    workspace: EMWorkspace | None = None,
 ) -> tuple[HiddenMarkovModel, TrainingReport]:
     """Train ``model`` with Baum-Welch.
 
@@ -134,9 +88,15 @@ def train(
         model: initial model (random or statically initialized).
         train_obs: (B, T) encoded training segments.
         holdout_obs: encoded termination set; when ``None`` the training-set
-            likelihood is monitored instead.
+            likelihood is monitored instead — at no extra cost, since the
+            E-step's forward phase yields it as a by-product.
         weights: per-segment multiplicities (defaults to 1).
         config: training knobs.
+        workspace: optional :class:`~repro.hmm.kernels.EMWorkspace` to
+            reuse across ``train()`` calls (e.g. cross-validation folds of
+            the same shape skip reallocation); a private one is created
+            when omitted.  A workspace never leaks state between calls —
+            binding resets it.
 
     Returns:
         ``(best_model, report)`` — the model snapshot with the best
@@ -152,44 +112,67 @@ def train(
     if weights.shape != (train_obs.shape[0],):
         raise ModelError("weights must align with training segments")
 
-    if holdout_obs is not None and len(holdout_obs):
-        monitor, monitor_weights = holdout_obs, None
-    else:
-        # No termination set: monitor the (weighted) training likelihood so
-        # the convergence signal matches what EM actually optimizes.
-        monitor, monitor_weights = train_obs, weights
-
-    def monitor_ll(m: HiddenMarkovModel) -> float:
-        return float(np.average(log_likelihood(m, monitor), weights=monitor_weights))
+    ws = workspace if workspace is not None else EMWorkspace()
+    ws.bind(model, train_obs, weights)
 
     report = TrainingReport()
     best_model = model
-    best_holdout = monitor_ll(model)
-    report.holdout_log_likelihood.append(best_holdout)
+    best_holdout = float("-inf")
     stale = 0
+
+    def record(current: HiddenMarkovModel, train_ll: float, holdout_ll: float) -> bool:
+        """Book-keep one completed iteration; True means stop (converged)."""
+        nonlocal best_model, best_holdout, stale
+        report.iterations += 1
+        report.train_log_likelihood.append(train_ll)
+        report.holdout_log_likelihood.append(holdout_ll)
+        telemetry.counter_add("hmm.train.iterations")
+        telemetry.gauge_set("hmm.train.holdout_loglik", holdout_ll)
+        if holdout_ll > best_holdout + config.min_improvement:
+            best_holdout = holdout_ll
+            best_model = current
+            stale = 0
+            return False
+        stale += 1
+        if stale >= config.patience:
+            report.converged = True
+            telemetry.counter_add("hmm.train.converged")
+            return True
+        return False
 
     current = model
     with telemetry.span(
         "hmm.train", states=model.n_states, segments=int(train_obs.shape[0])
     ):
         telemetry.counter_add("hmm.train.runs")
-        for iteration in range(config.max_iterations):
-            with telemetry.span("hmm.train.iteration", iteration=iteration):
-                current, train_ll = _em_step(current, train_obs, weights, config)
-                holdout_ll = monitor_ll(current)
-            report.iterations += 1
-            report.train_log_likelihood.append(train_ll)
-            report.holdout_log_likelihood.append(holdout_ll)
-            telemetry.counter_add("hmm.train.iterations")
-            telemetry.gauge_set("hmm.train.holdout_loglik", holdout_ll)
-            if holdout_ll > best_holdout + config.min_improvement:
-                best_holdout = holdout_ll
-                best_model = current
-                stale = 0
-            else:
-                stale += 1
-                if stale >= config.patience:
-                    report.converged = True
-                    telemetry.counter_add("hmm.train.converged")
+        if holdout_obs is not None and len(holdout_obs):
+
+            def monitor_ll(m: HiddenMarkovModel) -> float:
+                return float(np.average(log_likelihood(m, holdout_obs)))
+
+            best_holdout = monitor_ll(model)
+            report.holdout_log_likelihood.append(best_holdout)
+            for iteration in range(config.max_iterations):
+                with telemetry.span("hmm.train.iteration", iteration=iteration):
+                    train_ll = em_forward(current, ws)
+                    current = em_update(current, ws, config)
+                    holdout_ll = monitor_ll(current)
+                if record(current, train_ll, holdout_ll):
+                    break
+        else:
+            # No termination set: monitor the (weighted) training likelihood
+            # so the convergence signal matches what EM actually optimizes.
+            # The phases are pipelined — the forward pass that opens
+            # iteration k+1 *is* the monitor value for iteration k — so
+            # each iteration walks the training set once, not twice.
+            monitor_value = em_forward(current, ws)
+            best_holdout = monitor_value
+            report.holdout_log_likelihood.append(monitor_value)
+            for iteration in range(config.max_iterations):
+                with telemetry.span("hmm.train.iteration", iteration=iteration):
+                    train_ll = monitor_value
+                    current = em_update(current, ws, config)
+                    monitor_value = em_forward(current, ws)
+                if record(current, train_ll, monitor_value):
                     break
     return best_model, report

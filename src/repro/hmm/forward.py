@@ -7,6 +7,15 @@ product per time step instead of a Python loop per sequence.
 Scaling follows Rabiner: the forward variable is renormalized at every step
 and the per-step normalizers (``scales``) carry the likelihood, so
 ``log P(O | λ) = Σ_t log scale_t`` without underflow.
+
+Bulk scoring routes through :mod:`repro.hmm.kernels`: the tiled,
+scales-only :func:`~repro.hmm.kernels.score_sequences` kernel is
+bit-identical to running :func:`forward` and summing ``log(scales)`` but
+never materializes the (B, T, N) forward variables, and
+:func:`~repro.hmm.kernels.log_likelihood_unique` (re-exported here) scores
+each *distinct* window once.  The full recursions below remain the
+reference path for consumers that need the forward/backward variables
+themselves (posteriors, Viterbi explanations, tests).
 """
 
 from __future__ import annotations
@@ -15,29 +24,25 @@ import numpy as np
 
 from .. import telemetry
 from ..errors import ModelError
+from .kernels import (
+    LOGLIK_BUCKETS,
+    SCALE_FLOOR,
+    check_obs as _check_obs,
+    log_likelihood_unique,
+    score_sequences,
+)
 from .model import HiddenMarkovModel
 
-#: Floor applied to per-step normalizers so a zero-probability observation
-#: yields a very negative — but finite — log-likelihood.
-SCALE_FLOOR = 1e-300
-
-#: Telemetry bucket bounds for raw per-sequence ``log P(O | λ)`` (a normal
-#: 15-call segment typically lands in the -40..0 range; anomalies below).
-LOGLIK_BUCKETS: tuple[float, ...] = (
-    -500.0, -200.0, -100.0, -75.0, -50.0, -40.0, -30.0, -25.0,
-    -20.0, -15.0, -10.0, -7.5, -5.0, -2.5, -1.0, 0.0,
-)
-
-
-def _check_obs(model: HiddenMarkovModel, obs: np.ndarray) -> np.ndarray:
-    obs = np.asarray(obs)
-    if obs.ndim == 1:
-        obs = obs[None, :]
-    if obs.ndim != 2:
-        raise ModelError(f"observations must be (B, T), got shape {obs.shape}")
-    if obs.size and (obs.min() < 0 or obs.max() >= model.n_symbols):
-        raise ModelError("observation index out of alphabet range")
-    return obs
+__all__ = [
+    "LOGLIK_BUCKETS",
+    "SCALE_FLOOR",
+    "backward",
+    "forward",
+    "log_likelihood",
+    "log_likelihood_ragged",
+    "log_likelihood_unique",
+    "posterior_states",
+]
 
 
 def forward(
@@ -99,14 +104,17 @@ def backward(
 def log_likelihood(model: HiddenMarkovModel, obs: np.ndarray) -> np.ndarray:
     """Per-sequence ``log P(O | λ)``, shape (B,).
 
+    Runs the tiled scales-only kernel
+    (:func:`repro.hmm.kernels.score_sequences`) — bit-identical to the full
+    :func:`forward` recursion, without materializing the forward variables.
+
     When telemetry is on, every scored sequence's log-likelihood lands in
     the ``hmm.forward.loglik`` histogram (:data:`LOGLIK_BUCKETS`) — the
     scoring distribution the ISSUE's perf work reads.  The inner
-    :func:`forward`/:func:`backward` recursions stay uninstrumented: they
-    are the EM hot loop.
+    recursions stay uninstrumented: they are the EM hot loop.
     """
-    _, scales = forward(model, obs)
-    loglik = np.log(scales).sum(axis=1)
+    obs = _check_obs(model, obs)
+    loglik = score_sequences(model, obs)
     if telemetry.enabled():
         telemetry.counter_add("hmm.forward.calls")
         telemetry.counter_add("hmm.forward.sequences", int(loglik.shape[0]))
@@ -125,13 +133,16 @@ def log_likelihood_ragged(
     the paper's fixed 15-call segments, but the detection service drains a
     micro-batch of windows collected from many sessions, and those may mix
     lengths (e.g. tenants running different window sizes).  This entry point
-    groups the batch by length and runs **one** vectorized forward pass per
-    length group, so a drain still costs O(#distinct lengths) forward calls
-    rather than O(batch).
+    groups the batch by length and scores each length group with **one**
+    duplicate-aware pass (:func:`repro.hmm.kernels.log_likelihood_unique`),
+    so a drain costs O(#distinct lengths) passes rather than O(batch), and
+    identical windows *within* a group — common when many sessions watch
+    the same hot code path — are scored once.
 
     Scores come back aligned with the input order, and each value is
     bit-identical to what :func:`log_likelihood` returns for the same
-    length group (it *is* the same call).
+    length group (rows are scored independently, so deduplication cannot
+    perturb them).
 
     Args:
         model: the HMM.
@@ -152,7 +163,7 @@ def log_likelihood_ragged(
         by_length.setdefault(row.shape[0], []).append(position)
     for length, positions in by_length.items():
         obs = np.stack([rows[position] for position in positions])
-        out[positions] = log_likelihood(model, obs)
+        out[positions] = log_likelihood_unique(model, obs)
     return out
 
 

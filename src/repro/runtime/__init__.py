@@ -23,12 +23,13 @@ from .cache import (
     program_fingerprint,
     stable_hash,
 )
-from .executor import ParallelExecutor, default_jobs
+from .executor import ParallelExecutor, clamp_jobs, default_jobs
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
     "ParallelExecutor",
+    "clamp_jobs",
     "default_jobs",
     "derive_seed",
     "program_fingerprint",

@@ -24,6 +24,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
@@ -31,17 +32,46 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 from .. import telemetry
 from ..errors import EvaluationError
 
-__all__ = ["ParallelExecutor", "default_jobs"]
+__all__ = ["ParallelExecutor", "clamp_jobs", "default_jobs"]
 
 T = TypeVar("T")
 
 
+def clamp_jobs(jobs: int, *, source: str = "--jobs") -> int:
+    """Clamp a requested worker count to the CPUs actually available.
+
+    Workers beyond ``os.cpu_count()`` only time-slice the same cores, and
+    the fork/IPC overhead makes the "parallel" run *slower* than serial —
+    an oversubscription artifact that reads as a parallelism regression in
+    benchmarks.  Entry points that accept a request (``--jobs``,
+    ``REPRO_JOBS``) clamp through here; constructing
+    :class:`ParallelExecutor` directly stays unclamped, so tests and
+    callers that deliberately oversubscribe still can.
+
+    Emits a one-line :class:`RuntimeWarning` and bumps the
+    ``runtime.jobs.clamped`` counter when the request is reduced.
+    """
+    cpus = os.cpu_count() or 1
+    if jobs > cpus:
+        warnings.warn(
+            f"{source}={jobs} exceeds the {cpus} available CPU(s); clamping "
+            f"to {cpus} (oversubscribed workers time-slice one core and run "
+            "slower than serial)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        telemetry.counter_add("runtime.jobs.clamped")
+        return cpus
+    return jobs
+
+
 def default_jobs() -> int:
-    """Job count from ``REPRO_JOBS`` (default 1: deterministic serial)."""
+    """Job count from ``REPRO_JOBS`` (default 1: deterministic serial),
+    clamped to the available CPUs."""
     value = os.environ.get("REPRO_JOBS", "").strip()
     if not value:
         return 1
-    return max(1, int(value))
+    return clamp_jobs(max(1, int(value)), source="REPRO_JOBS")
 
 
 def _call(task: tuple[Callable[..., T], tuple]) -> T:

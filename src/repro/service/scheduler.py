@@ -6,7 +6,11 @@ for: instead of one ``log_likelihood`` call per request (a (1, 15) matrix
 product per time step), a drain collects every ready window across all
 sessions of one detector and scores them as a single (B, 15) batch —
 unequal window lengths fall back to one call per *length group* via
-:func:`repro.hmm.forward.log_likelihood_ragged`.
+:func:`repro.hmm.forward.log_likelihood_ragged`.  Each length group is
+scored duplicate-aware (:func:`repro.hmm.kernels.log_likelihood_unique`):
+when many sessions watch the same hot code path, identical windows in a
+drain run the forward recursion once and share the result, bit-identical
+to scoring every row (``hmm.score.unique_ratio`` reports the effect).
 
 Admission control lives at the two points where load sheds:
 
@@ -133,7 +137,8 @@ class MicroBatchScheduler:
         Returns the number of requests resolved (scored, streamed,
         absorbed, deadline-shed, or failed).  One drain issues at most one
         forward pass per distinct window length present in the batch — for
-        the homogeneous 15-call case, exactly one.
+        the homogeneous 15-call case, exactly one — and duplicate windows
+        within a length group are scored once (see the module docstring).
 
         Exception safety: a request that cannot be scored (unknown symbol,
         no UNK slot) resolves :class:`Failed` individually; any *other*

@@ -103,6 +103,70 @@ class TestTraining:
         assert np.allclose(frozen.initial, model.initial)
 
 
+class TestPipelinedMonitorRegression:
+    """The no-holdout train loop used to re-walk the training set after
+    every M-step just to compute the convergence monitor; the pipelined
+    loop gets the same value as a by-product of the next iteration's
+    forward phase.  Pin that the whole training trajectory is unchanged."""
+
+    @staticmethod
+    def _train_with_redundant_monitor(model, obs, weights, config):
+        """The pre-pipelined loop: one extra full pass per iteration."""
+        from repro.hmm.kernels import EMWorkspace, em_forward, em_step
+
+        def monitor(m):
+            # A standalone forward pass over the training set — identical
+            # shapes and operation order to the E-step's forward phase,
+            # which is exactly what the old monitor computed.
+            ws = EMWorkspace()
+            ws.bind(m, obs, weights)
+            return em_forward(m, ws)
+
+        train_ll, holdout_ll = [], []
+        iterations = 0
+        converged = False
+        best_model, best_holdout = model, monitor(model)
+        holdout_ll.append(best_holdout)
+        stale = 0
+        current = model
+        for _ in range(config.max_iterations):
+            current, ll_before = em_step(current, obs, weights, config)
+            monitored = monitor(current)
+            iterations += 1
+            train_ll.append(ll_before)
+            holdout_ll.append(monitored)
+            if monitored > best_holdout + config.min_improvement:
+                best_holdout = monitored
+                best_model = current
+                stale = 0
+                continue
+            stale += 1
+            if stale >= config.patience:
+                converged = True
+                break
+        return best_model, iterations, train_ll, holdout_ll, converged
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_trajectory_identical_to_two_pass_loop(self, seed):
+        data = _sample_sequences(150, 10, seed=seed)
+        weights = np.ones(150)
+        model = random_model(["a", "b"], n_states=2, seed=seed + 10)
+        config = TrainingConfig(max_iterations=25, patience=2)
+
+        expected_model, iterations, train_ll, holdout_ll, converged = (
+            self._train_with_redundant_monitor(model, data, weights, config)
+        )
+        actual_model, report = train(model, data, config=config)
+
+        assert report.iterations == iterations
+        assert report.converged == converged
+        assert report.train_log_likelihood == train_ll
+        assert report.holdout_log_likelihood == holdout_ll
+        assert np.array_equal(actual_model.transition, expected_model.transition)
+        assert np.array_equal(actual_model.emission, expected_model.emission)
+        assert np.array_equal(actual_model.initial, expected_model.initial)
+
+
 class TestTrainingErrors:
     def test_empty_training_set_raises(self):
         model = random_model(["a"], seed=0)

@@ -111,8 +111,32 @@ class TestParallelExecutor:
     def test_default_jobs_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert default_jobs() == 1
+        monkeypatch.setattr("repro.runtime.executor.os.cpu_count", lambda: 8)
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert default_jobs() == 3
+
+    def test_default_jobs_env_clamped_to_cpus(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.executor.os.cpu_count", lambda: 2)
+        monkeypatch.setenv("REPRO_JOBS", "16")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS=16 exceeds"):
+            assert default_jobs() == 2
+
+    def test_clamp_jobs_warns_and_counts(self, monkeypatch):
+        from repro import telemetry
+        from repro.runtime import clamp_jobs
+
+        monkeypatch.setattr("repro.runtime.executor.os.cpu_count", lambda: 4)
+        assert clamp_jobs(4) == 4  # at the limit: no warning, no clamp
+        with telemetry.session():
+            with pytest.warns(RuntimeWarning, match="--jobs=9 exceeds"):
+                assert clamp_jobs(9) == 4
+            assert telemetry.snapshot()["counters"]["runtime.jobs.clamped"] == 1
+
+    def test_direct_construction_stays_unclamped(self):
+        # Deliberate oversubscription (e.g. the parallel-vs-serial equality
+        # tests on a 1-CPU runner) must remain possible: only the --jobs /
+        # REPRO_JOBS entry points clamp.
+        assert ParallelExecutor(jobs=64).jobs == 64
 
     def test_parallel_cross_validation_matches_serial(self, cv_inputs):
         _, segments, abnormal, _, factory = cv_inputs
