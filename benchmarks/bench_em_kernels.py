@@ -50,7 +50,7 @@ from repro.hmm.kernels import (
 )
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from common import print_block, shape_line  # noqa: E402
+from common import bench_host_metadata, print_block, shape_line  # noqa: E402
 
 # Bench shape: the ISSUE's reference point — a realistic training batch
 # (4096 deduplicated 15-call segments) over a mid-sized state space.
@@ -311,6 +311,7 @@ def run(smoke: bool, out_path: Path) -> int:
     payload = {
         "bench": "em_kernels",
         "unix_time": time.time(),
+        "host": bench_host_metadata(),
         "smoke": smoke,
         "shape": {
             "batch": BATCH,

@@ -26,7 +26,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from common import print_block, shape_line
+from common import bench_host_metadata, print_block, shape_line
 
 from repro import telemetry
 from repro.eval import ExperimentConfig, run_accuracy_grid
@@ -139,9 +139,25 @@ def test_runtime_scaling():
         },
         "jobs": jobs,
         "cpus_available": cpus,
+        "host": bench_host_metadata(),
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "parallel_speedup": round(serial_s / parallel_s, 3),
+        # A speedup measured without a second CPU is oversubscription
+        # noise; downstream consumers (the regression gate, CI charts)
+        # must check this flag before reading the number above.
+        "parallel_speedup_valid": can_scale,
+        **(
+            {}
+            if can_scale
+            else {
+                "parallel_speedup_note": (
+                    f"measured on {cpus} usable CPU(s); a process pool "
+                    "cannot beat serial without a second core — "
+                    "not a regression signal"
+                )
+            }
+        ),
         "cache_cold_s": round(cold_s, 3),
         "cache_warm_s": round(warm_s, 3),
         "warm_speedup": round(cold_s / warm_s, 3),

@@ -30,7 +30,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from common import print_block, shape_line
+from common import bench_host_metadata, print_block, shape_line
 
 from repro import telemetry
 from repro.api import load_pretrained
@@ -141,6 +141,7 @@ def test_service_throughput():
     payload = {
         "bench": "service_throughput",
         "unix_time": time.time(),
+        "host": bench_host_metadata(),
         "population": {
             "windows": N_WINDOWS,
             "window_length": WINDOW,

@@ -16,6 +16,7 @@ Scale up toward paper size with ``REPRO_SCALE=2 pytest benchmarks/ ...``.
 from __future__ import annotations
 
 import os
+import platform
 from pathlib import Path
 
 from repro.core import MODEL_NAMES
@@ -34,10 +35,34 @@ __all__ = [
     "accuracy_figure",
     "bench_cache",
     "bench_executor",
+    "bench_host_metadata",
     "print_block",
     "render_comparisons",
     "shape_line",
 ]
+
+
+def bench_host_metadata() -> dict:
+    """Where this bench ran — embedded in every ``BENCH_*.json``.
+
+    Throughput and speedup numbers are meaningless without the core count
+    they were measured on (a "parallel speedup" recorded on a 1-CPU runner
+    is oversubscription noise, not signal), so every emitter stamps its
+    payload with the host shape and the regression gate can refuse to
+    compare apples to oranges.
+    """
+    try:
+        cpus_usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus_usable = os.cpu_count() or 1
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "cpus_usable": cpus_usable,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "hostname": platform.node(),
+    }
 
 
 def _bench_config() -> ExperimentConfig:

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Gate fresh ``BENCH_*.json`` payloads against committed baselines.
+
+CI's bench stages produce throughput payloads every run; this script turns
+them from *artifacts you could look at* into a *gate that fails the build*:
+
+* **missing keys** — every key present in the committed baseline must exist
+  in the fresh payload (recursively).  A bench refactor that silently drops
+  a metric breaks the perf-trajectory charting downstream, so it fails here
+  instead.
+* **throughput regression** — each bench's registered higher-is-better
+  metrics must reach ``(1 - threshold)`` of the baseline value (default
+  threshold 0.20, i.e. fail on >20% regression).
+
+Baselines live in ``benchmarks/baselines/`` and are deliberately
+*conservative floors* (see the README there): CI runners are shared and
+noisy, so the gate is tuned to catch real regressions — an accidentally
+quadratic drain loop, a de-vectorized kernel — not scheduler jitter.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_em.json
+    python scripts/check_bench_regression.py BENCH_service_sharded.json \
+        --baseline benchmarks/baselines/BENCH_service_sharded.json \
+        --threshold 0.25
+
+The baseline is resolved from ``--baseline``, else
+``benchmarks/baselines/<fresh-file-name>``.  Exits 0 when every gate holds,
+1 on any regression/missing key, 2 on unusable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+DEFAULT_THRESHOLD = 0.20
+
+#: Higher-is-better metrics per payload ``bench`` tag, as dotted paths.
+#: Only ratios and throughputs belong here — raw wall-clock seconds swing
+#: with runner contention and would make the gate cry wolf.
+THROUGHPUT_METRICS: dict[str, tuple[str, ...]] = {
+    "em_kernels": (
+        "em.fused_iters_per_s",
+        "em.speedup",
+        "scoring.dedup_windows_per_s",
+        "scoring.speedup",
+    ),
+    "service_throughput": (
+        "service.64.segments_per_s",
+        "service.256.segments_per_s",
+    ),
+    "service_sharded": (
+        "shards.1.segments_per_s",
+    ),
+    "runtime_scaling": (
+        "warm_speedup",
+    ),
+}
+
+#: Keys whose values legitimately differ every run (timestamps, host
+#: identity, embedded telemetry trees) — exempt from the missing-key walk's
+#: *recursion*, though the key itself must still exist.
+OPAQUE_KEYS = frozenset({"telemetry", "host", "env", "unix_time"})
+
+#: Boolean invariants that must stay true once a baseline recorded them
+#: true (a perf PR that breaks bit-identity is a correctness bug, not a
+#: slowdown).
+INVARIANT_FLAGS: dict[str, tuple[str, ...]] = {
+    "em_kernels": (
+        "bit_identity.em_fused_vs_reference",
+        "bit_identity.scoring_dedup_vs_full",
+    ),
+    "service_throughput": ("bit_identical",),
+    "service_sharded": ("bit_identical_1_shard",),
+    "runtime_scaling": ("bit_identical",),
+}
+
+
+def _lookup(payload: dict, dotted: str):
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _missing_keys(baseline, fresh, prefix: str = "") -> list[str]:
+    """Baseline keys absent from the fresh payload (recursive)."""
+    missing = []
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            return [prefix or "<root>"]
+        for key, value in baseline.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key not in fresh:
+                missing.append(path)
+            elif key not in OPAQUE_KEYS:
+                missing.extend(_missing_keys(value, fresh[key], path))
+    return missing
+
+
+def check(fresh: dict, baseline: dict, threshold: float) -> list[str]:
+    """Every violated gate as a human-readable line (empty = pass)."""
+    problems = []
+    bench = fresh.get("bench")
+    if bench != baseline.get("bench"):
+        return [
+            f"bench tag mismatch: fresh={bench!r} "
+            f"baseline={baseline.get('bench')!r} (wrong baseline file?)"
+        ]
+
+    for path in _missing_keys(baseline, fresh):
+        problems.append(f"missing key: {path!r} (present in baseline)")
+
+    for dotted in THROUGHPUT_METRICS.get(bench, ()):
+        base = _lookup(baseline, dotted)
+        ours = _lookup(fresh, dotted)
+        if base is None:
+            continue  # baseline predates the metric; nothing to hold
+        if ours is None:
+            problems.append(f"missing throughput metric: {dotted!r}")
+            continue
+        floor = base * (1.0 - threshold)
+        if ours < floor:
+            problems.append(
+                f"throughput regression: {dotted} = {ours:g} < {floor:g} "
+                f"(baseline {base:g}, threshold {threshold:.0%})"
+            )
+
+    for dotted in INVARIANT_FLAGS.get(bench, ()):
+        if _lookup(baseline, dotted) is True and _lookup(fresh, dotted) is not True:
+            problems.append(
+                f"invariant broken: {dotted} was true in baseline, "
+                f"now {_lookup(fresh, dotted)!r}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+    )
+    parser.add_argument("fresh", type=Path, help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed baseline (default: benchmarks/baselines/<name>)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional throughput regression tolerated (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or DEFAULT_BASELINE_DIR / args.fresh.name
+    if not args.fresh.is_file():
+        print(f"fresh payload not found: {args.fresh}", file=sys.stderr)
+        return 2
+    if not baseline_path.is_file():
+        print(f"no baseline at {baseline_path}; nothing to gate", file=sys.stderr)
+        return 2
+    if not 0 <= args.threshold < 1:
+        print(f"threshold must be in [0, 1): {args.threshold}", file=sys.stderr)
+        return 2
+
+    fresh = json.loads(args.fresh.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    problems = check(fresh, baseline, args.threshold)
+
+    name = fresh.get("bench", args.fresh.name)
+    if problems:
+        print(f"bench-regression gate FAILED for {name}:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    gated = len(THROUGHPUT_METRICS.get(name, ())) + len(
+        INVARIANT_FLAGS.get(name, ())
+    )
+    print(
+        f"bench-regression gate passed for {name} "
+        f"({gated} metrics vs {baseline_path})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -73,6 +73,7 @@ __all__ = [
     "load_pretrained",
     "model_is_context_sensitive",
     "open_monitor",
+    "open_service",
     "score",
 ]
 
@@ -143,6 +144,32 @@ def open_monitor(
         segment_length=segment_length,
         cooldown=cooldown,
     )
+
+
+def open_service(
+    config=None,
+    *,
+    shards: int = 1,
+    shard_config=None,
+):
+    """Open a detection service sized to the deployment.
+
+    ``shards=1`` returns the in-process micro-batched
+    :class:`~repro.service.service.DetectionService`; ``shards > 1`` (or an
+    explicit :class:`~repro.service.config.ShardConfig`) returns the
+    process-sharded :class:`~repro.service.sharded.ShardedDetectionService`
+    — same API, model weights published once through shared memory, one
+    worker process per shard.  See ``docs/service.md``.
+
+    Args:
+        config: a :class:`~repro.service.config.ServiceConfig` (per-shard
+            batching/queueing knobs).
+        shards: worker-process count.
+        shard_config: full sharding knobs; overrides ``shards``.
+    """
+    from .service import create_service
+
+    return create_service(config, shards=shards, shard_config=shard_config)
 
 
 def load_pretrained(

@@ -154,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--policy", choices=("reject-new", "shed-oldest"),
                        default="reject-new",
                        help="admission policy when the queue is full")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="worker processes; >1 shards sessions across "
+                            "processes with shared-memory model weights "
+                            "(1 = in-process service, today's behavior)")
 
     report = sub.add_parser(
         "report", help="fast end-to-end summary of every experiment family"
@@ -395,12 +399,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .errors import ServiceError
     from .service import (
         AdmissionPolicy,
-        DetectionService,
         Failed,
         Overloaded,
         Scored,
         ServiceConfig,
         Streamed,
+        create_service,
         resolve_model,
     )
 
@@ -425,7 +429,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         default_window=args.length,
     )
-    service = DetectionService(config)
+    service = create_service(config, shards=args.shards)
     service.register("served", detector, threshold=args.threshold,
                      window=args.length)
 
@@ -464,6 +468,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     stats = service.stats
     rows = [
         ["sessions", len(traces)],
+        *([["shards", args.shards]] if args.shards > 1 else []),
         ["submitted", stats.submitted],
         ["scored", stats.scored + stats.streamed],
         ["absorbed (window warm-up)", stats.absorbed],

@@ -62,6 +62,24 @@ def resolve_model(
     return load_model(source)
 
 
+def rebuild_detector(
+    model: HiddenMarkovModel,
+    kind: CallKind | str = CallKind.SYSCALL,
+    context: bool | None = None,
+    name: str | None = None,
+) -> PretrainedDetector:
+    """Wrap an already-materialized model as a servable detector.
+
+    The worker side of the sharded service's registration path: the parent
+    publishes parameters through the
+    :class:`~repro.service.shm.SharedModelStore`, the worker attaches the
+    shared arrays zero-copy, and this puts the same ``(kind, context,
+    name)`` detector identity back around them — so a shard's lane scores
+    through an object indistinguishable from the one ``register`` saw.
+    """
+    return PretrainedDetector(model, kind=CallKind(kind), context=context, name=name)
+
+
 def load_fleet(
     sources: Mapping[str, str | Path | HiddenMarkovModel],
     cache: ArtifactCache | None = None,

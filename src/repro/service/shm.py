@@ -1,0 +1,253 @@
+"""Shared-memory publication of HMM parameters for multi-process serving.
+
+A sharded deployment runs one :class:`~repro.service.service.DetectionService`
+per worker process.  The parameter matrices of a served model — transition,
+emission, initial — are read-only after training, yet naive process fan-out
+pickles a private copy into every worker (N × the fleet's parameter bytes,
+plus serialization time on every spawn/restart).  This module publishes each
+model **once** into a :class:`multiprocessing.shared_memory.SharedMemory`
+segment and hands workers a tiny picklable :class:`SharedModelSpec`; the
+worker side attaches zero-copy ``numpy`` views over the same physical pages.
+
+Lifecycle is refcounted on the publishing side:
+
+* :meth:`SharedModelStore.publish` maps a model into one segment (publishing
+  the *same* model object again bumps a refcount instead of re-copying);
+* :meth:`SharedModelStore.release` drops one reference and unlinks the
+  segment when the count reaches zero;
+* :meth:`SharedModelStore.close` force-releases everything — the service
+  calls this on shutdown so no segment outlives the deployment.
+
+Workers call :func:`attach_model` / :meth:`ModelAttachment.close` and never
+unlink: the publisher owns the segment's lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..hmm.model import HiddenMarkovModel
+
+__all__ = [
+    "ModelAttachment",
+    "SharedModelSpec",
+    "SharedModelStore",
+    "attach_model",
+]
+
+#: All three parameter matrices are published as C-contiguous float64 —
+#: exactly the dtype :class:`HiddenMarkovModel` normalizes to, so attach is
+#: a reinterpretation, never a conversion.
+_DTYPE = np.float64
+
+
+@dataclass(frozen=True)
+class SharedModelSpec:
+    """A picklable handle to one published model (sent to workers).
+
+    Everything needed to rebuild a :class:`HiddenMarkovModel` view without
+    touching the publisher again: the segment name, the array shapes, and
+    the (small, string) alphabet metadata that rides along in the pickle.
+    """
+
+    segment: str
+    n_states: int
+    n_symbols: int
+    symbols: tuple[str, ...]
+    state_labels: tuple[str, ...] | None = None
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size of the segment's three arrays."""
+        n, m = self.n_states, self.n_symbols
+        return (n * n + n * m + n) * np.dtype(_DTYPE).itemsize
+
+    def offsets(self) -> Iterator[tuple[str, tuple[int, ...], int]]:
+        """Yield ``(array_name, shape, byte_offset)`` in segment order."""
+        n, m = self.n_states, self.n_symbols
+        itemsize = np.dtype(_DTYPE).itemsize
+        offset = 0
+        for name, shape in (
+            ("transition", (n, n)),
+            ("emission", (n, m)),
+            ("initial", (n,)),
+        ):
+            yield name, shape, offset
+            offset += int(np.prod(shape)) * itemsize
+
+
+def _open_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    On Python < 3.13 every ``SharedMemory(name=...)`` *attach* also
+    registers the segment with the resource tracker, which then unlinks it
+    when any attaching process exits — yanking the segment out from under
+    every other process (bpo-39959).  Worse, forked workers share the
+    publisher's tracker daemon, so attach-side register/unregister pairs
+    race each other and clobber the publisher's own registration.  Fix at
+    the source: suppress registration for the duration of the attach (the
+    3.13+ ``track=False`` parameter, emulated).  The publishing process
+    keeps its registration, so crashed deployments still get cleaned up.
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    try:  # pragma: no cover - exercised only on pre-3.13 interpreters
+        resource_tracker.register = lambda *args, **kwargs: None
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+@dataclass
+class ModelAttachment:
+    """A worker-side zero-copy view of a published model.
+
+    Holds the :class:`SharedMemory` handle open for as long as the model's
+    arrays are alive — the arrays are views into the mapping, so closing
+    the handle early would invalidate them.
+    """
+
+    model: HiddenMarkovModel
+    _shm: shared_memory.SharedMemory = field(repr=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping (never unlinks the segment).
+
+        Safe to call with model views still alive only at process exit;
+        a ``BufferError`` from live exports is swallowed because the OS
+        reclaims the mapping when the worker dies anyway.
+        """
+        try:
+            self._shm.close()
+        except BufferError:  # views still exported; OS cleans up on exit
+            pass
+
+
+def attach_model(spec: SharedModelSpec) -> ModelAttachment:
+    """Map a published model into this process, zero-copy.
+
+    The returned model's arrays are read-only views over the shared pages
+    (``writeable=False`` — a worker scribbling on shared weights would
+    corrupt every sibling shard at once).
+    """
+    try:
+        shm = _open_untracked(spec.segment)
+    except FileNotFoundError as exc:
+        raise ServiceError(
+            f"shared model segment {spec.segment!r} does not exist "
+            "(publisher gone or already released)"
+        ) from exc
+    views = {}
+    for name, shape, offset in spec.offsets():
+        view = np.ndarray(shape, dtype=_DTYPE, buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        views[name] = view
+    model = HiddenMarkovModel(
+        transition=views["transition"],
+        emission=views["emission"],
+        initial=views["initial"],
+        symbols=spec.symbols,
+        state_labels=spec.state_labels,
+    )
+    return ModelAttachment(model=model, _shm=shm)
+
+
+class SharedModelStore:
+    """Publisher-side registry of shared segments with refcounted cleanup.
+
+    One store per sharded service.  Segments are keyed by the identity of
+    the published model object: registering the same model under several
+    detector names (or to several shards) shares one segment.
+    """
+
+    def __init__(self) -> None:
+        #: id(model) -> [spec, SharedMemory, refcount]
+        self._segments: dict[int, list] = {}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def total_bytes(self) -> int:
+        """Published payload bytes (what a pickled fan-out would duplicate
+        per worker)."""
+        return sum(entry[0].nbytes for entry in self._segments.values())
+
+    def publish(self, model: HiddenMarkovModel) -> SharedModelSpec:
+        """Map ``model``'s arrays into shared memory (or bump its refcount).
+
+        The copy into the segment happens exactly once per distinct model
+        object, no matter how many detectors or shards reference it.
+        """
+        entry = self._segments.get(id(model))
+        if entry is not None:
+            entry[2] += 1
+            return entry[0]
+        spec_shapeless = SharedModelSpec(
+            segment="",
+            n_states=model.n_states,
+            n_symbols=model.n_symbols,
+            symbols=tuple(model.symbols),
+            state_labels=tuple(model.state_labels)
+            if model.state_labels is not None
+            else None,
+        )
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, spec_shapeless.nbytes)
+        )
+        spec = SharedModelSpec(
+            segment=shm.name,
+            n_states=spec_shapeless.n_states,
+            n_symbols=spec_shapeless.n_symbols,
+            symbols=spec_shapeless.symbols,
+            state_labels=spec_shapeless.state_labels,
+        )
+        for name, shape, offset in spec.offsets():
+            view = np.ndarray(shape, dtype=_DTYPE, buffer=shm.buf, offset=offset)
+            np.copyto(view, np.ascontiguousarray(getattr(model, name), dtype=_DTYPE))
+        self._segments[id(model)] = [spec, shm, 1]
+        return spec
+
+    def refcount(self, model: HiddenMarkovModel) -> int:
+        entry = self._segments.get(id(model))
+        return entry[2] if entry is not None else 0
+
+    def release(self, model: HiddenMarkovModel) -> None:
+        """Drop one reference; unlink the segment at refcount zero."""
+        entry = self._segments.get(id(model))
+        if entry is None:
+            raise ServiceError("model is not published in this store")
+        entry[2] -= 1
+        if entry[2] <= 0:
+            del self._segments[id(model)]
+            self._destroy(entry[1])
+
+    def close(self) -> None:
+        """Force-release every segment (service shutdown)."""
+        segments = list(self._segments.values())
+        self._segments.clear()
+        for _, shm, _ in segments:
+            self._destroy(shm)
+
+    @staticmethod
+    def _destroy(shm: shared_memory.SharedMemory) -> None:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - publisher holds no views
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedModelStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

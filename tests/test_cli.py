@@ -137,6 +137,23 @@ class TestTraceCommands:
         out = capsys.readouterr().out
         assert "rate 0.00%" in out          # shed-rate exactly zero
         assert "failed to score" not in out
+
+    def test_serve_sharded_replay(self, tmp_path, capsys):
+        """--shards N replays through the multi-process service."""
+        log_path = tmp_path / "t.log"
+        model_path = tmp_path / "m.npz"
+        assert main(["trace", "gzip", "--cases", "4", "--output",
+                     str(log_path)]) == 0
+        assert main(["train", "gzip", "--model", "cmarkov", "--cases", "10",
+                     "--output", str(model_path)]) == 0
+        capsys.readouterr()
+        assert main(["serve", str(model_path), str(log_path),
+                     "--shards", "2", "--batch", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out
+        assert "rate 0.00%" in out
+        assert "failed to score" not in out
+
     def test_call_graph_dot(self, capsys):
         assert main(["dot", "gzip"]) == 0
         out = capsys.readouterr().out

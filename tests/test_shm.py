@@ -1,0 +1,136 @@
+"""Tests for shared-memory model publication (:mod:`repro.service.shm`).
+
+The contract: publish copies a model's parameters into one shared segment
+exactly once; attach builds a *zero-copy*, read-only view over the same
+physical pages; the refcounted publisher owns the segment's lifetime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.hmm import log_likelihood, random_model
+from repro.service import SharedModelStore, attach_model
+
+SYMBOLS = ["open", "read", "write", "mmap", "close"]
+
+
+@pytest.fixture()
+def model():
+    return random_model(SYMBOLS, n_states=4, seed=7)
+
+
+@pytest.fixture()
+def store():
+    with SharedModelStore() as store:
+        yield store
+
+
+class TestPublishAttach:
+    def test_roundtrip_preserves_parameters(self, store, model):
+        spec = store.publish(model)
+        attachment = attach_model(spec)
+        try:
+            np.testing.assert_array_equal(
+                attachment.model.transition, model.transition
+            )
+            np.testing.assert_array_equal(
+                attachment.model.emission, model.emission
+            )
+            np.testing.assert_array_equal(
+                attachment.model.initial, model.initial
+            )
+            assert attachment.model.symbols == tuple(model.symbols)
+        finally:
+            del attachment.model  # release views before closing the mapping
+            attachment.close()
+
+    def test_attached_model_scores_identically(self, store, model):
+        rng = np.random.default_rng(0)
+        window = [
+            tuple(SYMBOLS[i] for i in rng.integers(0, len(SYMBOLS), size=15))
+        ]
+        expected = log_likelihood(model, model.encode(window))
+        spec = store.publish(model)
+        attachment = attach_model(spec)
+        got = log_likelihood(attachment.model, attachment.model.encode(window))
+        np.testing.assert_array_equal(got, expected)
+
+    def test_attach_is_zero_copy(self, store, model):
+        spec = store.publish(model)
+        attachment = attach_model(spec)
+        # A second attach in the same process maps the same physical pages:
+        # both views share memory with the segment, neither with the source.
+        sibling = attach_model(spec)
+        assert not np.shares_memory(attachment.model.transition, model.transition)
+        assert attachment.model.transition.base is not None
+
+    def test_attached_views_are_read_only(self, store, model):
+        spec = store.publish(model)
+        attachment = attach_model(spec)
+        with pytest.raises(ValueError):
+            attachment.model.transition[0, 0] = 0.5
+
+    def test_spec_is_small_and_offsets_cover_segment(self, store, model):
+        spec = store.publish(model)
+        names = []
+        end = 0
+        for name, shape, offset in spec.offsets():
+            assert offset == end
+            end = offset + int(np.prod(shape)) * 8
+            names.append(name)
+        assert names == ["transition", "emission", "initial"]
+        assert end == spec.nbytes
+
+    def test_attach_after_release_raises(self, store, model):
+        spec = store.publish(model)
+        store.release(model)
+        with pytest.raises(ServiceError, match="does not exist"):
+            attach_model(spec)
+
+
+class TestRefcounting:
+    def test_republish_shares_one_segment(self, store, model):
+        first = store.publish(model)
+        second = store.publish(model)
+        assert first.segment == second.segment
+        assert len(store) == 1
+        assert store.refcount(model) == 2
+
+    def test_release_unlinks_at_zero(self, store, model):
+        spec = store.publish(model)
+        store.publish(model)
+        store.release(model)
+        assert attach_model(spec) is not None  # still referenced
+        store.release(model)
+        assert store.refcount(model) == 0
+        with pytest.raises(ServiceError):
+            attach_model(spec)
+
+    def test_release_unpublished_raises(self, store, model):
+        with pytest.raises(ServiceError, match="not published"):
+            store.release(model)
+
+    def test_distinct_models_get_distinct_segments(self, store):
+        a = random_model(SYMBOLS, n_states=3, seed=1)
+        b = random_model(SYMBOLS, n_states=3, seed=2)
+        spec_a = store.publish(a)
+        spec_b = store.publish(b)
+        assert spec_a.segment != spec_b.segment
+        assert len(store) == 2
+
+    def test_total_bytes_counts_payload(self, store, model):
+        assert store.total_bytes == 0
+        spec = store.publish(model)
+        assert store.total_bytes == spec.nbytes
+
+    def test_close_releases_everything(self, model):
+        store = SharedModelStore()
+        spec = store.publish(model)
+        store.publish(model)  # refcount 2; close still tears down
+        store.close()
+        assert len(store) == 0
+        with pytest.raises(ServiceError):
+            attach_model(spec)
