@@ -60,6 +60,9 @@ THROUGHPUT_METRICS: dict[str, tuple[str, ...]] = {
     "runtime_scaling": (
         "warm_speedup",
     ),
+    "gateway": (
+        "gateway.requests_per_s",
+    ),
 }
 
 #: Keys whose values legitimately differ every run (timestamps, host
@@ -78,6 +81,7 @@ INVARIANT_FLAGS: dict[str, tuple[str, ...]] = {
     "service_throughput": ("bit_identical",),
     "service_sharded": ("bit_identical_1_shard",),
     "runtime_scaling": ("bit_identical",),
+    "gateway": ("scores_bit_identical", "metrics_valid"),
 }
 
 

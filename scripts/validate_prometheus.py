@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Line-grammar validator for Prometheus text exposition format 0.0.4.
+
+Checked in so CI's gateway-smoke job (and the black-box e2e suite) can
+assert the gateway's ``/metrics`` output actually parses — not just that
+the endpoint returns 200.  Importable::
+
+    from validate_prometheus import validate_text
+    errors = validate_text(scraped)   # [] means valid
+
+or as a CLI (reads a file argument or stdin; exit 0 valid, 1 invalid)::
+
+    python scripts/validate_prometheus.py metrics.txt
+
+Checks, per the exposition-format spec:
+
+* metric and label names match the Prometheus grammar;
+* sample values parse as floats (including ``+Inf``/``-Inf``/``NaN``);
+* optional trailing timestamps are integers;
+* ``# TYPE`` appears at most once per metric, names a valid type, and
+  precedes every sample of that metric;
+* all samples of a metric family are consecutive (no interleaving);
+* no duplicate samples (same name + label set);
+* histogram invariants: ``le`` buckets ascend, cumulative counts are
+  non-decreasing, the ``+Inf`` bucket exists and equals ``_count``, and
+  ``_sum``/``_count`` are present.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+__all__ = ["validate_text"]
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$"
+)
+_LABEL = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _parse_value(text: str) -> float | None:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _parse_labels(raw: str, line_no: int, errors: list[str]) -> dict[str, str] | None:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL.match(raw, pos)
+        if match is None:
+            errors.append(f"line {line_no}: malformed label pair at {raw[pos:]!r}")
+            return None
+        name = match.group("name")
+        if name in labels:
+            errors.append(f"line {line_no}: duplicate label {name!r}")
+            return None
+        labels[name] = match.group("value")
+        pos = match.end()
+    return labels
+
+
+def _base_name(name: str) -> str:
+    """Family name a sample belongs to (strip histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate_text(text: str) -> list[str]:
+    """Validate one exposition payload; returns a list of error strings."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    sampled: set[str] = set()          # family names with >=1 sample seen
+    seen_samples: set[tuple] = set()   # (name, frozen labels) for dup check
+    order: list[str] = []              # family order of first appearance
+    finished: set[str] = set()         # families whose run of samples ended
+    # histogram accounting: family -> {"buckets": [(le, value)], "sum": x, "count": x}
+    histograms: dict[str, dict] = {}
+    last_family: str | None = None
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # arbitrary comment
+            if len(parts) < 3:
+                errors.append(f"line {line_no}: {parts[1]} without a metric name")
+                continue
+            name = parts[2]
+            if not METRIC_NAME.match(name):
+                errors.append(f"line {line_no}: invalid metric name {name!r}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in VALID_TYPES:
+                    errors.append(
+                        f"line {line_no}: TYPE for {name!r} must be one of "
+                        f"{sorted(VALID_TYPES)}"
+                    )
+                    continue
+                if name in types:
+                    errors.append(f"line {line_no}: duplicate TYPE for {name!r}")
+                    continue
+                if name in sampled:
+                    errors.append(
+                        f"line {line_no}: TYPE for {name!r} after its samples"
+                    )
+                types[name] = parts[3]
+            continue
+
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            errors.append(
+                f"line {line_no}: bad sample value {match.group('value')!r}"
+            )
+            continue
+        raw_labels = match.group("labels")
+        labels = _parse_labels(raw_labels, line_no, errors) if raw_labels else {}
+        if labels is None:
+            continue
+
+        if name in types:
+            family = name
+        else:
+            # A suffixed sample (_bucket/_sum/_count/_total) belongs to its
+            # declared base family; otherwise the full name stands alone.
+            base = _base_name(name)
+            family = base if base in types else name
+
+        if family != last_family:
+            if family in finished:
+                errors.append(
+                    f"line {line_no}: samples of {family!r} are not consecutive"
+                )
+            if last_family is not None:
+                finished.add(last_family)
+            if family not in order:
+                order.append(family)
+            last_family = family
+        sampled.add(family)
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            errors.append(f"line {line_no}: duplicate sample {name}{labels}")
+        seen_samples.add(key)
+
+        if types.get(family) == "histogram":
+            acc = histograms.setdefault(
+                family, {"buckets": [], "sum": None, "count": None}
+            )
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    errors.append(
+                        f"line {line_no}: histogram bucket without le label"
+                    )
+                else:
+                    bound = _parse_value(le)
+                    if bound is None:
+                        errors.append(f"line {line_no}: bad le value {le!r}")
+                    else:
+                        acc["buckets"].append((bound, value, line_no))
+            elif name == family + "_sum":
+                acc["sum"] = value
+            elif name == family + "_count":
+                acc["count"] = value
+            elif name == family:
+                errors.append(
+                    f"line {line_no}: bare sample {name!r} for histogram family"
+                )
+
+    for family, acc in histograms.items():
+        buckets = acc["buckets"]
+        if not buckets:
+            errors.append(f"histogram {family!r} has no buckets")
+            continue
+        bounds = [b[0] for b in buckets]
+        if bounds != sorted(bounds):
+            errors.append(f"histogram {family!r}: le bounds not ascending")
+        counts = [b[1] for b in buckets]
+        if any(b > a for b, a in zip(counts, counts[1:])):
+            errors.append(f"histogram {family!r}: bucket counts decrease")
+        if bounds[-1] != float("inf"):
+            errors.append(f"histogram {family!r}: missing +Inf bucket")
+        if acc["count"] is None:
+            errors.append(f"histogram {family!r}: missing _count")
+        elif bounds[-1] == float("inf") and acc["count"] != counts[-1]:
+            errors.append(
+                f"histogram {family!r}: _count {acc['count']} != +Inf bucket "
+                f"{counts[-1]}"
+            )
+        if acc["sum"] is None:
+            errors.append(f"histogram {family!r}: missing _sum")
+
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] not in ("-", ""):
+        with open(argv[0], encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    errors = validate_text(text)
+    for error in errors:
+        print(f"INVALID: {error}")
+    if errors:
+        print(f"exposition INVALID ({len(errors)} error(s))")
+        return 1
+    samples = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"exposition OK ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,7 +72,9 @@ __all__ = [
     "fit",
     "load_pretrained",
     "model_is_context_sensitive",
+    "open_gateway",
     "open_monitor",
+    "open_registry",
     "open_service",
     "score",
 ]
@@ -170,6 +172,33 @@ def open_service(
     from .service import create_service
 
     return create_service(config, shards=shards, shard_config=shard_config)
+
+
+def open_registry(cache=None):
+    """A versioned model registry for staged rollout/rollback.
+
+    Lineages are named detector families; ``publish`` stages a retrained
+    model, ``rollout``/``rollback`` move the active version, and the
+    gateway warm-swaps every activation into the live service fleet.  Pass
+    an :class:`~repro.runtime.cache.ArtifactCache` to write published
+    models through to disk.  See :mod:`repro.runtime.registry`.
+    """
+    from .runtime.registry import ModelRegistry
+
+    return ModelRegistry(cache=cache)
+
+
+def open_gateway(service, registry=None, config=None):
+    """An HTTP front end over a detection service (+ optional registry).
+
+    Returns an unstarted
+    :class:`~repro.gateway.server.DetectionGateway`; call ``start()`` (or
+    use it as a context manager) to bind and serve, and read ``.port`` for
+    the bound port.  See ``docs/gateway.md``.
+    """
+    from .gateway import DetectionGateway
+
+    return DetectionGateway(service, registry=registry, config=config)
 
 
 def load_pretrained(

@@ -13,6 +13,8 @@ Commands mirror the workflow a downstream user runs:
 * ``score-trace`` — segment a trace log and score it with a saved model;
 * ``serve``   — replay recorded traces through the micro-batched detection
   service (one session per trace) and report throughput/shed stats;
+* ``gateway`` — serve the detection fleet over HTTP: async gateway +
+  versioned model registry with warm-swap rollouts (``docs/gateway.md``);
 * ``report``  — run a fast end-to-end summary of every experiment family;
 * ``demo``    — end-to-end detection demo (train + attack + verdicts).
 """
@@ -158,6 +160,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes; >1 shards sessions across "
                             "processes with shared-memory model weights "
                             "(1 = in-process service, today's behavior)")
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="serve the detection fleet over HTTP (async gateway + "
+             "versioned model registry with warm-swap)",
+    )
+    gateway.add_argument("model_source",
+                         help="saved model path, or cache:KEY with --cache-dir")
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=0,
+                         help="bind port; 0 picks an ephemeral one "
+                              "(printed at startup)")
+    gateway.add_argument("--name", default="served",
+                         help="detector name == registry lineage name")
+    gateway.add_argument("--kind", type=_kind, default=CallKind.SYSCALL)
+    gateway.add_argument("--length", type=int, default=15,
+                         help="window length (monitor/stream sessions)")
+    gateway.add_argument("--threshold", type=float, default=None,
+                         help="operating threshold; anomalous iff score < T")
+    gateway.add_argument("--shards", type=int, default=1,
+                         help="worker processes (1 = in-process service)")
+    gateway.add_argument("--batch", type=int, default=256,
+                         help="max windows per micro-batch drain")
+    gateway.add_argument("--queue-depth", type=int, default=4096,
+                         help="bounded queue depth (admission limit)")
+    gateway.add_argument("--policy", choices=("reject-new", "shed-oldest"),
+                         default="reject-new",
+                         help="admission policy when the queue is full")
+    gateway.add_argument("--result-timeout", type=float, default=30.0,
+                         help="seconds an observe waits for its outcome "
+                              "before answering 503")
+    gateway.add_argument("--no-pump", action="store_true",
+                         help="do not start the background pump; drive "
+                              "drains via POST /v1/admin/pump (test hook)")
 
     report = sub.add_parser(
         "report", help="fast end-to-end summary of every experiment family"
@@ -495,6 +531,73 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if failed:
         print(f"failed to score: {len(failed)} "
               f"(first error: {failed[0].error})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import threading as _threading
+
+    from .core.detector import PretrainedDetector
+    from .gateway import DetectionGateway, GatewayConfig
+    from .runtime import ModelRegistry
+    from .service import (
+        AdmissionPolicy,
+        ServiceConfig,
+        create_service,
+        resolve_model,
+    )
+
+    if not telemetry.enabled():
+        telemetry.enable()  # /metrics wants gateway.*/service.* counters
+    _, cache = runtime_from_args(args)
+    model = resolve_model(args.model_source, cache=cache)
+    detector = PretrainedDetector(model, kind=args.kind, name=args.name)
+    config = ServiceConfig(
+        max_batch=args.batch,
+        max_queue_depth=args.queue_depth,
+        admission_policy=AdmissionPolicy(args.policy),
+        default_window=args.length,
+    )
+    service = create_service(config, shards=args.shards)
+    service.register(args.name, detector, threshold=args.threshold,
+                     window=args.length)
+    registry = ModelRegistry(cache=cache)
+    gateway = DetectionGateway(
+        service,
+        registry,
+        GatewayConfig(
+            host=args.host,
+            port=args.port,
+            result_timeout_s=args.result_timeout,
+            call_kind=args.kind.value,
+        ),
+    )
+    # v1 of the lineage is the model we booted with; activating it warm-swaps
+    # the (identical) weights in, which also proves the swap path at startup.
+    registry.publish(
+        args.name, model,
+        metadata={"source": str(args.model_source)}, activate=True,
+    )
+    if not args.no_pump:
+        service.start()
+    gateway.start()
+    # SIGTERM (docker stop, CI `kill`) takes the same graceful path as
+    # Ctrl-C, so worker shards and shared-memory segments release cleanly.
+    import signal as _signal
+    _signal.signal(_signal.SIGTERM, _signal.default_int_handler)
+    print(f"gateway listening on http://{args.host}:{gateway.port}",
+          flush=True)
+    try:
+        _threading.Event().wait()  # serve until interrupted/killed
+    except KeyboardInterrupt:
+        pass
+    finally:
+        gateway.stop()
+        try:
+            service.close(drain=False)
+        except Exception:  # noqa: BLE001 - already closed via the admin route
+            pass
     return 0
 
 
@@ -603,6 +706,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_score_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "demo":

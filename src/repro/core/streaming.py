@@ -110,3 +110,20 @@ class StreamingScorer:
         self._started = False
         self._recent.clear()
         self.events = 0
+
+    def rebind(self, model: HiddenMarkovModel) -> None:
+        """Swap in a retrained model mid-stream (the service's warm-swap).
+
+        The recent-surprisal window survives — :attr:`windowed_score`
+        stays continuous across the swap — but the belief state restarts
+        from the new model's initial distribution: the old posterior lives
+        over the old model's hidden states, which a retrain renumbers or
+        resizes, so carrying it over would be meaningless (or shape-wrong).
+        """
+        if not isinstance(model, HiddenMarkovModel):
+            raise ModelError(
+                f"rebind takes a HiddenMarkovModel, not {type(model).__name__}"
+            )
+        self.model = model
+        self._belief = model.initial.copy()
+        self._started = False

@@ -8,12 +8,16 @@ functions of configuration and seed.  This package exploits that twice:
   path);
 * :class:`ArtifactCache` keys trained HMMs and static-analysis results by
   a stable content hash of their inputs, so unchanged cells load from
-  disk instead of recomputing.
+  disk instead of recomputing;
+* :class:`ModelRegistry` layers deployment lifecycle on top: named
+  detector lineages with monotonically-versioned publishes, staged
+  rollout/rollback, and the activation hook the serving layer warm-swaps
+  from (see :mod:`repro.gateway`).
 
-Both are plumbed through :func:`repro.core.crossval.cross_validate`,
+All are plumbed through :func:`repro.core.crossval.cross_validate`,
 :mod:`repro.eval.runners`, :func:`repro.analysis.pipeline.analyze_program`,
 the benchmark harness, and the CLI (``--jobs``, ``--cache-dir``,
-``--no-cache``).
+``--no-cache``, ``gateway``).
 """
 
 from .cache import (
@@ -24,11 +28,15 @@ from .cache import (
     stable_hash,
 )
 from .executor import ParallelExecutor, clamp_jobs, default_jobs
+from .registry import ModelRegistry, ModelVersion, RegistryError
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "ModelRegistry",
+    "ModelVersion",
     "ParallelExecutor",
+    "RegistryError",
     "clamp_jobs",
     "default_jobs",
     "derive_seed",

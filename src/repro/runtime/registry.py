@@ -1,0 +1,316 @@
+"""Versioned model registry: named detector lineages with staged rollout.
+
+The :class:`~repro.runtime.cache.ArtifactCache` answers "have I trained
+this exact configuration before?" — a content-addressed question.  A
+deployment asks a different one: "which retraining of the ``gzip-cmarkov``
+detector is live right now, and what do I fall back to if it misbehaves?"
+:class:`ModelRegistry` answers that: each **lineage** (a named detector
+family, e.g. one per served detector) holds a totally-ordered sequence of
+published :class:`ModelVersion` entries, exactly one of which may be
+*active* at a time.
+
+Lifecycle::
+
+    registry = ModelRegistry(cache=ArtifactCache(Path(".cache")))
+    v1 = registry.publish("gzip", model_a, activate=True)   # version 1, live
+    v2 = registry.publish("gzip", model_b)                  # staged, not live
+    registry.rollout("gzip", v2.version)                    # v2 live
+    registry.rollback("gzip")                               # back to v1
+
+Invariants (property-tested in ``tests/test_registry.py``):
+
+* **total version order** — versions within a lineage are assigned
+  monotonically (1, 2, 3, ...) under any interleaving of publishers;
+* **rollback lands on a published version** — the activation history only
+  ever contains versions that completed :meth:`publish`, so
+  :meth:`rollback` cannot resurrect a torn or unregistered model;
+* **no torn reads** — :meth:`resolve` returns a ``(ModelVersion, model)``
+  pair that was published atomically; concurrent publishers never expose a
+  version number without its model.
+
+The registry is the source of truth the serving layer swaps from: the
+gateway's rollout endpoint resolves a version here and warm-swaps it into
+the live fleet via ``swap_detector`` (see ``docs/gateway.md``).  When a
+``cache`` is given, every published model is also written through to the
+content-addressed store under a key derived from ``(lineage, version,
+parameter hash)``, so a registry can be rebuilt from disk after a restart.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from .. import telemetry
+from ..errors import ReproError
+from ..hmm.model import HiddenMarkovModel
+from .cache import ArtifactCache, stable_hash
+
+__all__ = ["ModelRegistry", "ModelVersion", "RegistryError"]
+
+
+class RegistryError(ReproError):
+    """A registry operation that cannot be honored (unknown lineage,
+    unknown version, rollback with no history, ...)."""
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable published entry of a lineage.
+
+    Attributes:
+        lineage: the named detector family this version belongs to.
+        version: 1-based position in the lineage's total order.
+        params_hash: content hash of the model's parameter matrices +
+            alphabet — two visually distinct versions with identical
+            parameters share a hash (useful for "did this retrain actually
+            change anything?" checks).
+        created_at: publish wall-clock time (``clock()`` at publish).
+        metadata: free-form, JSON-safe provenance (training config,
+            corpus id, ...); never interpreted by the registry.
+        cache_key: the :class:`ArtifactCache` key this version was written
+            through to, or ``None`` when the registry is memory-only.
+    """
+
+    lineage: str
+    version: int
+    params_hash: str
+    created_at: float
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+    cache_key: str | None = None
+
+
+@dataclass
+class _Lineage:
+    """Mutable registry state for one lineage (guarded by the registry lock)."""
+
+    entries: dict[int, tuple[ModelVersion, HiddenMarkovModel]] = field(
+        default_factory=dict
+    )
+    next_version: int = 1
+    active: int | None = None
+    #: Every activation in order (rollouts and rollbacks both append), so
+    #: rollback is "undo the latest activation", not "guess a version".
+    activation_history: list[int] = field(default_factory=list)
+
+
+def model_params_hash(model: HiddenMarkovModel) -> str:
+    """Content hash of the parameters + alphabet (registry identity)."""
+    return stable_hash(
+        {
+            "transition": model.transition,
+            "emission": model.emission,
+            "initial": model.initial,
+            "symbols": tuple(model.symbols),
+            "state_labels": tuple(model.state_labels)
+            if model.state_labels is not None
+            else None,
+        }
+    )
+
+
+class ModelRegistry:
+    """Thread-safe versioned store of servable models, by lineage.
+
+    Args:
+        cache: optional write-through :class:`ArtifactCache`; published
+            models are persisted under ``version_cache_key``-derived keys
+            and can be reloaded by a later process.
+        clock: wall-clock source for ``created_at`` (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        cache: ArtifactCache | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._cache = cache
+        self._clock = clock
+        self._lineages: dict[str, _Lineage] = {}
+        self._lock = threading.RLock()
+        #: Rollout observers: ``callback(lineage, ModelVersion, model)``
+        #: fires inside the registry lock after every activation change —
+        #: the warm-swap seam the gateway hooks to push a new version into
+        #: a live service fleet.
+        self._subscribers: list[Callable[[str, ModelVersion, HiddenMarkovModel], None]] = []
+
+    @property
+    def cache(self) -> ArtifactCache | None:
+        """The write-through cache, if any (the gateway resolves ``cache:``
+        model sources against it)."""
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        lineage: str,
+        model: HiddenMarkovModel,
+        metadata: Mapping[str, Any] | None = None,
+        activate: bool = False,
+    ) -> ModelVersion:
+        """Register ``model`` as the lineage's next version (staged).
+
+        The version number is assigned and the model stored under one lock
+        hold, so no concurrent :meth:`resolve`/:meth:`describe` can observe
+        the number without the model.  ``activate=True`` additionally rolls
+        the fresh version out (first publish of a lineage with
+        ``activate=True`` is the common bootstrap).
+        """
+        model.validate()
+        params_hash = model_params_hash(model)
+        with self._lock:
+            state = self._lineages.setdefault(lineage, _Lineage())
+            version = state.next_version
+            state.next_version += 1
+            cache_key = None
+            if self._cache is not None:
+                cache_key = self.version_cache_key(lineage, version, params_hash)
+                self._cache.put_model(cache_key, model)
+            entry = ModelVersion(
+                lineage=lineage,
+                version=version,
+                params_hash=params_hash,
+                created_at=self._clock(),
+                metadata=dict(metadata or {}),
+                cache_key=cache_key,
+            )
+            state.entries[version] = (entry, model)
+            telemetry.counter_add("registry.publish")
+            telemetry.gauge_set(f"registry.versions.{lineage}", version)
+            if activate:
+                self._activate(lineage, state, version, "rollout")
+            return entry
+
+    @staticmethod
+    def version_cache_key(lineage: str, version: int, params_hash: str) -> str:
+        """The write-through :class:`ArtifactCache` key for one version."""
+        return stable_hash(
+            {"registry_lineage": lineage, "version": version, "params": params_hash}
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def lineages(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._lineages))
+
+    def versions(self, lineage: str) -> tuple[int, ...]:
+        """Published version numbers of a lineage, ascending."""
+        with self._lock:
+            return tuple(sorted(self._lineage(lineage).entries))
+
+    def active_version(self, lineage: str) -> int | None:
+        """The live version number, or ``None`` while nothing is rolled out."""
+        with self._lock:
+            return self._lineage(lineage).active
+
+    def describe(self, lineage: str, version: int | None = None) -> ModelVersion:
+        """The :class:`ModelVersion` record (active version when omitted)."""
+        with self._lock:
+            entry, _ = self._entry(lineage, version)
+            return entry
+
+    def resolve(
+        self, lineage: str, version: int | None = None
+    ) -> tuple[ModelVersion, HiddenMarkovModel]:
+        """The ``(record, model)`` pair for a version (active when omitted).
+
+        The pair is returned exactly as one ``publish`` stored it — both
+        halves under the same lock hold, so a reader racing a publisher
+        sees either the whole version or a :class:`RegistryError`, never a
+        registered number with a missing model.
+        """
+        with self._lock:
+            return self._entry(lineage, version)
+
+    # ------------------------------------------------------------------
+    # Rollout / rollback
+    # ------------------------------------------------------------------
+    def rollout(self, lineage: str, version: int) -> ModelVersion:
+        """Make a previously-published version the lineage's live one."""
+        with self._lock:
+            state = self._lineage(lineage)
+            if version not in state.entries:
+                raise RegistryError(
+                    f"lineage {lineage!r} has no version {version}; "
+                    f"published: {sorted(state.entries)}"
+                )
+            return self._activate(lineage, state, version, "rollout")
+
+    def rollback(self, lineage: str) -> ModelVersion:
+        """Re-activate the version that was live before the current one.
+
+        Pops the latest activation off the history: always lands on a
+        version some earlier :meth:`rollout`/:meth:`publish(activate=True)`
+        activated — i.e. on a previously-published version, never on a
+        guess.  Raises when there is nothing to go back to.
+        """
+        with self._lock:
+            state = self._lineage(lineage)
+            if len(state.activation_history) < 2:
+                raise RegistryError(
+                    f"lineage {lineage!r} has no previous activation to "
+                    "roll back to"
+                )
+            state.activation_history.pop()
+            previous = state.activation_history.pop()
+            return self._activate(lineage, state, previous, "rollback")
+
+    def subscribe(
+        self, callback: Callable[[str, ModelVersion, HiddenMarkovModel], None]
+    ) -> None:
+        """Observe every activation (rollout *and* rollback).
+
+        Callbacks run synchronously inside the registry lock, so by the
+        time ``rollout`` returns, the subscriber (e.g. the gateway's
+        warm-swap hook) has already seen the new active version.
+        """
+        with self._lock:
+            self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _lineage(self, lineage: str) -> _Lineage:
+        state = self._lineages.get(lineage)
+        if state is None:
+            raise RegistryError(
+                f"unknown lineage {lineage!r}; have {sorted(self._lineages)}"
+            )
+        return state
+
+    def _entry(
+        self, lineage: str, version: int | None
+    ) -> tuple[ModelVersion, HiddenMarkovModel]:
+        state = self._lineage(lineage)
+        if version is None:
+            if state.active is None:
+                raise RegistryError(
+                    f"lineage {lineage!r} has no active version "
+                    "(publish(activate=True) or rollout first)"
+                )
+            version = state.active
+        pair = state.entries.get(version)
+        if pair is None:
+            raise RegistryError(
+                f"lineage {lineage!r} has no version {version}; "
+                f"published: {sorted(state.entries)}"
+            )
+        return pair
+
+    def _activate(
+        self, lineage: str, state: _Lineage, version: int, action: str
+    ) -> ModelVersion:
+        state.active = version
+        state.activation_history.append(version)
+        entry, model = state.entries[version]
+        telemetry.counter_add(f"registry.{action}")
+        telemetry.gauge_set(f"registry.active.{lineage}", version)
+        for callback in self._subscribers:
+            callback(lineage, entry, model)
+        return entry

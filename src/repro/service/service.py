@@ -187,6 +187,46 @@ class DetectionService:
         for name, detector in detectors.items():
             self.register(name, detector, threshold=thresholds.get(name))
 
+    def swap_detector(self, name: str, detector: Detector) -> int:
+        """Warm-swap a retrained detector into a live lane.
+
+        The **swap barrier**: the lane's queue is drained to empty first,
+        so every window admitted before the swap scores bit-identically to
+        what the pre-swap detector would have produced; only requests
+        admitted after the barrier see the new model.  Open sessions are
+        rebound in place (:meth:`Session.swap_detector`) — they are neither
+        dropped nor gap-marked, because no symbol of their stream was lost.
+
+        Returns how many pending requests the barrier drain resolved.
+
+        Same validation as :meth:`register`; the lane's threshold and
+        window settings are retained (operating points outlive retrains —
+        re-register to change them).
+        """
+        if not detector.is_fitted:
+            raise NotFittedError(
+                f"detector {name!r} is not fitted; the service only scores"
+            )
+        if not isinstance(getattr(detector, "model", None), HiddenMarkovModel):
+            raise ServiceError(
+                f"detector {name!r} exposes no HiddenMarkovModel via .model; "
+                "the micro-batched service scores HMM-backed detectors only "
+                "(n-gram/ensemble baselines are not servable)"
+            )
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            lane = self._lane(name)
+            drained = 0
+            while lane.queue:
+                drained += self._scheduler.drain(lane, self.stats)
+            lane.detector = detector
+            for (detector_name, _), session in self._sessions.items():
+                if detector_name == name:
+                    session.swap_detector(detector)
+            telemetry.counter_add("service.swaps")
+            return drained
+
     @property
     def detectors(self) -> tuple[str, ...]:
         return tuple(self._lanes)
@@ -232,6 +272,17 @@ class DetectionService:
             )
             self._sessions[key] = session
             return session
+
+    def close_session(self, detector: str, session_id: str) -> bool:
+        """Discard the sticky state for ``(detector, session_id)``.
+
+        Returns whether a session existed.  Requests already queued for the
+        session still resolve normally — they hold their own reference —
+        but the next ``open_session`` for this id starts fresh.
+        """
+        self._lane(detector)  # unknown detector raises, mirroring open
+        with self._lock:
+            return self._sessions.pop((detector, session_id), None) is not None
 
     # ------------------------------------------------------------------
     # Submission

@@ -87,6 +87,29 @@ class Session:
         if self.mode is not SessionMode.WINDOW:
             self.gaps += 1
 
+    def swap_detector(self, detector: Detector) -> None:
+        """Rebind this session's sticky state to a warm-swapped detector.
+
+        The session survives a model upgrade without being dropped or
+        gap-marked — the stream stayed contiguous; only the scoring model
+        changed at the swap barrier:
+
+        * **window** sessions are stateless — nothing to rebind;
+        * **monitor** sessions keep their sliding symbol window and alert
+          cooldown; windows completing after the barrier score under the
+          new model (a window symbol outside the new alphabet fails that
+          request alone, exactly like any unknown symbol);
+        * **stream** sessions keep their recent-surprisal window (so
+          ``windowed_score`` stays continuous across the swap) but restart
+          the forward filter from the new model's initial distribution —
+          the old belief vector is over the *old* model's hidden states
+          and cannot be carried across a retrain.
+        """
+        if self.monitor is not None:
+            self.monitor.detector = detector
+        if self.scorer is not None:
+            self.scorer.rebind(detector.model)
+
     def reset(self) -> None:
         """Clear stream/monitor state (monitored process restarted)."""
         if self.monitor is not None:

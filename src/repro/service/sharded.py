@@ -62,7 +62,7 @@ from .fleet import rebuild_detector
 from .outcomes import Failed, Ticket
 from .service import DetectionService, ServiceStats
 from .sessions import SessionMode
-from .shm import SharedModelSpec, SharedModelStore, attach_model
+from .shm import ModelAttachment, SharedModelSpec, SharedModelStore, attach_model
 
 log = logging.getLogger(__name__)
 
@@ -220,7 +220,8 @@ def _shard_worker_main(
         telemetry.disable()
     service = DetectionService(config)
     pending: dict[int, Ticket] = {}
-    attachments = []
+    #: detector name -> live ModelAttachment (replaced on warm-swap).
+    attachments: dict[str, ModelAttachment] = {}
     try:
         while True:
             try:
@@ -289,8 +290,34 @@ def _shard_worker_main(
                 except Exception as exc:
                     conn.send(("error", f"{type(exc).__name__}: {exc}"))
                 else:
-                    attachments.append(attachment)
+                    attachments[name] = attachment
                     conn.send(("ok",))
+            elif kind == "swap":
+                _, name, spec, kind_value, context, det_name = message
+                attachment = None
+                try:
+                    attachment = attach_model(spec)
+                    detector = rebuild_detector(
+                        attachment.model,
+                        kind=kind_value,
+                        context=context,
+                        name=det_name,
+                    )
+                    drained = service.swap_detector(name, detector)
+                except Exception as exc:
+                    if attachment is not None:
+                        attachment.close()
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                else:
+                    # The barrier drain scored the lane's backlog under the
+                    # old model; ship those outcomes before acking so the
+                    # parent resolves every pre-swap ticket first.
+                    old = attachments.get(name)
+                    attachments[name] = attachment
+                    if old is not None:
+                        old.close()
+                    _sweep_resolved(conn, pending)
+                    conn.send(("swapped", drained))
             elif kind == "open_session":
                 _, detector, session_id, mode_value, pre_gapped = message
                 try:
@@ -305,6 +332,14 @@ def _shard_worker_main(
                     conn.send(("error", f"{type(exc).__name__}: {exc}"))
                 else:
                     conn.send(("ok",))
+            elif kind == "close_session":
+                _, detector, session_id = message
+                try:
+                    existed = service.close_session(detector, session_id)
+                except Exception as exc:
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                else:
+                    conn.send(("ok", existed))
             elif kind == "stats":
                 conn.send(("stats", service.stats.as_dict()))
             elif kind == "telemetry":
@@ -323,7 +358,7 @@ def _shard_worker_main(
             else:  # pragma: no cover - protocol invariant
                 conn.send(("error", f"unknown command {kind!r}"))
     finally:
-        for attachment in attachments:
+        for attachment in attachments.values():
             attachment.close()
         try:
             conn.close()
@@ -669,6 +704,86 @@ class ShardedDetectionService:
         for name, detector in detectors.items():
             self.register(name, detector, threshold=thresholds.get(name))
 
+    def swap_detector(self, name: str, detector: Detector) -> int:
+        """Warm-swap a retrained detector into every live shard.
+
+        Mirrors :meth:`DetectionService.swap_detector` across the process
+        boundary: the new model is published once through the
+        :class:`~repro.service.shm.SharedModelStore`, each worker drains
+        its lane to empty under the *old* model (the swap barrier — every
+        pre-swap ticket resolves bit-identical to the pre-swap detector)
+        and then rebinds the lane and its open sessions in place.  No
+        session is dropped or gap-marked, and the parent-side registration
+        is updated **before** any worker swaps, so a shard that crashes and
+        restarts mid-swap re-resolves the new weights — never a stale copy.
+
+        Returns how many pending requests the barrier drains resolved
+        across the fleet.  The old model's shared segment is released once
+        every live shard has swapped.
+        """
+        if not detector.is_fitted:
+            raise NotFittedError(
+                f"detector {name!r} is not fitted; the service only scores"
+            )
+        model = getattr(detector, "model", None)
+        if not isinstance(model, HiddenMarkovModel):
+            raise ServiceError(
+                f"detector {name!r} exposes no HiddenMarkovModel via .model; "
+                "the micro-batched service scores HMM-backed detectors only "
+                "(n-gram/ensemble baselines are not servable)"
+            )
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            old = self._registrations.get(name)
+            if old is None:
+                raise ServiceError(
+                    f"no detector {name!r} registered; "
+                    f"have {sorted(self._registrations)}"
+                )
+            spec = self._store.publish(model)
+            registration = _Registration(
+                spec=spec,
+                model=model,
+                threshold=old.threshold,
+                window=old.window,
+                kind_value=getattr(detector, "kind", None).value
+                if getattr(detector, "kind", None) is not None
+                else old.kind_value,
+                context=getattr(detector, "context", None),
+                detector_name=getattr(detector, "name", None),
+            )
+            # Registration first: a crash-restart from here on rebuilds the
+            # shard with the new weights, not the superseded ones.
+            self._registrations[name] = registration
+            drained = 0
+            for handle in list(self._handles):
+                if not handle.alive:
+                    continue
+                try:
+                    reply = self._request(
+                        handle,
+                        (
+                            "swap",
+                            name,
+                            spec,
+                            registration.kind_value,
+                            registration.context,
+                            registration.detector_name,
+                        ),
+                        "swapped",
+                    )
+                    drained += reply[1]
+                except _ShardDied:
+                    self._on_shard_death(handle)
+            if old.model is not model:
+                try:
+                    self._store.release(old.model)
+                except ServiceError:  # pragma: no cover - already released
+                    pass
+            telemetry.counter_add("service.swaps")
+            return drained
+
     @property
     def detectors(self) -> tuple[str, ...]:
         return tuple(self._registrations)
@@ -750,6 +865,38 @@ class ShardedDetectionService:
         """Whether the parent knows this session's stream is discontinuous
         (a shed or a shard crash touched it)."""
         return (detector, session_id) in self._gapped
+
+    def close_session(self, detector: str, session_id: str) -> bool:
+        """Discard the session parent-side and on its home shard.
+
+        Same contract as :meth:`DetectionService.close_session`; a closed
+        session is also dropped from the crash-restart re-open list, so a
+        restarted shard will not resurrect it.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            if detector not in self._registrations:
+                raise ServiceError(
+                    f"no detector {detector!r} registered; "
+                    f"have {sorted(self._registrations)}"
+                )
+            key = (detector, session_id)
+            session = self._sessions.pop(key, None)
+            if session is None:
+                return False
+            self._gapped.discard(key)
+            if session.mode is not SessionMode.WINDOW:
+                shard = self.shard_of(session_id)
+                handle = self._handles[shard]
+                if handle.alive:
+                    try:
+                        self._request(
+                            handle, ("close_session", detector, session_id), "ok"
+                        )
+                    except _ShardDied:
+                        self._on_shard_death(handle)
+            return True
 
     # ------------------------------------------------------------------
     # Submission

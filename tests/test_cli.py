@@ -179,3 +179,65 @@ class TestReportCommand:
         assert content.startswith("# CMarkov reproduction report")
         assert "## Model accuracy" in content
         assert "sed" in content
+
+
+class TestServeFailureExit:
+    def test_serve_exits_nonzero_on_failed_outcomes(self, tmp_path, capsys):
+        """A replay that produces typed ``Failed`` outcomes must exit 1 so
+        operators (and CI) see the breakage — not a green run with a
+        stderr footnote."""
+        import numpy as np
+
+        from repro.hmm import save_model
+        from repro.hmm.model import HiddenMarkovModel
+        from repro.program import CallKind
+        from repro.tracing import CallEvent, Trace, write_traces
+
+        # An alphabet with no <unk> slot: the unknown symbol below cannot
+        # encode, so its window resolves Failed instead of absorbing.
+        symbols = ("open", "read", "close")
+        n = len(symbols)
+        uniform = np.full((n, n), 1.0 / n)
+        model = HiddenMarkovModel(
+            transition=uniform,
+            emission=uniform,
+            initial=np.full(n, 1.0 / n),
+            symbols=symbols,
+        )
+        model_path = tmp_path / "m.npz"
+        save_model(model, model_path)
+
+        trace = Trace(program="p", case_id="c")
+        for name in ["open", "read", "mystery", "close", "open"]:
+            trace.append(CallEvent(name, "f", CallKind.SYSCALL))
+        log_path = tmp_path / "t.log"
+        write_traces([trace], log_path)
+
+        capsys.readouterr()
+        code = main(
+            ["serve", str(model_path), str(log_path), "--length", "5"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "failed to score" in captured.err
+
+
+class TestGatewayParser:
+    def test_gateway_defaults(self):
+        args = build_parser().parse_args(["gateway", "m.npz"])
+        assert args.command == "gateway"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.name == "served"
+        assert args.shards == 1
+        assert args.no_pump is False
+
+    def test_gateway_flags(self):
+        args = build_parser().parse_args(
+            ["gateway", "m.npz", "--shards", "2", "--queue-depth", "8",
+             "--no-pump", "--port", "8125"]
+        )
+        assert args.shards == 2
+        assert args.queue_depth == 8
+        assert args.no_pump is True
+        assert args.port == 8125

@@ -1,0 +1,306 @@
+"""Tests for the versioned model registry (`repro.runtime.registry`).
+
+Covers the three invariants the module docstring promises — total version
+order per lineage, rollback landing on a previously-published (and
+previously-active) version, and no torn reads under concurrent
+publish/resolve — plus the unit-level error surface and the
+ArtifactCache write-through.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmm import random_model
+from repro.runtime import ArtifactCache, ModelRegistry, ModelVersion, RegistryError
+from repro.runtime.registry import model_params_hash
+
+SYMBOLS = ["open", "read", "write", "close"]
+
+
+def _model(seed: int = 0):
+    return random_model(SYMBOLS, n_states=3, seed=seed)
+
+
+# A pool of distinct models, reused across examples so hypothesis runs
+# don't pay HMM construction per draw.
+_MODELS = [_model(seed) for seed in range(4)]
+
+
+class TestPublish:
+    def test_versions_are_one_based_and_dense(self):
+        registry = ModelRegistry()
+        for expected in (1, 2, 3):
+            entry = registry.publish("gzip", _MODELS[0])
+            assert entry.version == expected
+        assert registry.versions("gzip") == (1, 2, 3)
+
+    def test_lineages_are_independent(self):
+        registry = ModelRegistry()
+        registry.publish("gzip", _MODELS[0])
+        registry.publish("sed", _MODELS[1])
+        registry.publish("sed", _MODELS[1])
+        assert registry.versions("gzip") == (1,)
+        assert registry.versions("sed") == (1, 2)
+        assert registry.lineages() == ("gzip", "sed")
+
+    def test_publish_does_not_activate_by_default(self):
+        registry = ModelRegistry()
+        registry.publish("gzip", _MODELS[0])
+        assert registry.active_version("gzip") is None
+        with pytest.raises(RegistryError, match="no active version"):
+            registry.resolve("gzip")
+
+    def test_publish_activate_bootstraps(self):
+        registry = ModelRegistry()
+        entry = registry.publish("gzip", _MODELS[0], activate=True)
+        assert registry.active_version("gzip") == 1
+        resolved_entry, resolved_model = registry.resolve("gzip")
+        assert resolved_entry == entry
+        assert resolved_model is _MODELS[0]
+
+    def test_params_hash_is_content_addressed(self):
+        registry = ModelRegistry()
+        a1 = registry.publish("gzip", _MODELS[0])
+        a2 = registry.publish("gzip", _MODELS[0])
+        b = registry.publish("gzip", _MODELS[1])
+        assert a1.params_hash == a2.params_hash
+        assert a1.params_hash != b.params_hash
+        assert a1.params_hash == model_params_hash(_MODELS[0])
+
+    def test_metadata_is_copied_and_kept(self):
+        registry = ModelRegistry()
+        meta = {"corpus": "gzip-10", "fold": 3}
+        entry = registry.publish("gzip", _MODELS[0], metadata=meta)
+        meta["corpus"] = "mutated"
+        assert registry.describe("gzip", 1).metadata["corpus"] == "gzip-10"
+        assert isinstance(entry, ModelVersion)
+
+
+class TestErrors:
+    def test_unknown_lineage(self):
+        registry = ModelRegistry()
+        with pytest.raises(RegistryError, match="unknown lineage"):
+            registry.versions("nope")
+        with pytest.raises(RegistryError, match="unknown lineage"):
+            registry.resolve("nope")
+
+    def test_unknown_version(self):
+        registry = ModelRegistry()
+        registry.publish("gzip", _MODELS[0])
+        with pytest.raises(RegistryError, match="no version 7"):
+            registry.rollout("gzip", 7)
+        with pytest.raises(RegistryError, match="no version 7"):
+            registry.resolve("gzip", 7)
+
+    def test_rollback_needs_two_activations(self):
+        registry = ModelRegistry()
+        registry.publish("gzip", _MODELS[0], activate=True)
+        with pytest.raises(RegistryError, match="no previous activation"):
+            registry.rollback("gzip")
+
+
+class TestRolloutRollback:
+    def test_rollout_moves_active(self):
+        registry = ModelRegistry()
+        registry.publish("gzip", _MODELS[0], activate=True)
+        registry.publish("gzip", _MODELS[1])
+        entry = registry.rollout("gzip", 2)
+        assert entry.version == 2
+        assert registry.active_version("gzip") == 2
+        _, model = registry.resolve("gzip")
+        assert model is _MODELS[1]
+
+    def test_rollback_returns_to_previous_active(self):
+        registry = ModelRegistry()
+        registry.publish("gzip", _MODELS[0], activate=True)
+        registry.publish("gzip", _MODELS[1])
+        registry.rollout("gzip", 2)
+        entry = registry.rollback("gzip")
+        assert entry.version == 1
+        assert registry.active_version("gzip") == 1
+
+    def test_rollback_chain_unwinds_history(self):
+        registry = ModelRegistry()
+        for index in range(3):
+            registry.publish("gzip", _MODELS[index], activate=True)
+        # history: 1, 2, 3 -> two rollbacks land on 2 then 1
+        assert registry.rollback("gzip").version == 2
+        assert registry.rollback("gzip").version == 1
+        with pytest.raises(RegistryError):
+            registry.rollback("gzip")
+
+    def test_subscribers_see_every_activation(self):
+        registry = ModelRegistry()
+        seen: list[tuple[str, int]] = []
+        registry.subscribe(lambda lin, entry, model: seen.append((lin, entry.version)))
+        registry.publish("gzip", _MODELS[0], activate=True)
+        registry.publish("gzip", _MODELS[1])
+        registry.rollout("gzip", 2)
+        registry.rollback("gzip")
+        assert seen == [("gzip", 1), ("gzip", 2), ("gzip", 1)]
+
+
+class TestCacheWriteThrough:
+    def test_published_models_reach_the_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        registry = ModelRegistry(cache=cache)
+        entry = registry.publish("gzip", _MODELS[0])
+        assert entry.cache_key is not None
+        restored = cache.get_model(entry.cache_key)
+        assert restored is not None
+        assert model_params_hash(restored) == entry.params_hash
+
+    def test_memory_only_registry_has_no_cache_keys(self):
+        registry = ModelRegistry()
+        assert registry.cache is None
+        assert registry.publish("gzip", _MODELS[0]).cache_key is None
+
+    def test_cache_key_is_version_distinct(self):
+        key1 = ModelRegistry.version_cache_key("gzip", 1, "abc")
+        key2 = ModelRegistry.version_cache_key("gzip", 2, "abc")
+        assert key1 != key2
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        publishers=st.integers(min_value=1, max_value=4),
+        per_publisher=st.integers(min_value=1, max_value=5),
+    )
+    def test_total_version_order_under_concurrent_publish(
+        self, publishers, per_publisher
+    ):
+        """Versions are a dense 1..N under any publisher interleaving."""
+        registry = ModelRegistry()
+        results: list[list[int]] = [[] for _ in range(publishers)]
+        barrier = threading.Barrier(publishers)
+
+        def worker(slot: int) -> None:
+            barrier.wait()
+            for index in range(per_publisher):
+                entry = registry.publish(
+                    "gzip", _MODELS[(slot + index) % len(_MODELS)]
+                )
+                results[slot].append(entry.version)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(publishers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = publishers * per_publisher
+        all_versions = sorted(v for versions in results for v in versions)
+        assert all_versions == list(range(1, total + 1))
+        assert registry.versions("gzip") == tuple(range(1, total + 1))
+        # each publisher's own sequence is strictly increasing (monotonic
+        # assignment, no reuse)
+        for versions in results:
+            assert versions == sorted(versions)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("publish"), st.booleans()),
+                st.just(("rollout",)),
+                st.just(("rollback",)),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_rollback_lands_on_previously_active_version(self, ops):
+        """Replay arbitrary op sequences against a model of the history.
+
+        After every successful rollback the active version equals the
+        version that was active immediately before the latest activation —
+        and is always one that some earlier publish/rollout activated.
+        """
+        registry = ModelRegistry()
+        published: list[int] = []
+        activations: list[int] = []
+        for op in ops:
+            if op[0] == "publish":
+                entry = registry.publish(
+                    "gzip", _MODELS[len(published) % len(_MODELS)],
+                    activate=op[1],
+                )
+                published.append(entry.version)
+                if op[1]:
+                    activations.append(entry.version)
+            elif op[0] == "rollout":
+                if not published:
+                    continue
+                target = published[len(published) // 2]
+                entry = registry.rollout("gzip", target)
+                activations.append(entry.version)
+            else:  # rollback
+                if len(activations) < 2:
+                    if published:
+                        with pytest.raises(RegistryError):
+                            registry.rollback("gzip")
+                    continue
+                expected = activations[-2]
+                entry = registry.rollback("gzip")
+                assert entry.version == expected
+                assert entry.version in published
+                activations = activations[:-2] + [entry.version]
+            if activations:
+                assert registry.active_version("gzip") == activations[-1]
+
+    @settings(max_examples=10, deadline=None)
+    @given(publishes=st.integers(min_value=2, max_value=6))
+    def test_concurrent_publish_resolve_never_torn(self, publishes):
+        """Readers racing publishers see whole versions or clean errors.
+
+        A torn read would be a version number without its model (TypeError
+        / KeyError / None unpack); the registry promises either a complete
+        ``(entry, model)`` pair or a RegistryError.
+        """
+        registry = ModelRegistry()
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    lineages = registry.lineages()
+                    if not lineages:
+                        continue
+                    versions = registry.versions("gzip")
+                    if not versions:
+                        continue
+                    entry, model = registry.resolve("gzip", versions[-1])
+                except RegistryError:
+                    continue  # publish not landed yet: a clean miss
+                except Exception as exc:  # noqa: BLE001 - the torn case
+                    failures.append(f"{type(exc).__name__}: {exc}")
+                    return
+                if entry.version != versions[-1] or model is None:
+                    failures.append(
+                        f"entry {entry.version} != requested {versions[-1]}"
+                    )
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for index in range(publishes):
+                registry.publish(
+                    "gzip", _MODELS[index % len(_MODELS)],
+                    activate=index % 2 == 0,
+                )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not failures

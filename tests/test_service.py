@@ -602,3 +602,112 @@ def test_windowed_surprisal_mean_matches_window_score(case):
     assert scorer.window_full
     window_score = float(detector.score([tuple(symbols)])[0])
     assert scorer.windowed_score == pytest.approx(window_score, rel=1e-9, abs=1e-9)
+
+
+class TestWarmSwap:
+    """`swap_detector`: barrier semantics, session continuity, validation."""
+
+    def test_barrier_drains_backlog_under_old_model(self, detector, model):
+        """Windows admitted before the swap score under the pre-swap
+        detector, bit-identically — the swap never rescores a backlog."""
+        retrained = load_pretrained(
+            random_model(SYMBOLS, n_states=4, seed=77), name="svc2"
+        )
+        service = fresh_service(detector)
+        windows = make_windows(9)
+        tickets = [
+            service.submit("svc", f"s{i}", window=w)
+            for i, w in enumerate(windows)
+        ]
+        drained = service.swap_detector("svc", retrained)
+        assert drained == len(windows)
+        old_scores = detector.score(windows).tolist()
+        assert [t.result().score for t in tickets] == old_scores
+
+        # ... and only post-barrier work sees the new model.
+        after = service.submit("svc", "late", window=windows[0])
+        service.drain_pending()
+        assert after.result().score == retrained.score([windows[0]])[0]
+        assert after.result().score != old_scores[0]
+
+    def test_stream_sessions_rebound_not_dropped(self, detector):
+        """An open stream survives the swap: no gap marker, and post-swap
+        surprisals are bit-identical to the new model's restarted filter."""
+        retrained_model = random_model(SYMBOLS, n_states=4, seed=78)
+        retrained = load_pretrained(retrained_model, name="svc2")
+        service = fresh_service(detector)
+        service.open_session("svc", "proc", "stream")
+        feed = [SYMBOLS[i % len(SYMBOLS)] for i in range(12)]
+
+        def observe(symbol):
+            ticket = service.submit("svc", "proc", symbol=symbol)
+            service.drain_pending()
+            return ticket.result()
+
+        pre = [observe(s) for s in feed[:6]]
+        service.swap_detector("svc", retrained)
+        post = [observe(s) for s in feed[6:]]
+
+        expected_pre = StreamingScorer.for_detector(
+            detector, window=15
+        ).observe_many(feed[:6])
+        expected_post = StreamingScorer.for_detector(
+            retrained, window=15
+        ).observe_many(feed[6:])
+        assert [o.surprise for o in pre] == expected_pre
+        assert [o.surprise for o in post] == expected_post
+        assert all(o.gap is False for o in pre + post)
+
+    def test_swap_keeps_lane_operating_point(self, detector):
+        """Threshold and window outlive the retrain: a monitor session
+        opened after the swap still alerts at the registered threshold."""
+        retrained = load_pretrained(
+            random_model(SYMBOLS, n_states=4, seed=79), name="svc2"
+        )
+        service = DetectionService(ServiceConfig(default_window=3))
+        service.register("svc", detector, threshold=1e9, window=3)
+        service.swap_detector("svc", retrained)
+        service.open_session("svc", "m", "monitor")  # needs the threshold
+        tickets = [
+            service.submit("svc", "m", symbol=s)
+            for s in ["open", "read", "write"]
+        ]
+        service.drain_pending()
+        last = tickets[-1].result()
+        assert isinstance(last, Scored)
+        assert last.alert is not None  # impossible threshold always alerts
+
+    def test_swap_validation_mirrors_register(self, detector, gzip_program):
+        from repro.api import build_detector
+
+        service = fresh_service(detector)
+        with pytest.raises(ServiceError, match="no detector"):
+            service.swap_detector("ghost", detector)
+        bare = build_detector("cmarkov", gzip_program, "syscall")
+        with pytest.raises(NotFittedError):
+            service.swap_detector("svc", bare)
+
+        class FakeFitted:
+            is_fitted = True
+            model = object()
+
+        with pytest.raises(ServiceError, match="HiddenMarkovModel"):
+            service.swap_detector("svc", FakeFitted())
+        service.close()
+        with pytest.raises(ServiceError, match="closed"):
+            service.swap_detector("svc", detector)
+
+
+class TestCloseSession:
+    def test_close_session_round_trip(self, detector):
+        service = fresh_service(detector)
+        service.open_session("svc", "s", "stream")
+        assert service.close_session("svc", "s") is True
+        assert service.close_session("svc", "s") is False
+        # Closing frees the name for a different mode.
+        service.open_session("svc", "s", "monitor")
+
+    def test_close_session_unknown_detector_raises(self, detector):
+        service = fresh_service(detector)
+        with pytest.raises(ServiceError, match="no detector"):
+            service.close_session("ghost", "s")

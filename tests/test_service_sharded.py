@@ -507,3 +507,87 @@ class TestFactories:
         assert isinstance(service, ShardedDetectionService)
         assert service.shards == 3
         service.close()
+
+
+class TestWarmSwapSharded:
+    """Registry-driven warm-swap across the fleet, including crash-restart:
+    a shard restarted *after* a swap must rebuild from the swapped-in
+    weights, not the weights it was originally registered with."""
+
+    @pytest.fixture()
+    def registry_wired(self, sharded, model):
+        """A 2-shard service whose lane `d` follows a registry lineage."""
+        from repro.runtime import ModelRegistry
+        from repro.service import rebuild_detector
+
+        service = sharded(2)
+        registry = ModelRegistry()
+
+        def follow(lineage, entry, new_model):
+            service.swap_detector(
+                lineage, rebuild_detector(new_model, name=lineage)
+            )
+
+        registry.subscribe(follow)
+        registry.publish("d", model)  # v1 == the registered weights
+        return service, registry
+
+    def test_swap_propagates_to_all_shards(self, registry_wired):
+        service, registry = registry_wired
+        retrained = random_model(SYMBOLS, n_states=4, seed=11)
+        registry.publish("d", retrained, activate=True)
+        windows = make_windows(12, seed=5)
+        tickets = service.submit_many(
+            "d", [(f"s{i}", w) for i, w in enumerate(windows)]
+        )
+        service.drain_pending()
+        expected = load_pretrained(retrained).score(windows).tolist()
+        assert [t.result(timeout=10).score for t in tickets] == expected
+
+    def test_restarted_shard_resolves_swapped_weights(
+        self, registry_wired, detector
+    ):
+        """Under a threaded pump: swap via the registry, SIGKILL a shard,
+        and prove the replacement serves the *new* weights."""
+        service, registry = registry_wired
+        retrained = random_model(SYMBOLS, n_states=4, seed=12)
+        registry.publish("d", retrained, activate=True)
+
+        service.start(interval_s=0.001)  # threaded pump owns draining now
+        session = next(
+            f"s{i}" for i in range(100) if service.shard_of(f"s{i}") == 0
+        )
+        window = make_windows(1, seed=6)[0]
+        ticket = service.submit("d", session, window=window)
+        assert isinstance(ticket.result(timeout=10), Scored)
+
+        _kill_shard(service, 0)
+        retry = service.submit("d", session, window=window)
+        outcome = retry.result(timeout=10)
+        # The pump may resolve the retry as Failed if it raced the crash
+        # notice; one more submit must land on the restarted shard.
+        if isinstance(outcome, Failed):
+            retry = service.submit("d", session, window=window)
+            outcome = retry.result(timeout=10)
+        assert isinstance(outcome, Scored)
+        stale = load_pretrained(service_model(detector)).score([window])[0]
+        fresh = load_pretrained(retrained).score([window])[0]
+        assert outcome.score == fresh
+        assert outcome.score != stale
+        assert service.stats.shard_crashes == 1
+
+    def test_shard_crashes_merge_into_gateway_metrics(self, registry_wired):
+        """The gateway's /metrics renderer exposes the fleet-merged crash
+        counter from stats even when telemetry never saw the crash."""
+        from repro.gateway import render_prometheus
+
+        service, _ = registry_wired
+        service.submit("d", "s0", window=make_windows(1)[0])
+        _kill_shard(service, service.shard_of("s0"))
+        service.drain_pending()
+        text = render_prometheus(None, service.stats.as_dict())
+        assert "repro_service_shard_crashes_total 1" in text
+
+
+def service_model(detector):
+    return detector.model
