@@ -63,6 +63,12 @@ THROUGHPUT_METRICS: dict[str, tuple[str, ...]] = {
     "gateway": (
         "gateway.requests_per_s",
     ),
+    "streaming_forward": (
+        "streaming.incremental_events_per_s",
+        "streaming.speedup",
+        "fleet_drain.fused_windows_per_s",
+        "fleet_drain.speedup",
+    ),
 }
 
 #: Keys whose values legitimately differ every run (timestamps, host
@@ -82,6 +88,11 @@ INVARIANT_FLAGS: dict[str, tuple[str, ...]] = {
     "service_sharded": ("bit_identical_1_shard",),
     "runtime_scaling": ("bit_identical",),
     "gateway": ("scores_bit_identical", "metrics_valid"),
+    "streaming_forward": (
+        "bit_identity.incremental_vs_legacy_filter",
+        "bit_identity.incremental_vs_replay_oracle",
+        "bit_identity.fused_drain_vs_per_lane",
+    ),
 }
 
 

@@ -176,6 +176,21 @@ class OnlineMonitor:
                 alerts.append(alert)
         return alerts
 
+    def rebind(self, detector: Detector) -> None:
+        """Swap in a retrained detector mid-stream (the service warm-swap).
+
+        The sliding symbol window, cooldown, and stats survive — the trace
+        stayed contiguous, only the scoring model changed.  The monitor
+        carries no per-model scoring state to invalidate (every window is
+        recomputed from its symbols at drain time), so unlike
+        :meth:`StreamingScorer.rebind` there is no filter to restart; the
+        same fitted-detector validation as construction still applies so a
+        bad swap fails at the barrier, not at the next score.
+        """
+        if not detector.is_fitted:
+            raise NotFittedError("OnlineMonitor requires a fitted detector")
+        self.detector = detector
+
     def reset(self) -> None:
         """Clear the window and cooldown (e.g. on process restart)."""
         self._window.clear()

@@ -13,17 +13,58 @@ instantaneous **surprise**
 which is exactly the per-step normalizer of the scaled forward recursion —
 one ``O(N²)`` update per event, no window recomputation.  A windowed score
 can still be recovered as the mean of the last ``T`` surprisals.
+
+Two implementations live behind one flag:
+
+* the **incremental fast path** (default) delegates to the
+  zero-allocation :class:`~repro.hmm.kernels.StreamingState` kernels —
+  the belief update writes into preallocated buffers and the last
+  ``window`` surprisals sit in a ring buffer instead of a deque;
+* the **legacy path** (``incremental=False``, or
+  ``REPRO_STREAMING_INCREMENTAL=0``) is the original allocating filter,
+  kept verbatim as the bit-exactness oracle — the same pattern as the
+  ``bench_em_kernels`` verbatim-legacy gates.  The two paths produce
+  bit-identical surprisals, windowed scores, and belief states
+  (``tests/test_streaming_incremental.py`` proves it property-wise;
+  ``benchmarks/bench_streaming_forward.py`` gates it with exit 1).
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ModelError
 from ..hmm.forward import SCALE_FLOOR
+from ..hmm.kernels import (
+    StreamingState,
+    streaming_rebind,
+    streaming_recent,
+    streaming_reset,
+    streaming_step,
+)
 from ..hmm.model import HiddenMarkovModel
+
+#: Environment switch for the incremental fast path (default on); set to
+#: ``0``/``false``/``off`` to fall back to the verbatim legacy filter —
+#: the escape hatch if a BLAS build ever breaks the height-invariance
+#: contract the kernels rely on.
+INCREMENTAL_ENV = "REPRO_STREAMING_INCREMENTAL"
+
+#: Telemetry bucket bounds for per-event surprise (``-log`` predictive
+#: probability: ~0 for expected calls, tens for alphabet-edge surprises).
+SURPRISE_BUCKETS: tuple[float, ...] = (
+    0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0,
+    5.0, 7.5, 10.0, 15.0, 20.0, 30.0, 50.0,
+)
+
+
+def _incremental_default() -> bool:
+    value = os.environ.get(INCREMENTAL_ENV, "1").strip().lower()
+    return value not in {"0", "false", "no", "off"}
 
 
 class StreamingScorer:
@@ -33,17 +74,34 @@ class StreamingScorer:
         model: the trained HMM.
         window: number of recent surprisals averaged by
             :attr:`windowed_score` (defaults to the paper's 15).
+        incremental: use the ring-buffer fast path (default: the
+            :data:`INCREMENTAL_ENV` environment switch, normally on).
+            ``False`` runs the verbatim legacy filter — bit-identical,
+            just slower; it exists as the oracle the fast path is gated
+            against.
     """
 
-    def __init__(self, model: HiddenMarkovModel, window: int = 15) -> None:
+    def __init__(
+        self,
+        model: HiddenMarkovModel,
+        window: int = 15,
+        incremental: bool | None = None,
+    ) -> None:
         if window <= 0:
             raise ModelError("window must be positive")
         self.model = model
         self.window = window
-        self._belief = model.initial.copy()
-        self._started = False
-        self._recent: deque[float] = deque(maxlen=window)
+        self.incremental = (
+            _incremental_default() if incremental is None else bool(incremental)
+        )
         self.events = 0
+        self._state: StreamingState | None = None
+        self._recent: deque[float] = deque(maxlen=window)
+        if self.incremental:
+            self._state = StreamingState(model, window)
+        else:
+            self._belief = model.initial.copy()
+            self._started = False
 
     @classmethod
     def for_detector(cls, detector, window: int = 15) -> "StreamingScorer":
@@ -66,8 +124,28 @@ class StreamingScorer:
 
         Higher surprise = less expected.  The belief state is updated in
         place, so consecutive calls score the whole history, not a window.
+
+        Telemetry (fast path): one ``hmm.forward.incremental.events``
+        count and one ``hmm.forward.incremental.surprise`` histogram
+        sample **per event** — batch entry points must not add their own
+        per-call samples, or percentile estimates skew toward batch
+        boundaries.  The legacy path stays uninstrumented: it is the
+        verbatim oracle.
         """
         index = self.model.encode_symbol(symbol)
+        state = self._state
+        if state is not None:
+            surprise = streaming_step(self.model, state, index)
+            self.events += 1
+            if telemetry.enabled():
+                telemetry.counter_add("hmm.forward.incremental.events")
+                telemetry.observe(
+                    "hmm.forward.incremental.surprise",
+                    surprise,
+                    boundaries=SURPRISE_BUCKETS,
+                )
+            return surprise
+        # -- verbatim legacy filter (the bit-exactness oracle) below.
         if self._started:
             predictive = self._belief @ self.model.transition
         else:
@@ -89,26 +167,47 @@ class StreamingScorer:
         queued symbols as one run — sequential within the session (the
         belief update is order-dependent) while *sessions* proceed
         independently of each other.
+
+        Telemetry counts **events, not calls**: every symbol lands its
+        own histogram sample via :meth:`observe`; this entry point only
+        adds one ``hmm.forward.incremental.batches`` count per non-empty
+        run, so latency/surprise percentiles are per-event no matter how
+        the stream is chunked.
         """
-        return [self.observe(symbol) for symbol in symbols]
+        surprisals = [self.observe(symbol) for symbol in symbols]
+        if surprisals and self._state is not None and telemetry.enabled():
+            telemetry.counter_add("hmm.forward.incremental.batches")
+        return surprisals
 
     @property
     def windowed_score(self) -> float:
         """Mean negative surprise over the last ``window`` events — on the
         same higher-is-more-normal scale as :meth:`Detector.score`."""
+        state = self._state
+        if state is not None:
+            if state.count == 0:
+                raise ModelError("no events observed yet")
+            # streaming_recent materializes the ring in stream order, so
+            # np.mean reduces in exactly the order the legacy deque did.
+            return -float(np.mean(streaming_recent(state)))
         if not self._recent:
             raise ModelError("no events observed yet")
         return -float(np.mean(self._recent))
 
     @property
     def window_full(self) -> bool:
+        if self._state is not None:
+            return self._state.count >= self.window
         return len(self._recent) == self.window
 
     def reset(self) -> None:
         """Restart the filter (process restart / context switch)."""
-        self._belief = self.model.initial.copy()
-        self._started = False
-        self._recent.clear()
+        if self._state is not None:
+            streaming_reset(self.model, self._state)
+        else:
+            self._belief = self.model.initial.copy()
+            self._started = False
+            self._recent.clear()
         self.events = 0
 
     def rebind(self, model: HiddenMarkovModel) -> None:
@@ -119,11 +218,17 @@ class StreamingScorer:
         from the new model's initial distribution: the old posterior lives
         over the old model's hidden states, which a retrain renumbers or
         resizes, so carrying it over would be meaningless (or shape-wrong).
+        On the fast path this is :func:`~repro.hmm.kernels.streaming_rebind`
+        — the carried kernel state (belief, scratch, emission transpose)
+        is invalidated and rebuilt while the surprisal ring is kept.
         """
         if not isinstance(model, HiddenMarkovModel):
             raise ModelError(
                 f"rebind takes a HiddenMarkovModel, not {type(model).__name__}"
             )
         self.model = model
-        self._belief = model.initial.copy()
-        self._started = False
+        if self._state is not None:
+            streaming_rebind(model, self._state)
+        else:
+            self._belief = model.initial.copy()
+            self._started = False

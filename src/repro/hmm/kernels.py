@@ -29,6 +29,21 @@ Three things live here:
   tiled kernel.  Telemetry stays multiplicity-weighted: the scattered
   (full-batch) scores land in the ``hmm.forward.loglik`` histogram, not
   just the unique ones.
+* :class:`StreamingState` + :func:`streaming_step` — the incremental
+  O(N²)-per-event forward filter for live feeds: the normalized forward
+  (belief) state is carried across events in preallocated buffers and a
+  ring buffer keeps the last ``window`` per-step log scale factors, so a
+  sliding W-call surprisal costs one belief update per event instead of
+  re-running the W-step recursion.  Bit-identical to replaying the
+  unfused filter (``StreamingScorer``'s verbatim legacy path) — pinned by
+  ``tests/test_streaming_incremental.py`` and the exit-1 gate in
+  ``benchmarks/bench_streaming_forward.py``.
+* :func:`score_fleet` / :func:`log_likelihood_fleet` — cross-detector
+  batched scoring for the service drain: same-shape (N, M) detectors'
+  transition/emission tensors are stacked into (D, ·, ·) operands and the
+  whole fleet's windows walk the recursion through batched 3-D matmuls —
+  a handful of kernel launches per drain instead of one GEMM sequence per
+  detector, bit-identical per row to :func:`score_sequences`.
 
 Bit-identity notes (the contracts ``tests/test_kernels.py`` pins):
 
@@ -52,6 +67,16 @@ Bit-identity notes (the contracts ``tests/test_kernels.py`` pins):
   last-bit differences.  The scoring kernel therefore pins its GEMM
   height (see :func:`score_sequences`); the EM kernels are compared
   against a reference with identical operand shapes and layouts.
+* Per-row GEMM results *are* stable across heights once the height is a
+  multiple of :data:`FLEET_GEMM_UNIT` (= 8): measured over N in 2..64,
+  ``(X @ A)[:h]`` differs from ``X[:h] @ A`` only at h in {1, 2, 3, 5}
+  (gemv and the odd-row edge kernels above), and a batched 3-D
+  ``np.matmul`` is bit-identical per (H, N) slice to the 2-D call.  That
+  is what lets :func:`score_fleet` pad each drain's slice height to a
+  multiple of 8 instead of :data:`SCORE_TILE` and stay bit-identical to
+  the 512-row tiles — the property is re-verified at runtime by the
+  bench's exit-1 gate and the differential suites, so a BLAS that
+  breaks it fails loudly instead of scoring differently.
 """
 
 from __future__ import annotations
@@ -83,17 +108,31 @@ SCORE_TILE = 512
 #: therefore score) identically.
 _DEDUP_SEED = 0x5EED_CA11
 
+#: GEMM heights that are a multiple of this are per-row bit-identical to
+#: any other multiple (including :data:`SCORE_TILE`) on the BLAS builds we
+#: target — see the module docstring.  :func:`score_fleet` pads its slice
+#: height up to this unit.
+FLEET_GEMM_UNIT = 8
+
 __all__ = [
+    "FLEET_GEMM_UNIT",
     "LOGLIK_BUCKETS",
     "SCALE_FLOOR",
     "SCORE_TILE",
     "EMWorkspace",
+    "StreamingState",
     "check_obs",
     "em_forward",
     "em_step",
     "em_update",
+    "log_likelihood_fleet",
     "log_likelihood_unique",
+    "score_fleet",
     "score_sequences",
+    "streaming_rebind",
+    "streaming_recent",
+    "streaming_reset",
+    "streaming_step",
 ]
 
 
@@ -231,6 +270,27 @@ def _dedup_rows(obs: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
     return unique_rows, inverse
 
 
+def _record_score_telemetry(
+    loglik: np.ndarray, batch: int, n_unique: int
+) -> None:
+    """Duplicate-aware scoring telemetry for one scored batch.
+
+    Shared by :func:`log_likelihood_unique` and (per fleet entry)
+    :func:`log_likelihood_fleet`, so the fused cross-detector drain emits
+    exactly the counters the per-detector path would have.
+    """
+    telemetry.counter_add("hmm.forward.calls")
+    telemetry.counter_add("hmm.forward.sequences", batch)
+    telemetry.observe_many(
+        "hmm.forward.loglik", loglik.tolist(), boundaries=LOGLIK_BUCKETS
+    )
+    telemetry.counter_add("hmm.score.dedup.calls")
+    telemetry.counter_add("hmm.score.dedup.sequences", batch)
+    telemetry.counter_add("hmm.score.dedup.unique", int(n_unique))
+    if batch:
+        telemetry.gauge_set("hmm.score.unique_ratio", n_unique / batch)
+
+
 def log_likelihood_unique(
     model: HiddenMarkovModel, obs: np.ndarray
 ) -> np.ndarray:
@@ -259,18 +319,270 @@ def log_likelihood_unique(
         loglik = score_sequences(model, unique_rows)[inverse]
         n_unique = unique_rows.shape[0]
     if telemetry.enabled():
-        batch = int(obs.shape[0])
-        telemetry.counter_add("hmm.forward.calls")
-        telemetry.counter_add("hmm.forward.sequences", batch)
-        telemetry.observe_many(
-            "hmm.forward.loglik", loglik.tolist(), boundaries=LOGLIK_BUCKETS
-        )
-        telemetry.counter_add("hmm.score.dedup.calls")
-        telemetry.counter_add("hmm.score.dedup.sequences", batch)
-        telemetry.counter_add("hmm.score.dedup.unique", int(n_unique))
-        if batch:
-            telemetry.gauge_set("hmm.score.unique_ratio", n_unique / batch)
+        _record_score_telemetry(loglik, int(obs.shape[0]), n_unique)
     return loglik
+
+
+# ---------------------------------------------------------------------------
+# Cross-detector (fleet) batched scoring
+# ---------------------------------------------------------------------------
+
+
+def score_fleet(
+    models: "list[HiddenMarkovModel]", obs_list: "list[np.ndarray]"
+) -> "list[np.ndarray]":
+    """Per-sequence ``log P(O | λ_d)`` for many same-shape models at once.
+
+    The service's fused drain path: instead of walking the scaled forward
+    recursion once per detector (D separate (tile, N) GEMM sequences), the
+    fleet's transition/emission tensors are stacked into (D, N, N) /
+    (D, M, N) operands and every timestep is **one** batched 3-D
+    ``np.matmul`` over a (D, H, N) working set — a handful of kernel
+    launches per drain, regardless of fleet size.
+
+    Bit-identity with :func:`score_sequences` (and therefore with the
+    per-detector drain) rests on the height-invariance property in the
+    module docstring: each model's rows sit in a (H, N) slice whose height
+    H is the fleet's max batch padded up to a multiple of
+    :data:`FLEET_GEMM_UNIT`, and per-slice batched-matmul results equal
+    the 2-D calls the tiled kernel issues.  ``tests/test_kernels.py`` and
+    the exit-1 gate in ``benchmarks/bench_streaming_forward.py`` enforce
+    this at runtime.
+
+    Args:
+        models: fleet sharing one ``(n_states, n_symbols)`` shape.
+        obs_list: one validated (B_d, T) int array per model — one shared
+            length T, per-model batch sizes.
+
+    Returns:
+        One (B_d,) score array per model, aligned with ``models``.
+    """
+    if not models or len(models) != len(obs_list):
+        raise ModelError("score_fleet needs one observation batch per model")
+    n, m = models[0].n_states, models[0].n_symbols
+    length = obs_list[0].shape[1]
+    for model, obs in zip(models, obs_list):
+        if model.n_states != n or model.n_symbols != m:
+            raise ModelError(
+                "score_fleet requires same-shape models; mixed-shape fleets "
+                "must be scored per shape group"
+            )
+        if obs.ndim != 2 or obs.shape[1] != length:
+            raise ModelError("score_fleet requires one shared window length")
+        if obs.shape[0] == 0:
+            raise ModelError("score_fleet batches must be non-empty")
+    if length == 0:
+        return [np.zeros(obs.shape[0]) for obs in obs_list]
+
+    fleet = len(models)
+    batches = [obs.shape[0] for obs in obs_list]
+    height = -(-max(batches) // FLEET_GEMM_UNIT) * FLEET_GEMM_UNIT
+    # Padding rows are symbol 0, exactly like score_sequences' partial
+    # tiles: their scores are computed and discarded.
+    block = np.zeros((fleet, height, length), dtype=np.int64)
+    for d, obs in enumerate(obs_list):
+        block[d, : obs.shape[0]] = obs
+    transition = np.stack([model.transition for model in models])
+    emission_t = np.stack(
+        [np.ascontiguousarray(model.emission.T) for model in models]
+    )  # (D, M, N)
+    initial = np.stack([model.initial for model in models])[:, None, :]
+    didx = np.arange(fleet)[:, None]
+
+    alpha = np.empty((fleet, height, n))
+    product = np.empty((fleet, height, n))
+    scales = np.empty((fleet, height, length))
+    np.multiply(initial, emission_t[didx, block[:, :, 0]], out=alpha)
+    norm = scales[:, :, 0]
+    np.sum(alpha, axis=2, out=norm)
+    np.maximum(norm, SCALE_FLOOR, out=norm)
+    alpha /= norm[:, :, None]
+    for t in range(1, length):
+        np.matmul(alpha, transition, out=product)
+        np.multiply(product, emission_t[didx, block[:, :, t]], out=alpha)
+        norm = scales[:, :, t]
+        np.sum(alpha, axis=2, out=norm)
+        np.maximum(norm, SCALE_FLOOR, out=norm)
+        alpha /= norm[:, :, None]
+    np.log(scales, out=scales)
+    return [np.sum(scales[d, :rows], axis=1) for d, rows in enumerate(batches)]
+
+
+def log_likelihood_fleet(
+    models: "list[HiddenMarkovModel]", obs_list: "list[np.ndarray]"
+) -> "list[np.ndarray]":
+    """Duplicate-aware fleet scoring — the fused drain's entry point.
+
+    Per model: validate, hash-dedup the batch (:func:`_dedup_rows`), then
+    score every model's *distinct* rows in one :func:`score_fleet`
+    contraction and scatter back through the inverse indices.  Each
+    model's scattered scores — and its telemetry — are bit-identical to
+    what a :func:`log_likelihood_unique` call per model would produce;
+    only the kernel-launch count changes.
+    """
+    if not models or len(models) != len(obs_list):
+        raise ModelError(
+            "log_likelihood_fleet needs one observation batch per model"
+        )
+    uniques: list[np.ndarray] = []
+    inverses: list[np.ndarray | None] = []
+    checked: list[np.ndarray] = []
+    for model, obs in zip(models, obs_list):
+        obs = check_obs(model, obs)
+        checked.append(obs)
+        dedup = _dedup_rows(obs)
+        if dedup is None:
+            uniques.append(obs)
+            inverses.append(None)
+        else:
+            unique_rows, inverse = dedup
+            uniques.append(unique_rows)
+            inverses.append(inverse)
+    scored = score_fleet(models, uniques)
+    out: list[np.ndarray] = []
+    for obs, unique_scores, inverse in zip(checked, scored, inverses):
+        loglik = unique_scores if inverse is None else unique_scores[inverse]
+        if telemetry.enabled():
+            _record_score_telemetry(
+                loglik, int(obs.shape[0]), int(unique_scores.shape[0])
+            )
+        out.append(loglik)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Incremental streaming forward
+# ---------------------------------------------------------------------------
+
+
+class StreamingState:
+    """Carried state for the incremental O(N²)-per-event forward filter.
+
+    Owns everything the per-event update touches, preallocated once:
+
+    * ``belief`` — the normalized forward (filtering) distribution
+      ``P[state | history]``;
+    * ``ring`` — the last ``window`` per-step **surprisals**
+      (``-log scale_t``, the negated log scale factors of the scaled
+      forward recursion) in a ring buffer; ``pos`` is the next write slot
+      and ``count`` the events since the last reset;
+    * contiguous scratch (``predictive``/``joint``/``ordered``) and a
+      row-major emission transpose, so :func:`streaming_step` allocates
+      nothing.
+
+    The state belongs to exactly one model at a time: after a warm-swap,
+    :func:`streaming_rebind` must run before the next step — it restarts
+    the belief from the new model's initial distribution (the old
+    posterior lives over the old model's renumbered/resized hidden
+    states) while the surprisal ring survives for windowed continuity.
+    """
+
+    __slots__ = (
+        "window",
+        "belief",
+        "started",
+        "ring",
+        "count",
+        "pos",
+        "emission_t",
+        "predictive",
+        "joint",
+        "ordered",
+    )
+
+    def __init__(self, model: HiddenMarkovModel, window: int) -> None:
+        if window <= 0:
+            raise ModelError("window must be positive")
+        n = model.n_states
+        self.window = int(window)
+        self.belief = model.initial.copy()
+        self.started = False
+        self.ring = np.zeros(self.window)
+        self.count = 0
+        self.pos = 0
+        self.emission_t = np.ascontiguousarray(model.emission.T)
+        self.predictive = np.empty(n)
+        self.joint = np.empty(n)
+        self.ordered = np.empty(self.window)
+
+
+def streaming_step(
+    model: HiddenMarkovModel, state: StreamingState, index: int
+) -> float:
+    """Consume one encoded symbol; returns its surprise.
+
+    One belief update — a (N,)@(N, N) product, an elementwise emission
+    gather/multiply, one normalization — written into ``state``'s
+    preallocated buffers.  Operation order matches the unfused
+    ``StreamingScorer`` filter exactly (``@`` *is* ``np.matmul``; the
+    emission row is the same values as the strided column slice), so the
+    returned surprisals and the carried belief are bit-identical to the
+    legacy path.
+    """
+    if state.started:
+        np.matmul(state.belief, model.transition, out=state.predictive)
+        predictive = state.predictive
+    else:
+        predictive = state.belief
+        state.started = True
+    np.multiply(predictive, state.emission_t[index], out=state.joint)
+    total = float(state.joint.sum())
+    total = max(total, SCALE_FLOOR)
+    np.divide(state.joint, total, out=state.belief)
+    surprise = -float(np.log(total))
+    state.ring[state.pos] = surprise
+    state.pos += 1
+    if state.pos == state.window:
+        state.pos = 0
+    state.count += 1
+    return surprise
+
+
+def streaming_recent(state: StreamingState) -> np.ndarray:
+    """The last ``min(count, window)`` surprisals, oldest first.
+
+    Stream order matters for bit-identity: ``np.mean`` reduces pairwise in
+    element order, and the legacy path's deque holds the surprisals in
+    arrival order.  Before the ring wraps this is a contiguous prefix
+    view; after wraparound the two ring halves are copied (oldest half
+    first) into the preallocated ``ordered`` buffer — O(window) scalar
+    copies, no allocation.
+    """
+    if state.count < state.window:
+        return state.ring[: state.count]
+    if state.pos == 0:
+        return state.ring
+    split = state.window - state.pos
+    state.ordered[:split] = state.ring[state.pos :]
+    state.ordered[split:] = state.ring[: state.pos]
+    return state.ordered
+
+
+def streaming_reset(model: HiddenMarkovModel, state: StreamingState) -> None:
+    """Restart the filter in place (process restart / trace gap)."""
+    np.copyto(state.belief, model.initial)
+    state.started = False
+    state.count = 0
+    state.pos = 0
+
+
+def streaming_rebind(model: HiddenMarkovModel, state: StreamingState) -> None:
+    """Invalidate the carried forward state for a warm-swapped model.
+
+    The belief restarts from the new model's initial distribution and the
+    emission transpose / scratch buffers are rebuilt (reallocated only if
+    the state count changed); the surprisal ring, ``count``, and ``pos``
+    are deliberately kept so the windowed score stays continuous across
+    the swap.
+    """
+    n = model.n_states
+    if state.belief.shape[0] != n:
+        state.belief = np.empty(n)
+        state.predictive = np.empty(n)
+        state.joint = np.empty(n)
+    np.copyto(state.belief, model.initial)
+    state.started = False
+    state.emission_t = np.ascontiguousarray(model.emission.T)
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,17 @@ when many sessions watch the same hot code path, identical windows in a
 drain run the forward recursion once and share the result, bit-identical
 to scoring every row (``hmm.score.unique_ratio`` reports the effect).
 
+On top of the per-lane batch, :meth:`MicroBatchScheduler.drain_many`
+fuses one round's drains **across detectors** (the default ``pump()``
+path when ``ServiceConfig.cross_detector_batching`` is on): same-shape
+(N, M) detectors' length groups stack into one batched tensor
+contraction (:func:`repro.hmm.kernels.log_likelihood_fleet`), so a
+100-detector fleet drains in a handful of kernel launches instead of one
+GEMM sequence per detector.  Mixed-shape fleets degrade gracefully — each
+``(n_states, n_symbols, length)`` group scores on the fused path when two
+or more lanes share it and on the per-lane kernel otherwise — and every
+outcome is bit-identical to the per-lane drain.
+
 Admission control lives at the two points where load sheds:
 
 * **at the door** (:meth:`DetectorLane.admit`) — a queue at
@@ -42,6 +53,7 @@ from .. import telemetry
 from ..core.detector import Detector
 from ..errors import ModelError
 from ..hmm.forward import log_likelihood_ragged
+from ..hmm.kernels import log_likelihood_fleet, log_likelihood_unique
 from .config import AdmissionPolicy, ServiceConfig
 from .outcomes import (
     Absorbed,
@@ -124,8 +136,45 @@ class DetectorLane:
         return oldest
 
 
+@dataclass
+class _LaneDrain:
+    """One lane's popped batch moving through the drain phases.
+
+    ``_prepare`` fills the bookkeeping fields (and resolves sheds /
+    absorbed pushes / encode failures); scoring fills ``loglik`` for the
+    ``rows``; ``_finish`` resolves the scorable and streaming requests.
+    Splitting the phases this way is what lets :meth:`drain_many` score
+    *many* lanes' prepared rows in one fused pass between its per-lane
+    prepare and finish sweeps.
+    """
+
+    lane: DetectorLane
+    taken: list[PendingRequest]
+    scorable: list[tuple[PendingRequest, tuple[str, ...], float]] = field(
+        default_factory=list
+    )
+    rows: list[np.ndarray] = field(default_factory=list)
+    streaming: list[tuple[PendingRequest, float]] = field(default_factory=list)
+    loglik: np.ndarray | None = None
+    resolved: int = 0
+
+
 class MicroBatchScheduler:
-    """Drains one lane at a time; owns no threads (the service does)."""
+    """Drains lanes; owns no threads (the service does).
+
+    Two drain shapes share the same prepare/score/finish phases:
+
+    * :meth:`drain` — one lane, scored through
+      :func:`~repro.hmm.forward.log_likelihood_ragged` exactly as before;
+    * :meth:`drain_many` — one fused round over many lanes: every lane is
+      prepared, then all prepared rows are grouped by
+      ``(n_states, n_symbols, window length)`` **across lanes** and each
+      multi-lane group scores through one batched
+      :func:`~repro.hmm.kernels.log_likelihood_fleet` contraction
+      (single-lane groups keep the per-lane kernel).  Scores, outcomes,
+      and per-lane telemetry are bit-identical to per-lane drains — only
+      the kernel-launch count changes.
+    """
 
     def __init__(self, config: ServiceConfig, clock) -> None:
         self.config = config
@@ -173,17 +222,137 @@ class MicroBatchScheduler:
         finally:
             telemetry.gauge_set(f"service.queue.depth.{lane.name}", lane.depth)
 
+    def drain_many(self, lanes, stats) -> int:
+        """One fused drain round: up to ``max_batch`` requests per lane.
+
+        Pops every non-empty lane's batch first, then runs the shared
+        prepare phase per lane and scores all prepared rows together —
+        same-shape lanes through one cross-detector contraction per
+        distinct window length, mixed shapes falling back per
+        ``(n_states, n_symbols, length)`` group.  Returns the total
+        resolved across lanes.
+
+        Exception safety matches :meth:`drain` per request — encode and
+        streaming failures resolve individual tickets ``Failed`` — but the
+        crash backstop is round-wide: an unexpected mid-round exception
+        resolves every popped-but-unresolved ticket of **all** popped
+        lanes ``Failed`` before propagating (the fused pass is shared
+        state; no lane's tickets can be left pending behind it).
+        """
+        now = self.clock()
+        popped: list[tuple[DetectorLane, list[PendingRequest]]] = []
+        for lane in lanes:
+            if not lane.queue:
+                continue
+            taken: list[PendingRequest] = []
+            while lane.queue and len(taken) < self.config.max_batch:
+                taken.append(lane.queue.popleft())
+            popped.append((lane, taken))
+        if not popped:
+            return 0
+        try:
+            return self._process_many(popped, now, stats)
+        except Exception as exc:
+            for lane, taken in popped:
+                for request in taken:
+                    if not request.ticket.done():
+                        request.session.note_gap()
+                        request.ticket._resolve(
+                            Failed(
+                                detector=lane.name,
+                                session=request.session.session_id,
+                                error=f"{type(exc).__name__}: {exc}",
+                                queued_s=max(0.0, now - request.enqueued_at),
+                            )
+                        )
+                        stats.count_failed()
+            raise
+        finally:
+            for lane, _ in popped:
+                telemetry.gauge_set(f"service.queue.depth.{lane.name}", lane.depth)
+
     def _process(
         self, lane: DetectorLane, taken: list[PendingRequest], now: float, stats
     ) -> int:
         """Resolve one popped batch: sheds, monitor pushes, forward pass."""
+        drain = self._prepare(_LaneDrain(lane=lane, taken=taken), now, stats)
+        if drain.scorable:
+            drain.loglik = log_likelihood_ragged(lane.detector.model, drain.rows)
+        self._finish(drain, stats)
+        return drain.resolved
+
+    def _process_many(
+        self,
+        popped: list[tuple[DetectorLane, list[PendingRequest]]],
+        now: float,
+        stats,
+    ) -> int:
+        """Resolve one fused round: per-lane prepare, cross-lane score,
+        per-lane finish."""
+        drains = [
+            self._prepare(_LaneDrain(lane=lane, taken=taken), now, stats)
+            for lane, taken in popped
+        ]
+        # Group every prepared row by (model shape, window length) across
+        # lanes — insertion order is lane order then each lane's
+        # first-occurrence length order, mirroring log_likelihood_ragged.
+        groups: dict[
+            tuple[int, int, int], list[tuple[_LaneDrain, np.ndarray, list[int]]]
+        ] = {}
+        for drain in drains:
+            if not drain.scorable:
+                continue
+            drain.loglik = np.empty(len(drain.rows))
+            model = drain.lane.detector.model
+            by_length: dict[int, list[int]] = {}
+            for position, row in enumerate(drain.rows):
+                by_length.setdefault(row.shape[0], []).append(position)
+            for length, positions in by_length.items():
+                obs = np.stack([drain.rows[position] for position in positions])
+                key = (model.n_states, model.n_symbols, length)
+                groups.setdefault(key, []).append((drain, obs, positions))
+        fused_groups = 0
+        for entries in groups.values():
+            if len(entries) == 1:
+                # One lane in this shape/length group: the per-lane kernel
+                # is already a single pass (and uses the full 512-row
+                # tile); nothing to fuse.
+                drain, obs, positions = entries[0]
+                drain.loglik[positions] = log_likelihood_unique(
+                    drain.lane.detector.model, obs
+                )
+                continue
+            fused_groups += 1
+            scored = log_likelihood_fleet(
+                [drain.lane.detector.model for drain, _, _ in entries],
+                [obs for _, obs, _ in entries],
+            )
+            for (drain, _, positions), loglik in zip(entries, scored):
+                drain.loglik[positions] = loglik
+        if groups:
+            telemetry.counter_add("service.drain.fused")
+            if fused_groups:
+                telemetry.counter_add("service.drain.fused_groups", fused_groups)
+        total = 0
+        for drain in drains:
+            self._finish(drain, stats)
+            total += drain.resolved
+        return total
+
+    def _prepare(self, drain: _LaneDrain, now: float, stats) -> _LaneDrain:
+        """Bookkeeping phase: deadline sheds, monitor pushes, encoding.
+
+        Walks the popped batch in FIFO order, resolving everything that
+        never reaches a forward pass (deadline sheds, absorbed monitor
+        pushes, encode failures) and collecting the rest into the drain's
+        ``scorable``/``rows``/``streaming`` lists.
+        """
+        lane = drain.lane
         budget = self.config.latency_budget_s
         resolved = 0
-        # Window bookkeeping first: deadline sheds, monitor pushes, and the
-        # ragged score batch, all in FIFO order.
         scorable: list[tuple[PendingRequest, tuple[str, ...], float]] = []
         streaming: list[tuple[PendingRequest, float]] = []
-        for request in taken:
+        for request in drain.taken:
             queued_s = max(0.0, now - request.enqueued_at)
             if budget is not None and queued_s > budget:
                 request.session.note_gap()
@@ -220,15 +389,17 @@ class MicroBatchScheduler:
                 window = request.window
             scorable.append((request, window, queued_s))
 
-        model = lane.detector.model if (scorable or streaming) else None
-
         if scorable:
+            model = lane.detector.model
             # Encode per request so one bad window (symbol outside a no-UNK
-            # alphabet) fails alone instead of poisoning the whole batch.
+            # alphabet, or an empty window) fails alone instead of
+            # poisoning the whole batch — in either drain shape.
             rows: list[np.ndarray] = []
             encodable: list[tuple[PendingRequest, tuple[str, ...], float]] = []
             for request, window, queued_s in scorable:
                 try:
+                    if not window:
+                        raise ModelError("cannot score an empty window")
                     rows.append(
                         np.fromiter(
                             (model.encode_symbol(symbol) for symbol in window),
@@ -250,10 +421,30 @@ class MicroBatchScheduler:
                     continue
                 encodable.append((request, window, queued_s))
             scorable = encodable
+            drain.rows = rows
+
+        drain.scorable = scorable
+        drain.streaming = streaming
+        drain.resolved = resolved
+        return drain
+
+    def _finish(self, drain: _LaneDrain, stats) -> None:
+        """Resolution phase: apply scores, then walk streaming sessions.
+
+        ``drain.loglik`` must hold the raw per-row log-likelihoods for
+        ``drain.rows`` (whichever kernel produced them); outcomes carry
+        the per-symbol normalization exactly as before.
+        """
+        lane = drain.lane
+        scorable = drain.scorable
+        streaming = drain.streaming
+        resolved = 0
 
         if scorable:
-            lengths = np.array([row.shape[0] for row in rows], dtype=float)
-            scores = log_likelihood_ragged(model, rows) / lengths
+            lengths = np.array(
+                [row.shape[0] for row in drain.rows], dtype=float
+            )
+            scores = drain.loglik / lengths
             batch_size = len(scorable)
             telemetry.observe(
                 "service.batch.size", batch_size, boundaries=BATCH_SIZE_BUCKETS
@@ -341,4 +532,4 @@ class MicroBatchScheduler:
                 stats.streamed += 1
                 resolved += 1
 
-        return resolved
+        drain.resolved += resolved

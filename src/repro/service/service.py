@@ -356,14 +356,20 @@ class DetectionService:
         """Run one drain round; returns how many requests were resolved.
 
         One round drains up to ``config.max_batch`` requests per lane —
-        every lane, or just ``detector``'s.
+        every lane, or just ``detector``'s.  With
+        ``config.cross_detector_batching`` (the default) an all-lanes
+        round runs as one *fused* drain: same-shape detectors' windows
+        score through a single batched contraction
+        (:meth:`MicroBatchScheduler.drain_many`), bit-identical to — and
+        several times cheaper than — the per-lane loop it replaces.
+        Single-lane pumps (and the swap barrier) keep the per-lane path.
         """
         with self._lock:
-            lanes = (
-                [self._lane(detector)]
-                if detector is not None
-                else list(self._lanes.values())
-            )
+            if detector is not None:
+                return self._scheduler.drain(self._lane(detector), self.stats)
+            lanes = list(self._lanes.values())
+            if self.config.cross_detector_batching and len(lanes) > 1:
+                return self._scheduler.drain_many(lanes, self.stats)
             return sum(self._scheduler.drain(lane, self.stats) for lane in lanes)
 
     def drain_pending(self) -> int:

@@ -106,7 +106,7 @@ class Session:
           and cannot be carried across a retrain.
         """
         if self.monitor is not None:
-            self.monitor.detector = detector
+            self.monitor.rebind(detector)
         if self.scorer is not None:
             self.scorer.rebind(detector.model)
 

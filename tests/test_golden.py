@@ -48,6 +48,14 @@ GOLDEN = {
     "holdout_loglik_final": -17.113757,
 }
 
+#: Golden scores for the fixed cross-detector drain cell below: two
+#: same-shape detectors' windows fused into one batched contraction.
+#: Regenerate alongside ``GOLDEN`` with ``python tests/test_golden.py``.
+GOLDEN_DRAIN: dict[str, list[float]] = {
+    "drain-a": [-1.715529, -1.786229, -1.802769, -1.640843],
+    "drain-b": [-1.758022, -1.868950, -1.777490, -1.772860],
+}
+
 
 @dataclass
 class CellOutcome:
@@ -193,6 +201,61 @@ class TestGoldenNumbers:
         )
 
 
+class TestGoldenBatchedDrain:
+    """Pinned scores for one fused cross-detector drain round.
+
+    The differential suite (``tests/test_service_batched_drain.py``)
+    proves fused == per-lane on random fleets; this cell pins the actual
+    numbers so a behaviour change that is *consistent* between the two
+    drain shapes still trips the suite.
+    """
+
+    def test_scores_match_golden_and_per_lane(self):
+        fused = _run_drain_cell(cross_detector_batching=True)
+        per_lane = _run_drain_cell(cross_detector_batching=False)
+        assert fused == per_lane  # bitwise, not approx
+        assert set(fused) == set(GOLDEN_DRAIN)
+        for name, scores in GOLDEN_DRAIN.items():
+            assert fused[name] == pytest.approx(scores, abs=1e-6)
+
+
+def _run_drain_cell(cross_detector_batching: bool) -> dict[str, list[float]]:
+    """Fixed drain cell: two same-shape detectors, four 15-call windows
+    each, scored in one ``pump()`` round."""
+    from repro.api import load_pretrained
+    from repro.hmm import random_model
+    from repro.service import DetectionService, ServiceConfig
+
+    labels = ["open", "read", "write", "mmap", "close"]
+    fleet = [
+        (name, load_pretrained(random_model(labels, n_states=4, seed=seed)))
+        for name, seed in (("drain-a", 5), ("drain-b", 6))
+    ]
+    rng = np.random.default_rng(SEED)
+    windows = {
+        name: [
+            tuple(labels[i] for i in rng.integers(0, len(labels), size=15))
+            for _ in range(4)
+        ]
+        for name, _ in fleet
+    }
+    service = DetectionService(
+        ServiceConfig(cross_detector_batching=cross_detector_batching),
+        clock=lambda: 0.0,
+    )
+    for name, detector in fleet:
+        service.register(name, detector, threshold=-2.0)
+    tickets = {
+        name: [service.submit(name, "golden", window=w) for w in ws]
+        for name, ws in windows.items()
+    }
+    assert service.pump() == 8
+    return {
+        name: [ticket.result().score for ticket in lane_tickets]
+        for name, lane_tickets in tickets.items()
+    }
+
+
 def _generate() -> None:  # pragma: no cover - maintenance helper
     outcome = _run_cell()
     normal, _ = outcome.cv.pooled_scores()
@@ -204,6 +267,12 @@ def _generate() -> None:  # pragma: no cover - maintenance helper
     print(f'    "mean_fn_at_0.05": {outcome.cv.mean_fn_at(0.05):.6f},')
     print(f'    "mean_normal_score": {float(normal.mean()):.6f},')
     print(f'    "holdout_loglik_final": {outcome.holdout_final:.6f},')
+    print("}")
+    drain = _run_drain_cell(cross_detector_batching=True)
+    print("GOLDEN_DRAIN = {")
+    for name, scores in drain.items():
+        rendered = ", ".join(f"{score:.6f}" for score in scores)
+        print(f'    "{name}": [{rendered}],')
     print("}")
 
 

@@ -37,6 +37,9 @@ from repro.service import (
     load_fleet,
 )
 
+# Tier-2 stress selection: CI's stress-concurrency job loops `-m stress`.
+pytestmark = pytest.mark.stress
+
 SYMBOLS = ["open", "read", "write", "mmap", "close"]
 
 

@@ -43,6 +43,9 @@ from repro.service import (
 )
 from repro.hmm import random_model
 
+# Tier-2 stress selection: CI's stress-concurrency job loops `-m stress`.
+pytestmark = pytest.mark.stress
+
 SYMBOLS = ["open", "read", "write", "mmap", "close"]
 
 

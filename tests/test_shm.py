@@ -14,6 +14,9 @@ from repro.errors import ServiceError
 from repro.hmm import log_likelihood, random_model
 from repro.service import SharedModelStore, attach_model
 
+# Tier-2 stress selection: CI's stress-concurrency job loops `-m stress`.
+pytestmark = pytest.mark.stress
+
 SYMBOLS = ["open", "read", "write", "mmap", "close"]
 
 
