@@ -50,7 +50,12 @@ from repro.hmm.kernels import (
 )
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from common import bench_host_metadata, print_block, shape_line  # noqa: E402
+from common import (  # noqa: E402
+    bench_host_metadata,
+    bench_output_path,
+    print_block,
+    shape_line,
+)
 
 # Bench shape: the ISSUE's reference point — a realistic training batch
 # (4096 deduplicated 15-call segments) over a mid-sized state space.
@@ -391,11 +396,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         type=Path,
-        default=Path("BENCH_em.json"),
-        help="output JSON path (default: ./BENCH_em.json)",
+        default=None,
+        help="output JSON path (default: BENCH_em.json at the repo root; "
+        "see common.bench_output_path)",
     )
     args = parser.parse_args(argv)
-    return run(args.smoke, args.out)
+    return run(args.smoke, args.out or bench_output_path("BENCH_em.json"))
 
 
 if __name__ == "__main__":

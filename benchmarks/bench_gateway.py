@@ -28,7 +28,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from common import bench_host_metadata, print_block, shape_line
+from common import bench_host_metadata, bench_output_path, print_block, shape_line
 
 from repro import telemetry
 from repro.api import load_pretrained
@@ -165,7 +165,8 @@ def test_gateway_throughput():
         "scores_bit_identical": identical,
         "metrics_valid": metrics_valid,
     }
-    output = Path(os.environ.get("REPRO_BENCH_OUTPUT", "BENCH_gateway.json"))
+    override = os.environ.get("REPRO_BENCH_OUTPUT", "").strip()
+    output = Path(override) if override else bench_output_path("BENCH_gateway.json")
     output.write_text(json.dumps(payload, indent=2) + "\n")
 
     body = "\n".join(

@@ -26,12 +26,12 @@ import time
 from pathlib import Path
 
 import numpy as np
-from common import bench_host_metadata, print_block, shape_line
+from common import bench_host_metadata, bench_output_path, print_block, shape_line
 
 from repro import telemetry
-from repro.eval import ExperimentConfig, run_accuracy_grid
+from repro.eval import ExperimentConfig, accuracy_comparisons, accuracy_grid
 from repro.program import CallKind
-from repro.runtime import ArtifactCache, ParallelExecutor, clamp_jobs
+from repro.runtime import ArtifactCache, ParallelExecutor, clamp_jobs, run_grid
 
 #: Sized so each (program, model) cell is coarse enough to amortise
 #: process fan-out while the whole bench stays CI-friendly.
@@ -64,9 +64,12 @@ def _cpus_available() -> int:
 
 
 def _grid(executor=None, cache=None):
-    return run_accuracy_grid(
-        PROGRAMS, KIND, SCALING_CONFIG, executor=executor, cache=cache
+    result = run_grid(
+        accuracy_grid(PROGRAMS, KIND, SCALING_CONFIG),
+        executor=executor,
+        cache=cache,
     )
+    return accuracy_comparisons(result)
 
 
 def _grids_identical(left, right) -> bool:
@@ -168,7 +171,8 @@ def test_runtime_scaling():
         "telemetry": telemetry.snapshot(),
     }
     telemetry.disable()
-    output = Path(os.environ.get("REPRO_BENCH_OUTPUT", "BENCH_runtime.json"))
+    override = os.environ.get("REPRO_BENCH_OUTPUT", "").strip()
+    output = Path(override) if override else bench_output_path("BENCH_runtime.json")
     output.write_text(json.dumps(payload, indent=2) + "\n")
 
     warm_hits = warm_stats["hits"] - cold_stats["hits"]

@@ -33,7 +33,12 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from common import bench_host_metadata, print_block, shape_line  # noqa: E402
+from common import (  # noqa: E402
+    bench_host_metadata,
+    bench_output_path,
+    print_block,
+    shape_line,
+)
 
 from repro.api import load_pretrained  # noqa: E402
 from repro.hmm import random_model  # noqa: E402
@@ -186,7 +191,11 @@ def run(smoke: bool, output: Path) -> int:
             }
         ),
     }
-    output = Path(os.environ.get("REPRO_BENCH_OUTPUT", output))
+    override = os.environ.get("REPRO_BENCH_OUTPUT", "").strip()
+    if override:
+        output = Path(override)
+    elif output is None:
+        output = bench_output_path("BENCH_service_sharded.json")
     output.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = [
@@ -245,8 +254,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         type=Path,
-        default=Path("BENCH_service_sharded.json"),
-        help="output JSON path (default: ./BENCH_service_sharded.json)",
+        default=None,
+        help="output JSON path (default: BENCH_service_sharded.json at the "
+        "repo root; see common.bench_output_path)",
     )
     args = parser.parse_args(argv)
     return run(args.smoke, args.out)

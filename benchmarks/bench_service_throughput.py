@@ -30,7 +30,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from common import bench_host_metadata, print_block, shape_line
+from common import bench_host_metadata, bench_output_path, print_block, shape_line
 
 from repro import telemetry
 from repro.api import load_pretrained
@@ -164,7 +164,8 @@ def test_service_throughput():
         "telemetry": telemetry.snapshot(),
     }
     telemetry.disable()
-    output = Path(os.environ.get("REPRO_BENCH_OUTPUT", "BENCH_service.json"))
+    override = os.environ.get("REPRO_BENCH_OUTPUT", "").strip()
+    output = Path(override) if override else bench_output_path("BENCH_service.json")
     output.write_text(json.dumps(payload, indent=2) + "\n")
 
     below_limit_clean = all(run["shed_rate"] == 0.0 for run in runs.values())

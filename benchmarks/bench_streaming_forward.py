@@ -57,7 +57,12 @@ from repro.service import DetectionService
 from repro.service.config import ServiceConfig
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from common import bench_host_metadata, print_block, shape_line  # noqa: E402
+from common import (  # noqa: E402
+    bench_host_metadata,
+    bench_output_path,
+    print_block,
+    shape_line,
+)
 
 # Bench shape: the service's reference point — mid-sized models at the
 # paper's window, a 100-detector fleet.
@@ -374,11 +379,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         type=Path,
-        default=Path("BENCH_streaming.json"),
-        help="output JSON path (default: ./BENCH_streaming.json)",
+        default=None,
+        help="output JSON path (default: BENCH_streaming.json at the repo "
+        "root; see common.bench_output_path)",
     )
     args = parser.parse_args(argv)
-    return run(args.smoke, args.out)
+    return run(args.smoke, args.out or bench_output_path("BENCH_streaming.json"))
 
 
 if __name__ == "__main__":

@@ -23,12 +23,13 @@ from repro.core import MODEL_NAMES
 from repro.eval import (
     AccuracyComparison,
     ExperimentConfig,
+    accuracy_comparisons,
+    accuracy_grid,
     format_rate,
     render_table,
-    run_accuracy_grid,
 )
 from repro.program import CallKind
-from repro.runtime import ArtifactCache, ParallelExecutor, default_jobs
+from repro.runtime import ArtifactCache, ParallelExecutor, default_jobs, run_grid
 
 __all__ = [
     "BENCH_CONFIG",
@@ -36,10 +37,30 @@ __all__ = [
     "bench_cache",
     "bench_executor",
     "bench_host_metadata",
+    "bench_output_path",
     "print_block",
     "render_comparisons",
     "shape_line",
 ]
+
+#: Repository root — the one canonical home of fresh ``BENCH_*.json``
+#: artifacts (committed baselines live in ``benchmarks/baselines/``).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_output_path(filename: str) -> Path:
+    """The canonical location for a fresh bench artifact.
+
+    Every emitter routes through here so artifacts land in exactly one
+    place — the repo root (or ``REPRO_BENCH_DIR`` when set) — instead of
+    whatever the invoking shell's cwd happened to be.  The regression
+    gate (``scripts/check_bench_regression.py``) audits that each fresh
+    artifact here has a committed baseline and vice versa.
+    """
+    base = os.environ.get("REPRO_BENCH_DIR", "").strip()
+    root = Path(base) if base else REPO_ROOT
+    root.mkdir(parents=True, exist_ok=True)
+    return root / filename
 
 
 def bench_host_metadata() -> dict:
@@ -120,13 +141,12 @@ def accuracy_figure(
     processes and memoise trained models in ``REPRO_CACHE_DIR``; both
     default off, preserving the serial reference behaviour.
     """
-    return run_accuracy_grid(
-        programs,
-        kind,
-        BENCH_CONFIG,
+    result = run_grid(
+        accuracy_grid(programs, kind, BENCH_CONFIG),
         executor=bench_executor(),
         cache=bench_cache(),
     )
+    return accuracy_comparisons(result)
 
 
 def render_comparisons(comparisons: dict[str, AccuracyComparison]) -> str:

@@ -17,16 +17,25 @@ Baselines live in ``benchmarks/baselines/`` and are deliberately
 noisy, so the gate is tuned to catch real regressions — an accidentally
 quadratic drain loop, a de-vectorized kernel — not scheduler jitter.
 
+* **one-sided baselines** (``--audit``) — without a fresh payload, the
+  script instead cross-checks the registry against the committed baseline
+  directory: a bench with gate metrics but no committed baseline is an
+  unguarded bench, and a committed ``BENCH_*.json`` no registry entry
+  gates is dead weight that silently stopped protecting anything.
+
 Usage::
 
     python scripts/check_bench_regression.py BENCH_em.json
     python scripts/check_bench_regression.py BENCH_service_sharded.json \
         --baseline benchmarks/baselines/BENCH_service_sharded.json \
         --threshold 0.25
+    python scripts/check_bench_regression.py --audit
 
 The baseline is resolved from ``--baseline``, else
-``benchmarks/baselines/<fresh-file-name>``.  Exits 0 when every gate holds,
-1 on any regression/missing key, 2 on unusable inputs.
+``benchmarks/baselines/<fresh-file-name>`` (in ``--audit`` mode,
+``--baseline`` names the baseline *directory*).  Exits 0 when every gate
+holds, 1 on any regression/missing key/one-sided baseline, 2 on unusable
+inputs.
 """
 
 from __future__ import annotations
@@ -69,6 +78,23 @@ THROUGHPUT_METRICS: dict[str, tuple[str, ...]] = {
         "fleet_drain.fused_windows_per_s",
         "fleet_drain.speedup",
     ),
+    "robustness_grid": (
+        "grid.cells_per_s",
+    ),
+}
+
+#: Baseline file each registered bench gates against — the registry half
+#: of the two-sided contract ``--audit`` enforces: every bench here must
+#: have its baseline committed, and every committed baseline must appear
+#: here.  A one-sided entry means an unguarded bench (or a dead baseline).
+BASELINE_FILES: dict[str, str] = {
+    "em_kernels": "BENCH_em.json",
+    "service_throughput": "BENCH_service.json",
+    "service_sharded": "BENCH_service_sharded.json",
+    "runtime_scaling": "BENCH_runtime.json",
+    "gateway": "BENCH_gateway.json",
+    "streaming_forward": "BENCH_streaming.json",
+    "robustness_grid": "BENCH_robustness.json",
 }
 
 #: Keys whose values legitimately differ every run (timestamps, host
@@ -92,6 +118,12 @@ INVARIANT_FLAGS: dict[str, tuple[str, ...]] = {
         "bit_identity.incremental_vs_legacy_filter",
         "bit_identity.incremental_vs_replay_oracle",
         "bit_identity.fused_drain_vs_per_lane",
+    ),
+    "robustness_grid": (
+        "resume.bit_identical",
+        "resume.all_resumed",
+        "shapes.mimicry_lowers_detection",
+        "shapes.regular_context_ge_basic",
     ),
 }
 
@@ -157,11 +189,55 @@ def check(fresh: dict, baseline: dict, threshold: float) -> list[str]:
     return problems
 
 
+def audit(baseline_dir: Path) -> list[str]:
+    """One-sided baseline drift: registered-but-baselineless benches and
+    committed baselines no registry entry gates (empty = consistent)."""
+    problems = []
+    registered = set(THROUGHPUT_METRICS) | set(INVARIANT_FLAGS)
+    for bench in sorted(registered):
+        filename = BASELINE_FILES.get(bench)
+        if filename is None:
+            problems.append(
+                f"bench {bench!r} has gate metrics registered but no "
+                f"BASELINE_FILES entry"
+            )
+            continue
+        path = baseline_dir / filename
+        if not path.is_file():
+            problems.append(
+                f"bench {bench!r} is registered but its baseline is not "
+                f"committed at {path}"
+            )
+            continue
+        tag = json.loads(path.read_text()).get("bench")
+        if tag != bench:
+            problems.append(
+                f"baseline {path.name} carries bench tag {tag!r}, "
+                f"registered as {bench!r}"
+            )
+    known_files = set(BASELINE_FILES.values())
+    for path in sorted(baseline_dir.glob("BENCH_*.json")):
+        if path.name not in known_files:
+            problems.append(
+                f"committed baseline {path.name} gates nothing: its bench "
+                f"is not registered in check_bench_regression.py"
+            )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.split("\n")[0],
     )
-    parser.add_argument("fresh", type=Path, help="freshly produced BENCH_*.json")
+    parser.add_argument("fresh", type=Path, nargs="?", default=None,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="instead of gating one payload, fail on one-sided baselines: "
+             "every registered bench must have a committed baseline and "
+             "every committed baseline a registry entry",
+    )
     parser.add_argument(
         "--baseline",
         type=Path,
@@ -176,6 +252,27 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.audit:
+        baseline_dir = (
+            args.baseline if args.baseline is not None else DEFAULT_BASELINE_DIR
+        )
+        problems = audit(baseline_dir)
+        if problems:
+            print("bench-baseline audit FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        registered = set(THROUGHPUT_METRICS) | set(INVARIANT_FLAGS)
+        print(
+            f"bench-baseline audit passed: {len(registered)} benches "
+            f"two-sided against {baseline_dir}"
+        )
+        return 0
+
+    if args.fresh is None:
+        print("a fresh BENCH_*.json payload is required (or --audit)",
+              file=sys.stderr)
+        return 2
     baseline_path = args.baseline or DEFAULT_BASELINE_DIR / args.fresh.name
     if not args.fresh.is_file():
         print(f"fresh payload not found: {args.fresh}", file=sys.stderr)

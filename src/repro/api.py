@@ -11,10 +11,22 @@ Everything a downstream user needs routes through five entry points::
     monitor = api.open_monitor(detector, normal_scores=holdout_scores)
     deployed = api.load_pretrained("gzip-cmarkov.npz")
 
+Batch experiments route through one grid surface: declare a
+:class:`~repro.runtime.grid.GridSpec` (``api.accuracy_grid``,
+``api.robustness_grid``) and execute it with :func:`api.run_grid` — every
+grid gets the same resumable, content-addressed, parallel runner::
+
+    result = api.run_grid(api.accuracy_grid(["gzip"], "syscall"))
+    comparisons = api.accuracy_comparisons(result)
+
+    grid = api.open_robustness_grid(["gzip"])
+    corpus = grid.corpus()          # runs (resuming) then summarises
+
 The deeper modules (:mod:`repro.core`, :mod:`repro.hmm`, ...) stay
 importable for research use, but their constructor aliases
-(``make_detector``, ``detector_factory``) are deprecated shims that warn
-with :class:`~repro.errors.ReproDeprecationWarning` and forward here.
+(``make_detector``, ``detector_factory``) and the monolithic
+``run_accuracy_grid`` runner are deprecated shims that warn with
+:class:`~repro.errors.ReproDeprecationWarning` and forward here.
 
 .. rubric:: Threshold convention
 
@@ -54,19 +66,39 @@ from .core.registry import (
 )
 from .core.thresholds import threshold_for_fp_budget
 from .errors import EvaluationError, ModelError
+from .eval.runners import AccuracyGridConfig, accuracy_comparisons, accuracy_grid
 from .hmm.model import HiddenMarkovModel
 from .hmm.serialize import load_model
 from .program.calls import CallKind
+from .robustness import (
+    ATTACK_FAMILIES,
+    DEFAULT_SEVERITIES,
+    RobustnessConfig,
+    RobustnessGrid,
+    open_robustness_grid,
+    robustness_grid,
+)
+from .runtime.grid import GridAxis, GridResult, GridSpec, run_grid
 from .tracing.segments import DEFAULT_SEGMENT_LENGTH, Segment, SegmentSet
 
 __all__ = [
+    "ATTACK_FAMILIES",
+    "DEFAULT_SEVERITIES",
     "EXTRA_MODEL_NAMES",
     "MODEL_NAMES",
     "THRESHOLD_RULE",
+    "AccuracyGridConfig",
     "Detector",
     "DetectorConfig",
     "DetectorSpec",
+    "GridAxis",
+    "GridResult",
+    "GridSpec",
     "PretrainedDetector",
+    "RobustnessConfig",
+    "RobustnessGrid",
+    "accuracy_comparisons",
+    "accuracy_grid",
     "build_detector",
     "detector_spec",
     "fit",
@@ -75,7 +107,10 @@ __all__ = [
     "open_gateway",
     "open_monitor",
     "open_registry",
+    "open_robustness_grid",
     "open_service",
+    "robustness_grid",
+    "run_grid",
     "score",
 ]
 

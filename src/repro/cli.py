@@ -15,6 +15,8 @@ Commands mirror the workflow a downstream user runs:
   service (one session per trace) and report throughput/shed stats;
 * ``gateway`` — serve the detection fleet over HTTP: async gateway +
   versioned model registry with warm-swap rollouts (``docs/gateway.md``);
+* ``robustness`` — run the adversarial robustness grid (mimicry, drift,
+  trace gaps) and write the measured corpus + report (``docs/robustness.md``);
 * ``report``  — run a fast end-to-end summary of every experiment family;
 * ``demo``    — end-to-end detection demo (train + attack + verdicts).
 """
@@ -33,6 +35,7 @@ from .analysis import analyze_program
 from .attacks import build_attack_events, payloads_for
 from .core import build_detector, threshold_for_fp_budget
 from .core.registry import MODEL_NAMES, model_is_context_sensitive
+from .robustness import ATTACK_FAMILIES, DEFAULT_SEVERITIES
 from .errors import EvaluationError
 from .eval.tables import render_table
 from .gadgets import TABLE_III_LENGTHS, gadget_surface, scan_gadgets
@@ -194,6 +197,44 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--no-pump", action="store_true",
                          help="do not start the background pump; drive "
                               "drains via POST /v1/admin/pump (test hook)")
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="run the adversarial robustness grid (mimicry/drift/gap) and "
+             "write the measured corpus + report",
+    )
+    robustness.add_argument("--programs", nargs="+", choices=ALL_PROGRAMS,
+                            default=["gzip"], metavar="PROGRAM",
+                            help="programs to attack (default: gzip)")
+    robustness.add_argument("--models", nargs="+", choices=MODEL_NAMES,
+                            default=list(MODEL_NAMES), metavar="MODEL",
+                            help=f"detector variants (default: all of "
+                                 f"{', '.join(MODEL_NAMES)})")
+    robustness.add_argument("--attacks", nargs="+", choices=ATTACK_FAMILIES,
+                            default=list(ATTACK_FAMILIES), metavar="ATTACK",
+                            help=f"attack families (default: all of "
+                                 f"{', '.join(ATTACK_FAMILIES)})")
+    robustness.add_argument("--severities", nargs="+", type=int,
+                            default=list(DEFAULT_SEVERITIES), metavar="N",
+                            help="severity ladder (default: "
+                                 f"{' '.join(map(str, DEFAULT_SEVERITIES))})")
+    robustness.add_argument("--kind", type=_kind, default=CallKind.SYSCALL)
+    robustness.add_argument("--seed", type=int, default=0,
+                            help="grid seed; every cell derives its own "
+                                 "stream from it (default: 0)")
+    robustness.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                            default=True,
+                            help="load finished cells from --cache-dir "
+                                 "instead of recomputing (default: on; "
+                                 "--no-resume forces a full recompute)")
+    robustness.add_argument("--corpus-out", type=Path, default=None,
+                            metavar="PATH",
+                            help="write the versioned measured-corpus JSON "
+                                 "to PATH")
+    robustness.add_argument("--report-out", type=Path, default=None,
+                            metavar="PATH",
+                            help="write the markdown report (bootstrap CIs "
+                                 "per cell) to PATH")
 
     report = sub.add_parser(
         "report", help="fast end-to-end summary of every experiment family"
@@ -601,6 +642,60 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from .robustness import RobustnessConfig, open_robustness_grid
+    from .robustness.corpus import write_corpus
+
+    executor, cache = runtime_from_args(args)
+    grid = open_robustness_grid(
+        args.programs,
+        models=args.models,
+        attacks=args.attacks,
+        severities=args.severities,
+        config=RobustnessConfig(kind=args.kind.value),
+        seed=args.seed,
+        executor=executor,
+        cache=cache,
+    )
+    if args.resume and cache is not None:
+        cached = grid.cells_cached()
+        if cached:
+            print(f"resuming: {cached}/{grid.n_cells} cells cached "
+                  f"in {cache.root}", flush=True)
+    result = grid.run(resume=args.resume)
+    corpus = grid.corpus()
+
+    rows = [
+        [
+            row["attack"],
+            row["model"],
+            f"{row['detection']['estimate']:.2f} "
+            f"[{row['detection']['low']:.2f}, {row['detection']['high']:.2f}]",
+            f"{row['baseline_detection']['estimate']:.2f}",
+            row["n_instances"],
+        ]
+        for row in corpus["summary"]["pooled"]
+    ]
+    print(render_table(
+        ["attack", "model", "detection (95% CI)", "baseline", "instances"],
+        rows,
+        title=f"robustness grid — {result.computed} computed, "
+              f"{result.resumed} resumed, {result.elapsed_s:.1f}s",
+    ))
+    claims = corpus["summary"]["claims"]
+    print(f"mimicry lowers detection: {claims['mimicry_lowers_detection']}")
+    print(f"regular-context >= regular-basic under attack: "
+          f"{claims['regular_context_ge_basic']}")
+    if args.corpus_out is not None:
+        path = write_corpus(corpus, args.corpus_out)
+        print(f"corpus -> {path}")
+    if args.report_out is not None:
+        args.report_out.parent.mkdir(parents=True, exist_ok=True)
+        args.report_out.write_text(grid.report())
+        print(f"report -> {args.report_out}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     executor, cache = runtime_from_args(args)
     if args.markdown is not None:
@@ -708,6 +803,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "gateway":
         return _cmd_gateway(args)
+    if args.command == "robustness":
+        return _cmd_robustness(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "demo":

@@ -191,6 +191,17 @@ class OnlineMonitor:
             raise NotFittedError("OnlineMonitor requires a fitted detector")
         self.detector = detector
 
+    def break_window(self) -> None:
+        """Discard the sliding window at a stream discontinuity.
+
+        A window spanning a trace gap never occurred in the monitored
+        process — scoring it would fabricate transitions — so the monitor
+        restarts window accumulation at the next symbol.  Cooldown, stats,
+        and windows already emitted for scoring are untouched: they
+        describe the contiguous stream before the gap.
+        """
+        self._window.clear()
+
     def reset(self) -> None:
         """Clear the window and cooldown (e.g. on process restart)."""
         self._window.clear()

@@ -6,12 +6,15 @@ from .reporting import ReportSpec, build_report, write_report
 from .stats import ConfidenceInterval, SignTestResult, bootstrap_ci, paired_sign_test
 from .runners import (
     AccuracyComparison,
+    AccuracyGridConfig,
     ClusteringRow,
     ExploitOutcome,
     ExploitStudy,
     ModelAccuracy,
     ProgramData,
     RuntimeRow,
+    accuracy_comparisons,
+    accuracy_grid,
     prepare_program,
     run_accuracy_comparison,
     run_accuracy_grid,
@@ -26,6 +29,7 @@ from .tables import format_factor, format_rate, render_table
 __all__ = [
     "FAST_CONFIG",
     "AccuracyComparison",
+    "AccuracyGridConfig",
     "ClusteringRow",
     "ExperimentConfig",
     "ExploitOutcome",
@@ -35,6 +39,8 @@ __all__ = [
     "RuntimeRow",
     "ConfidenceInterval",
     "SignTestResult",
+    "accuracy_comparisons",
+    "accuracy_grid",
     "ascii_curve",
     "ReportSpec",
     "bootstrap_ci",

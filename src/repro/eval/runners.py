@@ -8,8 +8,9 @@ results the benchmarks render next to the paper's numbers.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-
+from typing import Mapping, Sequence
 
 from .. import telemetry
 from ..analysis.labels import build_label_space
@@ -26,7 +27,7 @@ from ..core.crossval import CrossValidationResult, cross_validate
 from ..core.metrics import CurvePoint, curve
 from ..core.registry import MODEL_NAMES, detector_spec, model_is_context_sensitive
 from ..core.thresholds import threshold_for_fp_budget
-from ..errors import EvaluationError
+from ..errors import EvaluationError, ReproDeprecationWarning
 from ..gadgets.context_filter import GadgetSurface, gadget_surface
 from ..gadgets.scanner import count_by_length, scan_gadgets
 from ..hmm.baumwelch import TrainingConfig, train
@@ -41,6 +42,7 @@ from ..program.program import Program
 from ..reduction.cluster import cluster_calls
 from ..runtime.cache import ArtifactCache
 from ..runtime.executor import ParallelExecutor
+from ..runtime.grid import GridAxis, GridResult, GridSpec, run_grid
 from ..reduction.initializer import initialize_hmm
 from ..tracing.segments import SegmentSet, build_segment_set, segment_symbols
 from ..tracing.workload import CoverageReport, WorkloadResult, run_workload
@@ -279,6 +281,87 @@ def run_accuracy_comparison(
     return comparison
 
 
+@dataclass(frozen=True)
+class AccuracyGridConfig:
+    """Per-grid configuration for the accuracy panel's cells.
+
+    ``models`` rides along (despite also being an axis) because each
+    model's detector seed offset is its position in the compared tuple —
+    the legacy ``run_accuracy_grid`` convention, preserved so grid cells
+    are bit-identical to the pre-grid code path.
+    """
+
+    kind: CallKind
+    experiment: ExperimentConfig
+    models: tuple[str, ...]
+
+
+def _accuracy_grid_cell(
+    point: Mapping[str, object],
+    config: AccuracyGridConfig,
+    seed: int,
+    cache: ArtifactCache | None,
+) -> ModelAccuracy:
+    """One (program, model) cell under the unified grid contract.
+
+    The derived grid ``seed`` is deliberately unused: accuracy cells seed
+    from ``config.experiment`` exactly like the legacy runner, so numbers
+    match historical panels bit-for-bit (the grid seed still participates
+    in the cache key, keeping differently-seeded grids distinct).
+    """
+    model_name = str(point["model"])
+    return _accuracy_cell_task(
+        str(point["program"]),
+        config.kind,
+        model_name,
+        config.models.index(model_name),
+        config.experiment,
+        cache,
+    )
+
+
+def accuracy_grid(
+    program_names: Sequence[str],
+    kind: CallKind,
+    config: ExperimentConfig | None = None,
+    models: tuple[str, ...] = MODEL_NAMES,
+) -> GridSpec:
+    """The Figures 2-5 accuracy panel as a :class:`~repro.runtime.GridSpec`.
+
+    Run it with :func:`repro.api.run_grid` — the same surface as the
+    robustness grid — then shape the cells with
+    :func:`accuracy_comparisons`.  With a cache the panel is resumable
+    per cell, exactly like every other grid.
+    """
+    experiment = config or ExperimentConfig()
+    return GridSpec(
+        name="accuracy",
+        axes=(
+            GridAxis("program", tuple(program_names)),
+            GridAxis("model", tuple(models)),
+        ),
+        cell=_accuracy_grid_cell,
+        config=AccuracyGridConfig(
+            kind=CallKind(kind), experiment=experiment, models=tuple(models)
+        ),
+        seed=experiment.seed,
+        version=1,
+    )
+
+
+def accuracy_comparisons(result: GridResult) -> dict[str, AccuracyComparison]:
+    """Shape an accuracy grid's cells into per-program comparisons."""
+    comparisons: dict[str, AccuracyComparison] = {}
+    kind = result.spec.config.kind
+    for point, accuracy in result:
+        comparison = comparisons.setdefault(
+            point["program"],
+            AccuracyComparison(program=accuracy.program, kind=kind),
+        )
+        comparison.results[point["model"]] = accuracy
+    return comparisons
+
+
 def run_accuracy_grid(
     program_names: tuple[str, ...],
     kind: CallKind,
@@ -287,39 +370,28 @@ def run_accuracy_grid(
     executor: ParallelExecutor | None = None,
     cache: ArtifactCache | None = None,
 ) -> dict[str, AccuracyComparison]:
-    """Run the model comparison over many programs (a Figures 2-5 panel).
+    """Deprecated wrapper around :func:`accuracy_grid` + ``run_grid``.
 
-    The (program × model) cells are independent, so the whole grid fans
-    out through ``executor`` at once — the widest parallelism the
-    evaluation offers — while ``cache`` deduplicates training across
-    repeated runs.  Serial and parallel runs produce identical numbers.
+    .. deprecated:: 1.2
+        Build the spec with :func:`repro.api.accuracy_grid` and run it
+        with :func:`repro.api.run_grid`; shape the result with
+        :func:`accuracy_comparisons`.
     """
-    config = config or ExperimentConfig()
-    executor = executor or ParallelExecutor(jobs=1)
-    tasks = [
-        (name, kind, model_name, offset, config, cache)
-        for name in program_names
-        for offset, model_name in enumerate(models)
-    ]
-    if executor.is_parallel and len(program_names) < executor.jobs:
-        # Fewer programs than workers: fan out individual cells.
-        cells = executor.starmap(_accuracy_cell_task, tasks)
-    else:
-        # One task per program (serial fallback included): each prepares
-        # its workload once and runs the model cells against it.
-        grouped = executor.starmap(
-            _program_cells_task,
-            [(name, kind, models, config, cache) for name in program_names],
-        )
-        cells = [cell for group in grouped for cell in group]
-    _merge_cell_cache_stats(cache, executor, cells)
-    comparisons: dict[str, AccuracyComparison] = {}
-    for (name, _, model_name, _, _, _), accuracy in zip(tasks, cells):
-        comparison = comparisons.setdefault(
-            name, AccuracyComparison(program=accuracy.program, kind=kind)
-        )
-        comparison.results[model_name] = accuracy
-    return comparisons
+    warnings.warn(
+        "run_accuracy_grid() is deprecated; use repro.api.run_grid("
+        "repro.api.accuracy_grid(...)) and accuracy_comparisons()",
+        ReproDeprecationWarning,
+        stacklevel=2,
+    )
+    result = run_grid(
+        accuracy_grid(program_names, kind, config=config, models=models),
+        executor=executor,
+        cache=cache,
+    )
+    _merge_cell_cache_stats(
+        cache, executor or ParallelExecutor(jobs=1), list(result.cells)
+    )
+    return accuracy_comparisons(result)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,80 @@
+"""Adversarial robustness harness: attack the detectors the paper only
+defended.
+
+The paper (DSN 2016) evaluates its context-sensitive HMM detectors on
+benign traffic and its own exploit payloads.  This package turns that
+one-sided evaluation into a standing benchmark: first-class **attack
+families** (mimicry search against the trained model, workload drift with
+a retraining cadence, trace-gap corruption through the live service) run
+over a resumable **measurement grid** of programs × detector variants ×
+attacks × severities, exporting a versioned **measured corpus** with
+bootstrap confidence intervals per cell.
+
+Typical use, via the facade::
+
+    from repro import api
+
+    study = api.open_robustness_grid(["gzip"], cache=cache)
+    result = study.run()            # or .run(resume=True) after a crash
+    corpus = study.corpus()
+    print(study.report())
+
+or on the CLI: ``python -m repro robustness --programs gzip --resume``.
+
+Grid cells are pure functions of (config, point, derived seed): a run
+killed mid-grid resumes from its artifact cache bit-identically, and the
+corpus' ``cells``/``summary`` blocks are byte-stable across resumes (CI
+enforces this with a kill-and-resume check).
+"""
+
+from .attacks import (
+    ATTACK_FAMILIES,
+    AttackContext,
+    AttackRunResult,
+    DriftFamily,
+    GapFamily,
+    MimicryFamily,
+    MimicryProfile,
+    attack_family,
+    craft_mimicry_stream,
+)
+from .corpus import (
+    CORPUS_FORMAT,
+    CORPUS_VERSION,
+    build_corpus,
+    load_corpus,
+    render_report,
+    write_corpus,
+)
+from .grid import (
+    DEFAULT_SEVERITIES,
+    RobustnessCell,
+    RobustnessConfig,
+    RobustnessGrid,
+    open_robustness_grid,
+    robustness_grid,
+)
+
+__all__ = [
+    "ATTACK_FAMILIES",
+    "AttackContext",
+    "AttackRunResult",
+    "CORPUS_FORMAT",
+    "CORPUS_VERSION",
+    "DEFAULT_SEVERITIES",
+    "DriftFamily",
+    "GapFamily",
+    "MimicryFamily",
+    "MimicryProfile",
+    "RobustnessCell",
+    "RobustnessConfig",
+    "RobustnessGrid",
+    "attack_family",
+    "build_corpus",
+    "craft_mimicry_stream",
+    "load_corpus",
+    "open_robustness_grid",
+    "render_report",
+    "robustness_grid",
+    "write_corpus",
+]

@@ -1,0 +1,346 @@
+"""The robustness measurement grid: programs × models × attacks × severities.
+
+One cell = one trained detector at one operating point, attacked by one
+family at one severity.  Cells are pure functions of
+``(RobustnessConfig, point, derived seed)`` and run through the generic
+:mod:`repro.runtime.grid` machinery, which buys fan-out on
+:class:`~repro.runtime.ParallelExecutor`, per-cell content-addressed
+resume through :class:`~repro.runtime.ArtifactCache` (kill -9 mid-grid,
+rerun with ``resume=True``, get bit-identical results), and a shared
+``GridResult`` surface with the accuracy grid.
+
+Within a (program, model) column every attack × severity cell derives the
+same train/holdout split and detector recipe, so the trained HMM is
+shared across cells through the cache's model store
+(:func:`~repro.core.crossval.trained_model_key`) — the grid trains
+``programs × models`` models, not ``programs × models × attacks ×
+severities``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from .. import telemetry
+from ..core.crossval import trained_model_key
+from ..core.registry import MODEL_NAMES, detector_spec, model_is_context_sensitive
+from ..core.thresholds import threshold_for_fp_budget
+from ..errors import EvaluationError
+from ..eval.experiments import FAST_CONFIG, ExperimentConfig
+from ..eval.runners import prepare_program
+from ..program.calls import CallKind
+from ..runtime import ArtifactCache, GridAxis, GridSpec, ParallelExecutor
+from ..runtime.grid import GridResult, run_grid
+from .attacks import ATTACK_FAMILIES, AttackContext, AttackRunResult, attack_family
+
+__all__ = [
+    "DEFAULT_SEVERITIES",
+    "RobustnessCell",
+    "RobustnessConfig",
+    "RobustnessGrid",
+    "open_robustness_grid",
+    "robustness_grid",
+]
+
+#: Default severity ladder (each family maps steps onto its own knob).
+DEFAULT_SEVERITIES: tuple[int, ...] = (1, 2, 3)
+
+
+@dataclass(frozen=True)
+class RobustnessConfig:
+    """Everything a robustness cell needs beyond its grid point.
+
+    Hashed whole into each cell's cache key — change a knob and every
+    affected cell recomputes instead of resuming stale artifacts.
+
+    Attributes:
+        experiment: workload/training scale (defaults to the fast
+            profile; use :data:`repro.eval.experiments.DEFAULT_CONFIG`
+            for paper-scale studies).
+        kind: call kind the detectors observe (``syscall``/``libcall``).
+        fp_budget: false-positive budget the operating threshold is
+            derived at on held-out normal traffic.
+        train_fraction: normal-segment share used for training; the rest
+            is the threshold/benign holdout.
+        mimicry_instances / beam_width / pool_size: mimicry family knobs.
+        drift_epochs / retrain_every: drift family knobs.
+        gap_instances: gap family streams per severity.
+    """
+
+    experiment: ExperimentConfig = field(default_factory=lambda: FAST_CONFIG)
+    kind: str = CallKind.SYSCALL.value
+    fp_budget: float = 0.02
+    train_fraction: float = 0.7
+    mimicry_instances: int = 6
+    beam_width: int = 8
+    pool_size: int = 24
+    drift_epochs: int = 4
+    retrain_every: int = 2
+    gap_instances: int = 8
+
+
+@dataclass(frozen=True)
+class RobustnessCell:
+    """One cell's measurements — deliberately free of wall-clock fields.
+
+    Resume correctness is checked by comparing resumed cells byte-for-byte
+    against freshly computed ones, so nothing volatile (timings,
+    hostnames, cache paths) may live here; timing belongs to the run, not
+    the cell (see ``GridResult.elapsed_s`` / the corpus ``meta`` block).
+    """
+
+    program: str
+    model: str
+    attack: str
+    severity: int
+    threshold: float
+    n_train_segments: int
+    result: AttackRunResult
+
+    @property
+    def detection_rate(self) -> float:
+        return self.result.detection_rate
+
+    @property
+    def baseline_detection_rate(self) -> float:
+        return self.result.baseline_detection_rate
+
+    @property
+    def false_alarm_rate(self) -> float:
+        return self.result.false_alarm_rate
+
+
+def _family_for(attack: str, config: RobustnessConfig):
+    if attack == "mimicry":
+        return attack_family(
+            "mimicry",
+            n_instances=config.mimicry_instances,
+            beam_width=config.beam_width,
+            pool_size=config.pool_size,
+        )
+    if attack == "drift":
+        return attack_family(
+            "drift",
+            epochs=config.drift_epochs,
+            retrain_every=config.retrain_every,
+        )
+    if attack == "gap":
+        return attack_family("gap", n_instances=config.gap_instances)
+    return attack_family(attack)
+
+
+def _robustness_cell(
+    point: Mapping[str, Any],
+    config: RobustnessConfig,
+    seed: int,
+    cache: ArtifactCache | None,
+) -> RobustnessCell:
+    """Train (or cache-load) the cell's detector, derive its operating
+    threshold, and run the cell's attack family against it.
+
+    The module-level signature is the :class:`~repro.runtime.GridSpec`
+    cell contract — this function crosses process boundaries.
+    """
+    program_name = point["program"]
+    model_name = point["model"]
+    attack = point["attack"]
+    severity = int(point["severity"])
+    experiment = config.experiment
+    kind = CallKind(config.kind)
+    context = model_is_context_sensitive(model_name)
+
+    with telemetry.span(
+        "robustness.cell", program=program_name, model=model_name, attack=attack
+    ):
+        data = prepare_program(program_name, experiment)
+        segments = data.segment_set(kind, context, experiment.segment_length)
+        if segments.n_unique < 8:
+            raise EvaluationError(
+                f"{program_name}/{kind.value}: too few segments "
+                f"({segments.n_unique}) for a robustness cell"
+            )
+        # The split depends only on (program, model, config) — every
+        # attack × severity cell of this column trains the same model.
+        train_part, holdout_part = segments.split(
+            [config.train_fraction, 1.0 - config.train_fraction],
+            seed=experiment.seed,
+        )
+        factory = detector_spec(
+            model_name,
+            data.program,
+            kind,
+            config=experiment.detector_config(
+                seed_offset=MODEL_NAMES.index(model_name)
+                if model_name in MODEL_NAMES
+                else 0
+            ),
+            cluster_policy=experiment.cluster_policy(),
+        )
+        detector = factory()
+        key = (
+            trained_model_key(factory, train_part) if cache is not None else None
+        )
+        cached_model = cache.get_model(key) if cache is not None and key else None
+        if cached_model is not None:
+            detector.load_pretrained(cached_model)
+        else:
+            detector.fit(train_part)
+            if cache is not None and key is not None:
+                cache.put_model(key, detector.model)
+
+        holdout = holdout_part.segments()
+        threshold = threshold_for_fp_budget(
+            detector.score(holdout), config.fp_budget
+        )
+
+        carrier = []
+        if data.workload.traces:
+            carrier = list(data.workload.traces[0].symbols(kind, context))
+        # Rarest-first bare call names: mimicry payload material (the
+        # calls a normal run barely touches are the ones worth hijacking).
+        from collections import Counter
+
+        name_counts: Counter[str] = Counter()
+        for segment in holdout:
+            name_counts.update(s.split("@", 1)[0] for s in segment)
+        for name in (s.split("@", 1)[0] for s in segments.alphabet()):
+            name_counts.setdefault(name, 0)
+        bare_names = [
+            name
+            for name, _ in sorted(
+                name_counts.items(), key=lambda item: (item[1], item[0])
+            )
+        ]
+        ctx = AttackContext(
+            detector=detector,
+            factory=factory,
+            threshold=threshold,
+            context=context,
+            window=experiment.segment_length,
+            train_segments=train_part,
+            normal_segments=holdout,
+            carrier_symbols=carrier,
+            bare_names=bare_names,
+            fp_budget=config.fp_budget,
+        )
+        family = _family_for(attack, config)
+        result = family.run(ctx, severity, seed)
+
+    return RobustnessCell(
+        program=program_name,
+        model=model_name,
+        attack=attack,
+        severity=severity,
+        threshold=float(threshold),
+        n_train_segments=train_part.n_unique,
+        result=result,
+    )
+
+
+def robustness_grid(
+    programs: Sequence[str],
+    models: Sequence[str] = MODEL_NAMES,
+    attacks: Sequence[str] = ATTACK_FAMILIES,
+    severities: Sequence[int] = DEFAULT_SEVERITIES,
+    config: RobustnessConfig | None = None,
+    seed: int = 0,
+) -> GridSpec:
+    """The adversarial grid as a :class:`~repro.runtime.GridSpec`.
+
+    Run it with :func:`repro.api.run_grid` (or the ``repro robustness``
+    CLI); feed the result to :func:`repro.robustness.build_corpus`.
+    """
+    for model in models:
+        model_is_context_sensitive(model)  # validates the name
+    for attack in attacks:
+        if attack not in ATTACK_FAMILIES:
+            raise EvaluationError(
+                f"unknown attack family {attack!r}; choose from {ATTACK_FAMILIES}"
+            )
+    return GridSpec(
+        name="robustness",
+        axes=(
+            GridAxis("program", tuple(programs)),
+            GridAxis("model", tuple(models)),
+            GridAxis("attack", tuple(attacks)),
+            GridAxis("severity", tuple(int(s) for s in severities)),
+        ),
+        cell=_robustness_cell,
+        config=config or RobustnessConfig(),
+        seed=seed,
+        version=1,
+    )
+
+
+@dataclass
+class RobustnessGrid:
+    """A held-open robustness study: spec + runtime, run/resume on demand.
+
+    The facade handle behind :func:`repro.api.open_robustness_grid`,
+    mirroring ``open_service``/``open_gateway``: construction is cheap and
+    does no work; :meth:`run` executes (or resumes) the grid and
+    :meth:`corpus`/:meth:`report` derive the artifacts from the last run.
+    """
+
+    spec: GridSpec
+    executor: ParallelExecutor | None = None
+    cache: ArtifactCache | None = None
+    _last: GridResult | None = field(default=None, repr=False)
+
+    @property
+    def n_cells(self) -> int:
+        return self.spec.n_cells
+
+    def cells_cached(self) -> int:
+        """How many cells a resumed run would load instead of compute."""
+        from ..runtime.grid import grid_cells_cached
+
+        if self.cache is None:
+            return 0
+        return grid_cells_cached(self.spec, self.cache)
+
+    def run(self, resume: bool = True) -> GridResult:
+        self._last = run_grid(
+            self.spec, executor=self.executor, cache=self.cache, resume=resume
+        )
+        return self._last
+
+    def corpus(self) -> dict:
+        """The versioned measured-corpus artifact for the last run."""
+        from .corpus import build_corpus
+
+        if self._last is None:
+            self.run()
+        return build_corpus(self._last)
+
+    def report(self) -> str:
+        """Markdown report (bootstrap CIs per cell) for the last run."""
+        from .corpus import render_report
+
+        return render_report(self.corpus())
+
+
+def open_robustness_grid(
+    programs: Sequence[str],
+    models: Sequence[str] = MODEL_NAMES,
+    attacks: Sequence[str] = ATTACK_FAMILIES,
+    severities: Sequence[int] = DEFAULT_SEVERITIES,
+    config: RobustnessConfig | None = None,
+    seed: int = 0,
+    executor: ParallelExecutor | None = None,
+    cache: ArtifactCache | None = None,
+) -> RobustnessGrid:
+    """Open a robustness study handle (see :class:`RobustnessGrid`)."""
+    return RobustnessGrid(
+        spec=robustness_grid(
+            programs,
+            models=models,
+            attacks=attacks,
+            severities=severities,
+            config=config,
+            seed=seed,
+        ),
+        executor=executor,
+        cache=cache,
+    )

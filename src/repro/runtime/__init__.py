@@ -28,11 +28,15 @@ from .cache import (
     stable_hash,
 )
 from .executor import ParallelExecutor, clamp_jobs, default_jobs
+from .grid import GridAxis, GridResult, GridSpec, run_grid
 from .registry import ModelRegistry, ModelVersion, RegistryError
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "GridAxis",
+    "GridResult",
+    "GridSpec",
     "ModelRegistry",
     "ModelVersion",
     "ParallelExecutor",
@@ -41,5 +45,6 @@ __all__ = [
     "default_jobs",
     "derive_seed",
     "program_fingerprint",
+    "run_grid",
     "stable_hash",
 ]

@@ -284,6 +284,36 @@ class DetectionService:
         with self._lock:
             return self._sessions.pop((detector, session_id), None) is not None
 
+    def note_gap(self, detector: str, session_id: str, count: int = 1) -> None:
+        """Report ``count`` lost symbols on an open monitor/stream session.
+
+        Admission-control sheds mark gaps internally; this is the same
+        path for losses the *collector* knows about — a dropped audit
+        buffer, lossy transport, or (in the robustness harness) an
+        attacker suppressing events.  Every subsequent outcome on the
+        session carries ``gap=True``, so downstream consumers can tell a
+        verdict over a discontinuous stream from a clean one.
+        """
+        if count < 1:
+            raise ServiceError("note_gap count must be >= 1")
+        lane = self._lane(detector)
+        with self._lock:
+            session = self._sessions.get((detector, session_id))
+            if session is None or session.mode is SessionMode.WINDOW:
+                raise ServiceError(
+                    f"session {session_id!r} on {detector!r} is not an open "
+                    "monitor/stream session; gaps apply to symbol streams"
+                )
+            # Order barrier: symbols submitted before the gap are still
+            # queued; drain them into the session first so the gap lands
+            # at its true position in the stream (same barrier as
+            # swap_detector).
+            while lane.queue:
+                self._scheduler.drain(lane, self.stats)
+            for _ in range(count):
+                session.note_gap()
+            telemetry.counter_add("service.gaps.reported", count)
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------

@@ -83,9 +83,20 @@ class Session:
         )
 
     def note_gap(self) -> None:
-        """Record one shed symbol (no-op for stateless window sessions)."""
-        if self.mode is not SessionMode.WINDOW:
-            self.gaps += 1
+        """Record one lost symbol (no-op for stateless window sessions).
+
+        Besides marking every later outcome ``gap=True``, a monitor
+        session discards its sliding window: a window spanning the gap
+        never occurred in the monitored process, so scoring it would
+        fabricate transitions (:meth:`OnlineMonitor.break_window`).
+        Stream sessions keep their forward filter — it marginalizes over
+        the unobserved symbols instead of inventing adjacency.
+        """
+        if self.mode is SessionMode.WINDOW:
+            return
+        self.gaps += 1
+        if self.monitor is not None:
+            self.monitor.break_window()
 
     def swap_detector(self, detector: Detector) -> None:
         """Rebind this session's sticky state to a warm-swapped detector.
