@@ -53,6 +53,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from common import (  # noqa: E402
     bench_host_metadata,
     bench_output_path,
+    best_of,
     print_block,
     shape_line,
 )
@@ -232,16 +233,6 @@ def _reference_em_step(model, obs, weights, config):
 # ---------------------------------------------------------------------------
 
 
-def _best_of(reps, fn):
-    """Minimum wall-clock across repetitions (noise-robust on busy CI)."""
-    best = float("inf")
-    for _ in range(reps):
-        started = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - started)
-    return best
-
-
 def _make_training_batch(rng):
     return rng.integers(0, N_SYMBOLS, size=(BATCH, LENGTH))
 
@@ -303,14 +294,14 @@ def run(smoke: bool, out_path: Path) -> int:
             em_forward(current, ws)
 
     run_fused_em()  # warm-up (allocators, BLAS threads)
-    legacy_em_s = _best_of(reps, run_legacy_em)
-    fused_em_s = _best_of(reps, run_fused_em)
+    legacy_em_s = best_of(reps, run_legacy_em)
+    fused_em_s = best_of(reps, run_fused_em)
     em_speedup = legacy_em_s / fused_em_s
 
     # -- duplicate-aware scoring throughput.
     score_reps = 3 if smoke else 7
-    legacy_score_s = _best_of(score_reps, lambda: _legacy_log_likelihood(model, windows))
-    dedup_score_s = _best_of(score_reps, lambda: log_likelihood_unique(model, windows))
+    legacy_score_s = best_of(score_reps, lambda: _legacy_log_likelihood(model, windows))
+    dedup_score_s = best_of(score_reps, lambda: log_likelihood_unique(model, windows))
     scoring_speedup = legacy_score_s / dedup_score_s
 
     payload = {

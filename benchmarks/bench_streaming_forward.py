@@ -60,6 +60,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from common import (  # noqa: E402
     bench_host_metadata,
     bench_output_path,
+    best_of,
     print_block,
     shape_line,
 )
@@ -75,16 +76,6 @@ WINDOWS_PER_DETECTOR = 32
 
 STREAMING_TARGET = 5.0
 FLEET_TARGET = 3.0
-
-
-def _best_of(reps, fn):
-    """Minimum wall-clock across repetitions (noise-robust on busy CI)."""
-    best = float("inf")
-    for _ in range(reps):
-        started = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - started)
-    return best
 
 
 # ---------------------------------------------------------------------------
@@ -269,14 +260,14 @@ def run(smoke: bool, out_path: Path) -> int:
     )
 
     # -- per-event throughput: windowed recompute vs incremental filter.
-    recompute_s = _best_of(reps, lambda: _recompute_per_event(model, stream, WINDOW))
+    recompute_s = best_of(reps, lambda: _recompute_per_event(model, stream, WINDOW))
 
     def run_incremental():
         scorer = StreamingScorer(model, window=WINDOW, incremental=True)
         _incremental_per_event(scorer, stream)
 
     run_incremental()  # warm-up (allocators, BLAS threads)
-    incremental_s = _best_of(reps, run_incremental)
+    incremental_s = best_of(reps, run_incremental)
     streaming_speedup = recompute_s / incremental_s
 
     # -- fleet-drain throughput, drain phase only (see _timed_drain).

@@ -15,9 +15,15 @@ Scale up toward paper size with ``REPRO_SCALE=2 pytest benchmarks/ ...``.
 
 from __future__ import annotations
 
+import ctypes
 import os
 import platform
+import time
 from pathlib import Path
+
+# First import on purpose: pins BLAS/OpenMP threading (env + runtime) so
+# every bench in the suite measures single-threaded kernels.
+import bench_threads
 
 from repro.core import MODEL_NAMES
 from repro.eval import (
@@ -38,6 +44,7 @@ __all__ = [
     "bench_executor",
     "bench_host_metadata",
     "bench_output_path",
+    "best_of",
     "print_block",
     "render_comparisons",
     "shape_line",
@@ -63,6 +70,76 @@ def bench_output_path(filename: str) -> Path:
     return root / filename
 
 
+def best_of(reps: int, fn) -> float:
+    """Minimum wall-clock of ``fn()`` across ``reps`` repetitions.
+
+    The suite-wide timing helper (noise-robust on busy CI runners): the
+    minimum is the least-contended observation of the same deterministic
+    work, which is the quantity the committed baselines deflate.
+    """
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _blas_metadata() -> dict:
+    """What BLAS this process is actually running — vendor and threading.
+
+    Build-time vendor/version comes from ``numpy.show_config``; runtime
+    thread count and kernel target come from the loaded OpenBLAS itself
+    (the two can disagree — that disagreement is exactly what this field
+    exists to surface).  Best-effort on every probe: a field we cannot
+    determine is simply absent, never a crashed bench.
+    """
+    info: dict = {}
+    try:
+        import numpy as np
+
+        config = np.show_config(mode="dicts") or {}
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        if blas.get("name"):
+            info["vendor"] = blas["name"]
+        if blas.get("version"):
+            info["version"] = blas["version"]
+    except Exception:  # pragma: no cover - very old numpy
+        pass
+    lib = bench_threads.find_openblas()
+    if lib is not None:
+        probes = (
+            ("get_num_threads", ctypes.c_int, "threads"),
+            ("get_corename", ctypes.c_char_p, "corename"),
+        )
+        for name, restype, key in probes:
+            for prefix in ("openblas_", "scipy_openblas_"):
+                for suffix in ("", "64_"):
+                    fn = getattr(lib, f"{prefix}{name}{suffix}", None)
+                    if fn is None:
+                        continue
+                    fn.restype = restype
+                    fn.argtypes = []
+                    try:
+                        value = fn()
+                    except Exception:  # pragma: no cover - defensive
+                        break
+                    if isinstance(value, bytes):
+                        value = value.decode("ascii", "replace")
+                    else:
+                        value = int(value)
+                    info[key] = value
+                    break
+                else:
+                    continue
+                break
+    info["runtime_pin"] = bench_threads.RUNTIME_PIN_SYMBOL
+    info["env"] = {
+        var: os.environ.get(var) for var in bench_threads.PINNED_ENV_VARS
+    }
+    return info
+
+
 def bench_host_metadata() -> dict:
     """Where this bench ran — embedded in every ``BENCH_*.json``.
 
@@ -70,7 +147,10 @@ def bench_host_metadata() -> dict:
     they were measured on (a "parallel speedup" recorded on a 1-CPU runner
     is oversubscription noise, not signal), so every emitter stamps its
     payload with the host shape and the regression gate can refuse to
-    compare apples to oranges.
+    compare apples to oranges.  The ``blas`` block pins down the other
+    half of kernel-speedup interpretability: which BLAS, which kernel
+    target, and how many threads it actually ran with (the suite pins
+    one — see :mod:`bench_threads`).
     """
     try:
         cpus_usable = len(os.sched_getaffinity(0))
@@ -83,6 +163,7 @@ def bench_host_metadata() -> dict:
         "machine": platform.machine(),
         "python": platform.python_version(),
         "hostname": platform.node(),
+        "blas": _blas_metadata(),
     }
 
 

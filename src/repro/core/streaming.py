@@ -38,6 +38,7 @@ import numpy as np
 
 from .. import telemetry
 from ..errors import ModelError
+from ..hmm import backends
 from ..hmm.forward import SCALE_FLOOR
 from ..hmm.kernels import (
     StreamingState,
@@ -45,6 +46,7 @@ from ..hmm.kernels import (
     streaming_recent,
     streaming_reset,
     streaming_step,
+    streaming_step_with,
 )
 from ..hmm.model import HiddenMarkovModel
 
@@ -79,6 +81,16 @@ class StreamingScorer:
             ``False`` runs the verbatim legacy filter — bit-identical,
             just slower; it exists as the oracle the fast path is gated
             against.
+        kernel_backend: named kernel backend
+            (:mod:`repro.hmm.backends`) the per-event step dispatches
+            through — e.g. ``"compiled"``.  ``None`` (default) follows
+            the ambient selection (an enclosing
+            :func:`~repro.hmm.backends.backend_scope` — the service
+            drain sets one — else the process default).  An explicit
+            name is resolved once here and pinned: a scorer constructed
+            with ``kernel_backend="numpy"`` stays on numpy even inside a
+            compiled scope.  Only meaningful on the incremental path
+            (the legacy filter is the oracle and never dispatches).
     """
 
     def __init__(
@@ -86,11 +98,18 @@ class StreamingScorer:
         model: HiddenMarkovModel,
         window: int = 15,
         incremental: bool | None = None,
+        kernel_backend: str | None = None,
     ) -> None:
         if window <= 0:
             raise ModelError("window must be positive")
         self.model = model
         self.window = window
+        self.kernel_backend = kernel_backend
+        self._backend = (
+            backends.resolve_backend(kernel_backend)
+            if kernel_backend is not None
+            else None
+        )
         self.incremental = (
             _incremental_default() if incremental is None else bool(incremental)
         )
@@ -104,7 +123,9 @@ class StreamingScorer:
             self._started = False
 
     @classmethod
-    def for_detector(cls, detector, window: int = 15) -> "StreamingScorer":
+    def for_detector(
+        cls, detector, window: int = 15, kernel_backend: str | None = None
+    ) -> "StreamingScorer":
         """A scorer over a fitted detector's model.
 
         The detection service opens one scorer per streaming session; this
@@ -117,7 +138,7 @@ class StreamingScorer:
                 f"{getattr(detector, 'name', detector)!r} exposes no HMM; "
                 "streaming sessions need an HMM-backed detector"
             )
-        return cls(model, window=window)
+        return cls(model, window=window, kernel_backend=kernel_backend)
 
     def observe(self, symbol: str) -> float:
         """Consume one symbol; returns its surprise (-log predictive prob).
@@ -135,7 +156,14 @@ class StreamingScorer:
         index = self.model.encode_symbol(symbol)
         state = self._state
         if state is not None:
-            surprise = streaming_step(self.model, state, index)
+            if self.kernel_backend is None:
+                surprise = streaming_step(self.model, state, index)
+            else:
+                # Pinned backend: dispatch through the held instance
+                # (no thread-local scope push/pop per event).
+                surprise = streaming_step_with(
+                    self._backend, self.model, state, index
+                )
             self.events += 1
             if telemetry.enabled():
                 telemetry.counter_add("hmm.forward.incremental.events")

@@ -40,6 +40,17 @@ class EvaluationError(ReproError):
     """An experiment configuration or evaluation input is invalid."""
 
 
+class KernelBackendError(ReproError):
+    """A kernel backend was misnamed, or failed to build/load/verify.
+
+    Raised for *selection* mistakes (unknown backend name) and by
+    :mod:`repro.hmm.backends.compiled` internals when the toolchain,
+    library, or bit-identity probe fails — the registry converts the
+    latter into a warned fallback to the numpy backend, so callers only
+    ever see this for unknown names.
+    """
+
+
 class ServiceError(ReproError):
     """The detection service was misconfigured or misused.
 

@@ -1,0 +1,275 @@
+/* Compiled forward kernels for repro.hmm.backends.compiled.
+ *
+ * Every kernel here is an *operation-for-operation* re-statement of the
+ * numpy hot paths in repro/hmm/kernels.py, written so each output element
+ * is produced by the exact floating-point reduction order the numpy path
+ * uses on the BLAS builds we target:
+ *
+ *   - matmul rows reduce as one sequential fused-multiply-add chain over
+ *     k (OpenBLAS dgemm accumulates each C[i,j] with a sequential FMA
+ *     chain for the operand shapes the scorer issues; starting the chain
+ *     from 0.0 via fma(a, b, 0.0) rounds once, exactly like the leading
+ *     multiply);
+ *   - row sums use numpy's pairwise reduction (8 interleaved
+ *     accumulators, blocks of at most 128, halving split rounded down to
+ *     a multiple of 8);
+ *   - the streaming GEMV follows the SkylakeX dgemv_n column-block
+ *     order: blocks of 4 columns combined as x1*a1, then FMAs of x0, x2,
+ *     x3, block partials added sequentially; a 2-wide tail starts from
+ *     x1*a1, a 1-wide tail FMAs directly into the partial sum.
+ *
+ * None of this is assumed to hold universally: the Python wrapper proves
+ * bit-identity against the numpy implementation per (kernel, n_states)
+ * shape at first use (see CompiledBackend) and falls back to numpy when
+ * the probe fails.  Logs are deliberately NOT taken here — numpy's SIMD
+ * log differs from libm log by 1 ulp on a small fraction of inputs, so
+ * the kernels return raw scale factors and the caller applies np.log.
+ *
+ * Plain C99 + libm; explicit fma() calls keep the contraction behavior
+ * independent of compiler flags.
+ */
+
+#include <math.h>
+#include <stdint.h>
+
+/* Must match CompiledBackend.ABI_VERSION (cache-busting for stale .so). */
+#define REPRO_KERNELS_ABI 1
+
+/* Scale floor, identical to repro.hmm.kernels.SCALE_FLOOR. */
+static const double FLOORV = 1e-300;
+
+/* Rows processed together by the batch scorer; the Python wrapper sizes
+ * the generic-path scratch buffer as 2 * RBLK * n doubles. */
+#define RBLK 8
+
+int64_t repro_abi_version(void) { return REPRO_KERNELS_ABI; }
+
+/* numpy pairwise sum over a contiguous vector (np.add.reduce): 8
+ * interleaved scalar accumulators combined as ((r0+r1)+(r2+r3)) +
+ * ((r4+r5)+(r6+r7)), blocks of at most 128 elements, recursive halving
+ * with the split rounded down to a multiple of 8. */
+static double pairwise_sum(const double *a, int64_t n) {
+    if (n < 8) {
+        double res = 0.0;
+        for (int64_t i = 0; i < n; i++) res += a[i];
+        return res;
+    }
+    if (n <= 128) {
+        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        int64_t i;
+        for (i = 8; i < n - (n % 8); i += 8) {
+            r0 += a[i + 0]; r1 += a[i + 1]; r2 += a[i + 2]; r3 += a[i + 3];
+            r4 += a[i + 4]; r5 += a[i + 5]; r6 += a[i + 6]; r7 += a[i + 7];
+        }
+        double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; i++) res += a[i];
+        return res;
+    }
+    int64_t half = n / 2;
+    half -= half % 8;
+    return pairwise_sum(a, half) + pairwise_sum(a + half, n - half);
+}
+
+/* ------------------------------------------------------------------ */
+/* Tiled scales-only batch scorer (score_sequences).                   */
+/*                                                                     */
+/* Rows are independent in the recursion, so no 512-row padding is     */
+/* needed here: the numpy kernel pads partial tiles purely to pin the  */
+/* BLAS operand shape, while this implementation reproduces the padded */
+/* GEMM's per-element FMA chain directly for every real row.  Rows are */
+/* walked in blocks of RBLK so the alpha@transition update amortizes   */
+/* transition-row loads and keeps RBLK independent FMA chains in       */
+/* flight (the chain per output element stays sequential in k, which   */
+/* is what bit-identity requires).                                     */
+/* ------------------------------------------------------------------ */
+
+/* The inner loops are specialized for common state counts so the
+ * compiler sees compile-time trip counts (runtime-n loops measured ~3x
+ * slower); DEFINE_SCORE stamps one specialization per N. */
+#define DEFINE_SCORE(NAME, N)                                                 \
+static void NAME(const int64_t *obs, int64_t batch, int64_t length,           \
+                 const double *transition, const double *emission_t,          \
+                 const double *initial, double *scales) {                     \
+    double alpha[RBLK][N], prod[RBLK][N];                                     \
+    for (int64_t r0 = 0; r0 < batch; r0 += RBLK) {                            \
+        int64_t rb = batch - r0 < RBLK ? batch - r0 : RBLK;                   \
+        for (int64_t r = 0; r < rb; r++) {                                    \
+            const int64_t *row = obs + (r0 + r) * length;                     \
+            const double *erow = emission_t + row[0] * N;                     \
+            for (int64_t j = 0; j < N; j++) alpha[r][j] = initial[j] * erow[j]; \
+            double norm = pairwise_sum(alpha[r], N);                          \
+            norm = norm < FLOORV ? FLOORV : norm; /* np.maximum */            \
+            scales[(r0 + r) * length] = norm;                                 \
+            for (int64_t j = 0; j < N; j++) alpha[r][j] /= norm;              \
+        }                                                                     \
+        for (int64_t t = 1; t < length; t++) {                                \
+            for (int64_t r = 0; r < rb; r++)                                  \
+                for (int64_t j = 0; j < N; j++) prod[r][j] = 0.0;             \
+            for (int64_t k = 0; k < N; k++) {                                 \
+                const double *trow = transition + k * N;                      \
+                for (int64_t r = 0; r < rb; r++) {                            \
+                    double ak = alpha[r][k];                                  \
+                    for (int64_t j = 0; j < N; j++)                           \
+                        prod[r][j] = fma(ak, trow[j], prod[r][j]);            \
+                }                                                             \
+            }                                                                 \
+            for (int64_t r = 0; r < rb; r++) {                                \
+                const int64_t *row = obs + (r0 + r) * length;                 \
+                const double *erow = emission_t + row[t] * N;                 \
+                for (int64_t j = 0; j < N; j++)                               \
+                    alpha[r][j] = prod[r][j] * erow[j];                       \
+                double norm = pairwise_sum(alpha[r], N);                      \
+                norm = norm < FLOORV ? FLOORV : norm;                         \
+                scales[(r0 + r) * length + t] = norm;                         \
+                for (int64_t j = 0; j < N; j++) alpha[r][j] /= norm;          \
+            }                                                                 \
+        }                                                                     \
+    }                                                                         \
+}
+
+DEFINE_SCORE(score_scales_8, 8)
+DEFINE_SCORE(score_scales_16, 16)
+DEFINE_SCORE(score_scales_32, 32)
+DEFINE_SCORE(score_scales_48, 48)
+DEFINE_SCORE(score_scales_64, 64)
+
+/* Runtime-n fallback, same operation order; work holds 2*RBLK*n doubles. */
+static void score_scales_any(const int64_t *obs, int64_t batch, int64_t length,
+                             int64_t n, const double *transition,
+                             const double *emission_t, const double *initial,
+                             double *scales, double *work) {
+    double *alpha = work;
+    double *prod = work + RBLK * n;
+    for (int64_t r0 = 0; r0 < batch; r0 += RBLK) {
+        int64_t rb = batch - r0 < RBLK ? batch - r0 : RBLK;
+        for (int64_t r = 0; r < rb; r++) {
+            const int64_t *row = obs + (r0 + r) * length;
+            const double *erow = emission_t + row[0] * n;
+            double *a = alpha + r * n;
+            for (int64_t j = 0; j < n; j++) a[j] = initial[j] * erow[j];
+            double norm = pairwise_sum(a, n);
+            norm = norm < FLOORV ? FLOORV : norm;
+            scales[(r0 + r) * length] = norm;
+            for (int64_t j = 0; j < n; j++) a[j] /= norm;
+        }
+        for (int64_t t = 1; t < length; t++) {
+            for (int64_t r = 0; r < rb; r++)
+                for (int64_t j = 0; j < n; j++) prod[r * n + j] = 0.0;
+            for (int64_t k = 0; k < n; k++) {
+                const double *trow = transition + k * n;
+                for (int64_t r = 0; r < rb; r++) {
+                    double ak = alpha[r * n + k];
+                    double *pr = prod + r * n;
+                    for (int64_t j = 0; j < n; j++)
+                        pr[j] = fma(ak, trow[j], pr[j]);
+                }
+            }
+            for (int64_t r = 0; r < rb; r++) {
+                const int64_t *row = obs + (r0 + r) * length;
+                const double *erow = emission_t + row[t] * n;
+                double *a = alpha + r * n;
+                double *pr = prod + r * n;
+                for (int64_t j = 0; j < n; j++) a[j] = pr[j] * erow[j];
+                double norm = pairwise_sum(a, n);
+                norm = norm < FLOORV ? FLOORV : norm;
+                scales[(r0 + r) * length + t] = norm;
+                for (int64_t j = 0; j < n; j++) a[j] /= norm;
+            }
+        }
+    }
+}
+
+/* Per-step scale factors for `batch` rows of `length` observations.
+ * obs: (batch, length) int64; transition: (n, n); emission_t: (m, n)
+ * (the emission transpose, row per symbol); initial: (n,); scales out:
+ * (batch, length); work: scratch of 2*RBLK*n doubles (generic path). */
+void repro_score_scales(const int64_t *obs, int64_t batch, int64_t length,
+                        int64_t n, const double *transition,
+                        const double *emission_t, const double *initial,
+                        double *scales, double *work) {
+    switch (n) {
+    case 8:
+        score_scales_8(obs, batch, length, transition, emission_t, initial, scales);
+        return;
+    case 16:
+        score_scales_16(obs, batch, length, transition, emission_t, initial, scales);
+        return;
+    case 32:
+        score_scales_32(obs, batch, length, transition, emission_t, initial, scales);
+        return;
+    case 48:
+        score_scales_48(obs, batch, length, transition, emission_t, initial, scales);
+        return;
+    case 64:
+        score_scales_64(obs, batch, length, transition, emission_t, initial, scales);
+        return;
+    default:
+        score_scales_any(obs, batch, length, n, transition, emission_t, initial,
+                         scales, work);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Incremental streaming step (streaming_step).                        */
+/*                                                                     */
+/* All per-state pointers live in a context struct built once per      */
+/* StreamingState, so the per-event ctypes call passes two integers.   */
+/* The caller owns the surprisal ring and the np.log — this updates    */
+/* belief in place and returns the raw (pre-log, pre-negate) total.    */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    const double *transition;  /* (n, n), C-contiguous */
+    const double *emission_t;  /* (m, n), C-contiguous */
+    double *belief;            /* (n,) updated in place */
+    double *predictive;        /* (n,) scratch */
+    double *joint;             /* (n,) scratch */
+    int64_t n;
+    int64_t started;           /* kept in sync with StreamingState.started */
+} ReproStreamCtx;
+
+double repro_stream_step(ReproStreamCtx *ctx, int64_t index) {
+    const int64_t n = ctx->n;
+    const double *belief = ctx->belief;
+    const double *erow = ctx->emission_t + index * n;
+    double *joint = ctx->joint;
+    const double *pred;
+    if (ctx->started) {
+        /* belief @ transition in the SkylakeX dgemv_n column-block
+         * order (see file header); bit-identity is probe-verified. */
+        const double *transition = ctx->transition;
+        double *predictive = ctx->predictive;
+        for (int64_t j = 0; j < n; j++) {
+            double y = 0.0;
+            int64_t i = 0;
+            for (; i + 4 <= n; i += 4) {
+                double t = belief[i + 1] * transition[(i + 1) * n + j];
+                t = fma(belief[i], transition[i * n + j], t);
+                t = fma(belief[i + 2], transition[(i + 2) * n + j], t);
+                t = fma(belief[i + 3], transition[(i + 3) * n + j], t);
+                y += t;
+            }
+            if (i + 2 <= n) {
+                double t = belief[i + 1] * transition[(i + 1) * n + j];
+                t = fma(belief[i], transition[i * n + j], t);
+                y += t;
+                i += 2;
+            }
+            if (i < n) y = fma(belief[i], transition[i * n + j], y);
+            predictive[j] = y;
+        }
+        pred = predictive;
+    } else {
+        pred = belief;
+        ctx->started = 1;
+    }
+    for (int64_t j = 0; j < n; j++) joint[j] = pred[j] * erow[j];
+    double total = pairwise_sum(joint, n);
+    /* Python max(total, floor): the floor wins only when strictly
+     * greater (NaN totals pass through, matching max()). */
+    total = FLOORV > total ? FLOORV : total;
+    double *belief_out = ctx->belief;
+    for (int64_t j = 0; j < n; j++) belief_out[j] = joint[j] / total;
+    return total;
+}

@@ -85,6 +85,7 @@ import numpy as np
 
 from .. import telemetry
 from ..errors import ModelError
+from . import backends
 from .model import HiddenMarkovModel
 
 #: Floor applied to per-step normalizers so a zero-probability observation
@@ -133,6 +134,7 @@ __all__ = [
     "streaming_recent",
     "streaming_reset",
     "streaming_step",
+    "streaming_step_with",
 ]
 
 
@@ -172,8 +174,24 @@ def score_sequences(
     It never materializes the (B, T, N) forward variables — each tile
     walks the recursion with a (tile, N) working set written in place.
 
+    Dispatch seam: if a non-default kernel backend is active (see
+    :mod:`repro.hmm.backends`) and accepts the call, its — probed
+    bit-identical — result is returned; otherwise the numpy path runs.
+
     ``obs`` must already be validated (see :func:`check_obs`).
     """
+    backend = backends.active_backend()
+    if backend.dispatches:
+        out = backend.score_sequences(model, obs, tile)
+        if out is not None:
+            return out
+    return _score_sequences_numpy(model, obs, tile)
+
+
+def _score_sequences_numpy(
+    model: HiddenMarkovModel, obs: np.ndarray, tile: int = SCORE_TILE
+) -> np.ndarray:
+    """The numpy batch scorer — also the compiled backend's oracle."""
     batch, length = obs.shape
     out = np.empty(batch)
     if batch == 0 or length == 0:
@@ -373,7 +391,24 @@ def score_fleet(
             raise ModelError("score_fleet batches must be non-empty")
     if length == 0:
         return [np.zeros(obs.shape[0]) for obs in obs_list]
+    backend = backends.active_backend()
+    if backend.dispatches:
+        out = backend.score_fleet(models, obs_list)
+        if out is not None:
+            return out
+    return _score_fleet_numpy(models, obs_list)
 
+
+def _score_fleet_numpy(
+    models: "list[HiddenMarkovModel]", obs_list: "list[np.ndarray]"
+) -> "list[np.ndarray]":
+    """The numpy fleet contraction — also the compiled backend's oracle.
+
+    Inputs must already satisfy :func:`score_fleet`'s validation (same
+    shape, shared non-zero length, non-empty batches).
+    """
+    n = models[0].n_states
+    length = obs_list[0].shape[1]
     fleet = len(models)
     batches = [obs.shape[0] for obs in obs_list]
     height = -(-max(batches) // FLEET_GEMM_UNIT) * FLEET_GEMM_UNIT
@@ -488,6 +523,7 @@ class StreamingState:
         "predictive",
         "joint",
         "ordered",
+        "backend_ctx",
     )
 
     def __init__(self, model: HiddenMarkovModel, window: int) -> None:
@@ -504,6 +540,9 @@ class StreamingState:
         self.predictive = np.empty(n)
         self.joint = np.empty(n)
         self.ordered = np.empty(self.window)
+        #: Opaque per-backend cache (e.g. the compiled backend's pointer
+        #: pack); invalidated by reset/rebind and on model/buffer change.
+        self.backend_ctx = None
 
 
 def streaming_step(
@@ -518,7 +557,42 @@ def streaming_step(
     emission row is the same values as the strided column slice), so the
     returned surprisals and the carried belief are bit-identical to the
     legacy path.
+
+    Dispatch seam: an active non-default backend (see
+    :mod:`repro.hmm.backends`) may serve the step — with identical state
+    bookkeeping and probed bit-identical results — before the numpy
+    path runs.
     """
+    backend = backends.active_backend()
+    if backend.dispatches:
+        out = backend.streaming_step(model, state, index)
+        if out is not None:
+            return out
+    return _streaming_step_numpy(model, state, index)
+
+
+def streaming_step_with(
+    backend, model: HiddenMarkovModel, state: StreamingState, index: int
+) -> float:
+    """:func:`streaming_step` under an *explicit* backend.
+
+    The per-event entry point for callers that carry their own backend
+    choice (``StreamingScorer(kernel_backend=...)``): dispatching through
+    a held backend instance skips the thread-local scope push/pop that
+    :func:`~repro.hmm.backends.backend_scope` would cost per event.
+    ``backend=None`` means "plain numpy", bypassing the ambient scope.
+    """
+    if backend is not None and backend.dispatches:
+        out = backend.streaming_step(model, state, index)
+        if out is not None:
+            return out
+    return _streaming_step_numpy(model, state, index)
+
+
+def _streaming_step_numpy(
+    model: HiddenMarkovModel, state: StreamingState, index: int
+) -> float:
+    """The numpy streaming step — also the compiled backend's oracle."""
     if state.started:
         np.matmul(state.belief, model.transition, out=state.predictive)
         predictive = state.predictive
@@ -564,6 +638,7 @@ def streaming_reset(model: HiddenMarkovModel, state: StreamingState) -> None:
     state.started = False
     state.count = 0
     state.pos = 0
+    state.backend_ctx = None
 
 
 def streaming_rebind(model: HiddenMarkovModel, state: StreamingState) -> None:
@@ -583,6 +658,7 @@ def streaming_rebind(model: HiddenMarkovModel, state: StreamingState) -> None:
     np.copyto(state.belief, model.initial)
     state.started = False
     state.emission_t = np.ascontiguousarray(model.emission.T)
+    state.backend_ctx = None
 
 
 # ---------------------------------------------------------------------------
